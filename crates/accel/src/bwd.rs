@@ -1,0 +1,239 @@
+//! Per-layer backward-propagation costs (§V / Fig. 12(b)).
+//!
+//! The E2E baseline's accounting (the paper's Fig. 12(b)):
+//!
+//! * **FC, SRAM-resident** (the last `sram_weight_tail` layers): two
+//!   streaming passes — one vector-transposed-matrix product for the input
+//!   gradient (Fig. 8) and one outer-product pass writing the weight-
+//!   gradient sums. Cost = `2 × forward`. Matches Fig. 12(b)'s FC3/FC4
+//!   within 1 %.
+//! * **FC, MRAM-resident** (FC1/FC2 in E2E): one more full weight stream
+//!   (the transposed traversal cannot reuse the forward-streamed layout).
+//!   Cost = `3 × forward`. Matches FC2 within 8 %.
+//! * **FC with a spilled gradient accumulator** (FC1: its 75.5 MB sum
+//!   buffer exceeds the entire on-die budget): each image pays a
+//!   read-modify-write of the accumulator against the STT-MRAM stack at
+//!   the write-pulse-limited 4.27 GB/s. Cost = `2 × forward + RMW`.
+//!   Matches FC1 (29.19 ms) within 2 % — **the single number that makes
+//!   E2E infeasible, derived entirely from Table 1**.
+//! * **Conv (GEMM, §V-B)**: weight gradient ≈ forward MACs; input
+//!   gradient on the stride-dilated delta costs `(in_hw / out_hw) ×`
+//!   forward MACs (17× for CONV1's stride 4); im2col/col2im expansion
+//!   multiplies streaming by `gemm_expansion`. The `date19` profile pins
+//!   these to Fig. 12(b) (see the fidelity contract); `ideal` derives.
+
+use mramrl_nn::spec::NetworkSpec;
+use mramrl_systolic::{ConvMapping, FcMapping, RfPolicy};
+
+use crate::calib::Calibration;
+use crate::cost::{LayerCost, Provenance};
+use crate::fwd::{geometry, LayerGeom};
+use crate::params::SystemParams;
+use crate::power::PowerModel;
+
+/// Computes the Fig. 12(b) backward table (E2E accounting) for `spec`.
+pub(crate) fn backward_costs(
+    spec: &NetworkSpec,
+    params: &SystemParams,
+    calib: &Calibration,
+) -> Vec<LayerCost> {
+    let array = &params.array;
+    let power = PowerModel::new(calib.power);
+    let geoms = geometry(spec);
+    let n_layers = geoms.len();
+    let fc_count = geoms
+        .iter()
+        .filter(|g| matches!(g, LayerGeom::Fc { .. }))
+        .count();
+    // Gradient budget: whole buffer minus scratch; a layer spills only if
+    // its accumulator alone exceeds it (smaller accumulators time-share).
+    let grad_budget = params.global_buffer_bytes - params.scratchpad_bytes;
+
+    let mut out = Vec::with_capacity(n_layers);
+    let mut conv_idx = 0usize;
+    for (i, geom) in geoms.iter().enumerate() {
+        let sram_resident = i + calib.sram_weight_tail >= n_layers && fc_count > 0;
+        match geom {
+            LayerGeom::Fc { name, in_f, out_f } => {
+                let mapping = FcMapping::plan_transposed(array, *in_f, *out_f);
+                let fwd_ms = mapping.latency_ms(array.clock_ghz);
+                let grad_bytes = geom.weight_bytes();
+                let spilled = grad_bytes > grad_budget;
+                let mut latency_ms = 2.0 * fwd_ms;
+                let mut passes = 2.0;
+                if !sram_resident && !spilled && calib.mram_resident_extra_pass {
+                    latency_ms += fwd_ms;
+                    passes += 1.0;
+                }
+                if spilled {
+                    let write_ms =
+                        grad_bytes as f64 / params.mram_write_gbytes_per_s() / 1.0e6;
+                    let read_ms = grad_bytes as f64 / params.mram_read_gbytes_per_s() / 1.0e6;
+                    latency_ms += write_ms + read_ms;
+                }
+                let stream_bits = (mapping.weight_words * 16) as f64 * passes
+                    + if spilled { grad_bytes as f64 * 16.0 } else { 0.0 };
+                let stream = stream_bits / (latency_ms * 1e-3) / 1.0e9;
+                let power_mw = power.power_mw(mapping.active_pes, stream);
+                let mut energy_mj = power_mw * latency_ms * 1e-3;
+                if spilled {
+                    // Explicit NVM write energy (Table 1: 4.5 pJ/bit).
+                    energy_mj += grad_bytes as f64 * 8.0 * params.mram.write_energy_pj_per_bit
+                        * 1e-9;
+                }
+                out.push(LayerCost {
+                    name: name.clone(),
+                    latency_ms,
+                    active_pes: mapping.active_pes,
+                    power_mw,
+                    energy_mj,
+                    nvm_write: !sram_resident || spilled,
+                    provenance: Provenance::Derived,
+                });
+            }
+            LayerGeom::Conv { name, shape } => {
+                let mapping = ConvMapping::plan(array, shape, RfPolicy::Date19)
+                    .expect("paper layers always map");
+                // Forward latency in this profile (anchored or roofline).
+                let fwd_ms = match &calib.conv_fwd_ms_override {
+                    Some(ms) if conv_idx < ms.len() => ms[conv_idx],
+                    _ => {
+                        let flow = mramrl_systolic::ConvDataflow::new(array)
+                            .forward(shape, &mapping);
+                        flow.total_cycles as f64 / array.clock_ghz * 1e-6
+                    }
+                };
+                let dx_ratio = f64::from(shape.in_h * shape.in_w)
+                    / f64::from(shape.out_h() * shape.out_w());
+                let derived_ms = fwd_ms * (1.0 + dx_ratio) * calib.gemm_expansion;
+                let (latency_ms, provenance) = match &calib.conv_bwd_ms_override {
+                    Some(ms) if conv_idx < ms.len() => (ms[conv_idx], Provenance::Anchored),
+                    _ => (derived_ms, Provenance::Derived),
+                };
+                let active_pes = match &calib.conv_bwd_active_pes {
+                    Some(pes) if conv_idx < pes.len() => pes[conv_idx],
+                    _ => mapping.active_pes,
+                };
+                // GEMM streams expanded matrices: approximate traffic as
+                // (1 + dx_ratio) × (input + output + weights) elements.
+                let elems = (shape.input_elems() + shape.output_elems() + shape.weights()) as f64
+                    * (1.0 + dx_ratio);
+                let stream = elems * 16.0 / (latency_ms * 1e-3) / 1.0e9;
+                let power_mw = power.power_mw(active_pes, stream.min(256.0));
+                out.push(LayerCost {
+                    name: name.clone(),
+                    latency_ms,
+                    active_pes,
+                    power_mw,
+                    energy_mj: power_mw * latency_ms * 1e-3,
+                    nvm_write: true,
+                    provenance,
+                });
+                conv_idx += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn table(calib: Calibration) -> Vec<LayerCost> {
+        backward_costs(&NetworkSpec::date19_alexnet(), &SystemParams::date19(), &calib)
+    }
+
+    #[test]
+    fn fc1_spill_rmw_matches_paper_within_3pct() {
+        // The headline derived number: 2×stream + 75.5 MB RMW at the
+        // 30 ns-pulse-limited 4.27 GB/s ⇒ ≈28.6 ms (paper: 29.19 ms).
+        let t = table(Calibration::date19());
+        let fc1 = t.iter().find(|c| c.name == "FC1").unwrap();
+        assert_eq!(fc1.provenance, Provenance::Derived);
+        assert!(fc1.nvm_write);
+        let err = (fc1.latency_ms - 29.19).abs() / 29.19;
+        assert!(err < 0.03, "{} ms", fc1.latency_ms);
+    }
+
+    #[test]
+    fn fc_tail_is_twice_forward_within_2pct() {
+        let t = table(Calibration::date19());
+        for (name, paper_ms) in [("FC3", 1.182), ("FC4", 0.594)] {
+            let c = t.iter().find(|c| c.name == name).unwrap();
+            let err = (c.latency_ms - paper_ms).abs() / paper_ms;
+            assert!(err < 0.02, "{name}: {} vs {paper_ms}", c.latency_ms);
+            assert!(!c.nvm_write);
+        }
+    }
+
+    #[test]
+    fn fc2_three_pass_within_9pct() {
+        let t = table(Calibration::date19());
+        let fc2 = t.iter().find(|c| c.name == "FC2").unwrap();
+        let err = (fc2.latency_ms - 3.839).abs() / 3.839;
+        assert!(err < 0.09, "{} ms", fc2.latency_ms);
+        assert!(fc2.nvm_write);
+    }
+
+    #[test]
+    fn anchored_conv_rows_exact() {
+        let t = table(Calibration::date19());
+        for (ours, paper) in t[..5].iter().zip(&paper::BWD[..5]) {
+            assert_eq!(ours.latency_ms, paper.latency_ms, "{}", ours.name);
+            assert_eq!(ours.active_pes, paper.active_pes, "{}", ours.name);
+            assert!(ours.nvm_write);
+        }
+    }
+
+    #[test]
+    fn total_latency_within_2pct_of_fig12b() {
+        let total: f64 = table(Calibration::date19()).iter().map(|c| c.latency_ms).sum();
+        assert!(
+            (total - paper::BWD_TOTAL_MS).abs() / paper::BWD_TOTAL_MS < 0.02,
+            "{total} vs {}",
+            paper::BWD_TOTAL_MS
+        );
+    }
+
+    #[test]
+    fn total_energy_within_20pct_of_fig12b() {
+        let total: f64 = table(Calibration::date19()).iter().map(|c| c.energy_mj).sum();
+        assert!(
+            (total - paper::BWD_TOTAL_MJ).abs() / paper::BWD_TOTAL_MJ < 0.20,
+            "{total} vs {}",
+            paper::BWD_TOTAL_MJ
+        );
+    }
+
+    #[test]
+    fn ideal_derives_conv_bwd_stride1_within_25pct() {
+        let t = table(Calibration::ideal());
+        // In the ideal profile conv backward derives from the roofline ×
+        // (1+dX)×expansion; check stride-1 layers stay in the right decade
+        // relative to each other (CONV2..CONV5 paper: 4.6–5.6 ms).
+        for c in &t[1..5] {
+            assert_eq!(c.provenance, Provenance::Derived);
+            assert!(c.latency_ms > 0.3 && c.latency_ms < 6.0, "{}: {}", c.name, c.latency_ms);
+        }
+    }
+
+    #[test]
+    fn backward_dominates_forward() {
+        // §V: training cost is backward-dominated — the premise for
+        // truncating backprop at all.
+        let bwd: f64 = table(Calibration::date19()).iter().map(|c| c.latency_ms).sum();
+        assert!(bwd > 5.0 * paper::FWD_TOTAL_MS);
+    }
+
+    #[test]
+    fn only_tail_layers_skip_nvm_writes() {
+        let t = table(Calibration::date19());
+        let flags: Vec<bool> = t.iter().map(|c| c.nvm_write).collect();
+        assert_eq!(
+            flags,
+            vec![true, true, true, true, true, true, true, false, false, false]
+        );
+    }
+}

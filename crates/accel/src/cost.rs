@@ -1,0 +1,105 @@
+//! Cost record types.
+
+/// Provenance of a modelled number (see the crate-level fidelity
+/// contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Computed from first principles (mapping + memory model).
+    Derived,
+    /// Pinned to the paper's published post-synthesis value.
+    Anchored,
+}
+
+/// Cost of one layer traversal (one row of Fig. 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+    /// Active PEs (paper convention).
+    pub active_pes: u32,
+    /// Average power in milliwatts.
+    pub power_mw: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Whether this traversal writes the STT-MRAM (Fig. 12(b)'s "NVM
+    /// write" column).
+    pub nvm_write: bool,
+    /// Where the latency number comes from.
+    pub provenance: Provenance,
+}
+
+/// Per-image training cost for one topology (the Fig. 13(b) bar pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerImageCost {
+    /// Forward-pass latency (all layers), ms.
+    pub forward_ms: f64,
+    /// Backward-pass latency (trainable tail only), ms.
+    pub backward_ms: f64,
+    /// Forward energy, mJ.
+    pub forward_mj: f64,
+    /// Backward energy, mJ.
+    pub backward_mj: f64,
+}
+
+impl PerImageCost {
+    /// Total per-image training latency.
+    pub fn total_ms(&self) -> f64 {
+        self.forward_ms + self.backward_ms
+    }
+
+    /// Total per-image training energy.
+    pub fn total_mj(&self) -> f64 {
+        self.forward_mj + self.backward_mj
+    }
+}
+
+/// Cost of a full training iteration at batch N (Fig. 13(a) input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationCost {
+    /// Batch size N.
+    pub batch: usize,
+    /// Per-frame cost (inference + training share), ms.
+    pub per_frame_ms: f64,
+    /// Per-iteration fixed cost (weight update + NVM write-back +
+    /// system overhead), ms.
+    pub fixed_ms: f64,
+    /// Total iteration latency, ms.
+    pub total_ms: f64,
+    /// Total iteration energy, mJ.
+    pub total_mj: f64,
+    /// Supported frame rate: `N / total`.
+    pub fps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_image_totals() {
+        let c = PerImageCost {
+            forward_ms: 10.0,
+            backward_ms: 5.0,
+            forward_mj: 70.0,
+            backward_mj: 30.0,
+        };
+        assert_eq!(c.total_ms(), 15.0);
+        assert_eq!(c.total_mj(), 100.0);
+    }
+
+    #[test]
+    fn layer_cost_is_plain_data() {
+        let c = LayerCost {
+            name: "FC1".into(),
+            latency_ms: 5.3,
+            active_pes: 1024,
+            power_mw: 6700.0,
+            energy_mj: 35.0,
+            nvm_write: false,
+            provenance: Provenance::Derived,
+        };
+        assert_eq!(c.clone(), c);
+    }
+}

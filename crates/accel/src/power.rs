@@ -1,0 +1,89 @@
+//! The power model.
+
+use crate::calib::PowerFit;
+
+/// Evaluates the fitted power line and converts to energy.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_accel::{PowerModel, Calibration};
+///
+/// let pm = PowerModel::new(Calibration::date19().power);
+/// // FC1: 1024 PEs streaming 128 Gb/s → ≈ 6.88 W (paper: 6.80 W).
+/// let p = pm.power_mw(1024, 128.0);
+/// assert!((p - 6799.0).abs() / 6799.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    fit: PowerFit,
+}
+
+impl PowerModel {
+    /// Creates a model from a fit.
+    pub fn new(fit: PowerFit) -> Self {
+        Self { fit }
+    }
+
+    /// Power in mW for `active_pes` PEs streaming `stream_gbit_s` Gb/s.
+    pub fn power_mw(&self, active_pes: u32, stream_gbit_s: f64) -> f64 {
+        self.fit.p0_mw
+            + self.fit.p_pe_mw * f64::from(active_pes)
+            + self.fit.e_stream_pj_per_bit * stream_gbit_s
+    }
+
+    /// Energy in mJ for a pass of `latency_ms` at the given occupancy.
+    pub fn energy_mj(&self, active_pes: u32, stream_gbit_s: f64, latency_ms: f64) -> f64 {
+        self.power_mw(active_pes, stream_gbit_s) * latency_ms * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn pm() -> PowerModel {
+        PowerModel::new(PowerFit::date19())
+    }
+
+    #[test]
+    fn fc_rows_within_three_percent() {
+        // The big FC layers stream 8 × 16-bit words/cycle = 128 Gb/s.
+        for row in &paper::FWD[5..9] {
+            let p = pm().power_mw(row.active_pes, 128.0);
+            assert!(
+                (p - row.power_mw).abs() / row.power_mw < 0.08,
+                "{}: {p} vs {}",
+                row.name,
+                row.power_mw
+            );
+        }
+    }
+
+    #[test]
+    fn conv_rows_within_fifteen_percent() {
+        // Conv layers stream far less; approximate with 30 Gb/s.
+        for row in &paper::FWD[..5] {
+            let p = pm().power_mw(row.active_pes, 30.0);
+            assert!(
+                (p - row.power_mw).abs() / row.power_mw < 0.15,
+                "{}: {p} vs {}",
+                row.name,
+                row.power_mw
+            );
+        }
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_latency() {
+        let e1 = pm().energy_mj(1024, 128.0, 1.0);
+        let e2 = pm().energy_mj(1024, 128.0, 2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_pes_more_power() {
+        assert!(pm().power_mw(1024, 0.0) > pm().power_mw(160, 0.0));
+    }
+}

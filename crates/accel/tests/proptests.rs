@@ -1,0 +1,95 @@
+//! Property tests for the platform cost model.
+
+use mramrl_accel::{Calibration, PlatformModel, Topology};
+use proptest::prelude::*;
+
+fn models() -> [PlatformModel; 2] {
+    [
+        PlatformModel::new(Calibration::date19()),
+        PlatformModel::new(Calibration::ideal()),
+    ]
+}
+
+proptest! {
+    /// fps is monotone non-decreasing in batch size for every topology,
+    /// under both calibrations (the Fig. 13(a) shape).
+    #[test]
+    fn fps_monotone_in_batch(n in 1usize..64) {
+        for m in models() {
+            for topo in Topology::ALL {
+                prop_assert!(m.max_fps(topo, n + 1) >= m.max_fps(topo, n) - 1e-9,
+                    "{topo} {n} ({})", m.calibration().name);
+            }
+        }
+    }
+
+    /// Per-image training cost is monotone in the topology tail:
+    /// L2 ≤ L3 ≤ L4 ≤ E2E for both latency and energy.
+    #[test]
+    fn per_image_monotone(_dummy in 0..1i32) {
+        for m in models() {
+            let mut last_ms = 0.0;
+            let mut last_mj = 0.0;
+            for topo in Topology::ALL {
+                let c = m.per_image(topo);
+                prop_assert!(c.total_ms() >= last_ms);
+                prop_assert!(c.total_mj() >= last_mj);
+                last_ms = c.total_ms();
+                last_mj = c.total_mj();
+            }
+        }
+    }
+
+    /// Iteration identity: total == N·per_frame + fixed, fps == N/total.
+    #[test]
+    fn iteration_identities(n in 1usize..64) {
+        for m in models() {
+            for topo in Topology::ALL {
+                let it = m.iteration(topo, n);
+                prop_assert!((it.total_ms - (n as f64 * it.per_frame_ms + it.fixed_ms)).abs() < 1e-9);
+                prop_assert!((it.fps - n as f64 / (it.total_ms * 1e-3)).abs() < 1e-9);
+                prop_assert!(it.total_mj > 0.0);
+            }
+        }
+    }
+
+    /// Amortisation: energy per frame is non-increasing in batch size
+    /// (fixed costs spread over more frames).
+    #[test]
+    fn energy_per_frame_amortises(n in 1usize..32) {
+        for m in models() {
+            for topo in Topology::ALL {
+                prop_assert!(m.energy_per_frame_mj(topo, n + 1) <= m.energy_per_frame_mj(topo, n) + 1e-9);
+            }
+        }
+    }
+
+    /// The update cost of a larger tail strictly contains the smaller
+    /// tail's (superset of layers).
+    #[test]
+    fn update_cost_monotone(_dummy in 0..1i32) {
+        for m in models() {
+            let (mut last_ms, mut last_mj) = (0.0, 0.0);
+            for topo in Topology::ALL {
+                let (ms, mj) = m.update_cost(topo);
+                prop_assert!(ms >= last_ms && mj >= last_mj, "{topo}");
+                last_ms = ms;
+                last_mj = mj;
+            }
+        }
+    }
+
+    /// Every layer cost in both tables is positive and finite, and power
+    /// stays within physical bounds (< 10 W for this 1024-PE die).
+    #[test]
+    fn costs_physical(_dummy in 0..1i32) {
+        for m in models() {
+            for c in m.forward_table().iter().chain(m.backward_table()) {
+                prop_assert!(c.latency_ms > 0.0 && c.latency_ms.is_finite());
+                prop_assert!(c.energy_mj > 0.0 && c.energy_mj.is_finite());
+                prop_assert!(c.power_mw > 0.0 && c.power_mw < 10_000.0, "{}: {}", c.name, c.power_mw);
+                prop_assert!(c.active_pes >= 1 && c.active_pes <= 1024);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion: full platform-model evaluation cost (tables + fps curves).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramrl_accel::{Calibration, PlatformModel, Topology};
+
+fn bench_accel(c: &mut Criterion) {
+    c.bench_function("build_platform_model_date19", |b| {
+        b.iter(|| PlatformModel::new(black_box(Calibration::date19())))
+    });
+    let model = PlatformModel::new(Calibration::date19());
+    c.bench_function("fig13_fps_matrix", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for topo in Topology::ALL {
+                for n in [4usize, 8, 16] {
+                    acc += model.max_fps(black_box(topo), n);
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("per_image_e2e", |b| {
+        b.iter(|| model.per_image(black_box(Topology::E2E)))
+    });
+}
+
+criterion_group!(benches, bench_accel);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: environment stepping / depth rendering throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramrl_env::{Action, DepthCamera, DroneEnv, EnvKind};
+
+fn bench_env(c: &mut Criterion) {
+    let world = EnvKind::OutdoorForest.build(1);
+    let cam = DepthCamera::date19();
+    let mut rng = DepthCamera::noise_rng(1);
+    c.bench_function("render_depth_40px_forest", |b| {
+        b.iter(|| cam.render(black_box(&world), world.spawn(), 0.3, &mut rng))
+    });
+
+    let mut env = DroneEnv::new(EnvKind::IndoorApartment, 2);
+    env.reset();
+    let mut i = 0usize;
+    c.bench_function("env_step_apartment", |b| {
+        b.iter(|| {
+            let s = env.step(Action::from_index(i % 5));
+            i += 1;
+            if s.crashed {
+                env.reset();
+            }
+            black_box(s.reward)
+        })
+    });
+}
+
+criterion_group!(benches, bench_env);
+criterion_main!(benches);

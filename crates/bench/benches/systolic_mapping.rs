@@ -1,0 +1,22 @@
+//! Criterion: planning cost of the conv/FC mappings (pure model code).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mramrl_systolic::{ArraySpec, ConvDataflow, ConvMapping, ConvShape, FcMapping, RfPolicy};
+
+fn bench_mapping(c: &mut Criterion) {
+    let array = ArraySpec::date19();
+    let conv2 = ConvShape::new(27, 27, 96, 256, 5, 5, 1, 2);
+    c.bench_function("plan_conv2_type_ii", |b| {
+        b.iter(|| ConvMapping::plan(&array, black_box(&conv2), RfPolicy::Date19).unwrap())
+    });
+    let mapping = ConvMapping::plan(&array, &conv2, RfPolicy::Date19).unwrap();
+    c.bench_function("roofline_conv2", |b| {
+        b.iter(|| ConvDataflow::new(&array).forward(black_box(&conv2), black_box(&mapping)))
+    });
+    c.bench_function("plan_fc1", |b| {
+        b.iter(|| FcMapping::plan(&array, black_box(9216), black_box(4096)))
+    });
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! XTRA4 — SRAM-capacity × topology design-space sweep: which
+//! architectures can train which topologies with a read-only NVM, and
+//! what they cost.
+
+use mramrl_bench::{fmt, Table};
+use mramrl_core::DesignSweep;
+
+fn main() {
+    let sweep = DesignSweep::date19();
+    let mut t = Table::new(
+        "Design-space sweep — SRAM capacity × topology",
+        &[
+            "SRAM [MB]",
+            "Topology",
+            "Placeable",
+            "NVM write-free",
+            "SRAM used [MB]",
+            "fps @ batch 4",
+            "Energy/frame [mJ]",
+        ],
+    );
+    for p in sweep.run() {
+        t.row_owned(vec![
+            fmt(p.sram_mb, 1),
+            p.topology.to_string(),
+            if p.placeable { "yes" } else { "no" }.into(),
+            if p.nvm_write_free { "yes" } else { "no" }.into(),
+            if p.placeable { fmt(p.sram_used_mb, 2) } else { "-".into() },
+            if p.placeable { fmt(p.fps_batch4, 1) } else { "-".into() },
+            if p.placeable { fmt(p.energy_per_frame_mj, 0) } else { "-".into() },
+        ]);
+    }
+    t.print();
+    t.save("ablation_design_space");
+
+    println!("Write-free frontier (min SRAM per topology):");
+    for topo in mramrl_core::Topology::ALL {
+        match sweep.min_sram_for(topo) {
+            Some(mb) => println!("  {topo}: {mb} MB"),
+            None => println!("  {topo}: never write-free"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! XTRA2 — endurance ablation: NVM write traffic and wear of a training
+//! mission under each topology (the unstated third reason the NVM must
+//! stay read-only in flight).
+
+use mramrl_bench::{arg_u64, fmt, Table};
+use mramrl_core::{DeploymentSim, Platform, Topology};
+use mramrl_env::EnvKind;
+
+fn main() {
+    let frames = arg_u64("frames", 200);
+    let seed = arg_u64("seed", 11);
+
+    let mut t = Table::new(
+        "Endurance ablation — one training mission per topology",
+        &[
+            "Topology",
+            "Frames",
+            "Platform energy [J]",
+            "NVM bytes written",
+            "Wear fraction",
+            "SFD [m]",
+        ],
+    );
+    for (topo, sram, mram) in [
+        (Topology::L2, 12.7, 128.0),
+        (Topology::L3, 30.0, 128.0),
+        (Topology::L4, 63.0, 128.0),
+        (Topology::E2E, 30.0, 256.0),
+    ] {
+        let platform = Platform::new(topo, sram, mram).expect("design places");
+        let report = DeploymentSim::new(platform, EnvKind::IndoorApartment, seed).fly(frames);
+        t.row_owned(vec![
+            topo.to_string(),
+            report.frames.to_string(),
+            fmt(report.energy_j, 2),
+            report.nvm_bytes_written.to_string(),
+            format!("{:.2e}", report.nvm_wear_fraction),
+            fmt(f64::from(report.sfd_m), 1),
+        ]);
+    }
+    t.print();
+    t.save("ablation_endurance");
+    println!(
+        "Reading: the L-topologies never touch the NVM in flight; E2E writes ~GBs per\n\
+         minute of flight. On STT-MRAM (1e12 cycles) that is survivable for years —\n\
+         latency and energy are the binding constraints, endurance seals RRAM/PCM."
+    );
+}

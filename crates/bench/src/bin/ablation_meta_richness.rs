@@ -1,0 +1,52 @@
+//! XTRA3 — richer-meta ablation (§VI-B): "This can be further improved by
+//! performing TL on richer meta-environments." We train the outdoor meta
+//! model with and without town-like structures and compare the
+//! outdoor-town SFD degradation.
+
+use mramrl_bench::{arg_u64, fmt, full_mode, Table};
+use mramrl_env::EnvKind;
+use mramrl_rl::experiment::normalized_sfd;
+use mramrl_rl::{Fig10Experiment, Topology, TransferCache};
+
+fn main() {
+    let seed = arg_u64("seed", 42);
+    let mut exp = if full_mode() {
+        Fig10Experiment::full(seed)
+    } else {
+        Fig10Experiment::quick(seed)
+    };
+    exp.online_iters = arg_u64("iters", exp.online_iters);
+    exp.tl_iters = arg_u64("tl", exp.tl_iters);
+
+    let mut t = Table::new(
+        "Richer-meta ablation — outdoor town, normalized SFD",
+        &["Meta environment", "L2", "L3", "L4", "worst degradation"],
+    );
+    for meta in [EnvKind::MetaOutdoor, EnvKind::MetaOutdoorRich] {
+        let mut cache = TransferCache::new();
+        let runs = exp.run_env_with_meta(&mut cache, EnvKind::OutdoorTown, meta);
+        let norm = normalized_sfd(&runs, EnvKind::OutdoorTown);
+        let get = |tp: Topology| {
+            norm.iter()
+                .find(|(x, _)| *x == tp)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let worst = [get(Topology::L2), get(Topology::L3), get(Topology::L4)]
+            .into_iter()
+            .fold(f32::INFINITY, f32::min);
+        t.row_owned(vec![
+            meta.to_string(),
+            fmt(f64::from(get(Topology::L2)), 3),
+            fmt(f64::from(get(Topology::L3)), 3),
+            fmt(f64::from(get(Topology::L4)), 3),
+            format!("{:.1}%", (1.0 - worst) * 100.0),
+        ]);
+    }
+    t.print();
+    t.save("ablation_meta_richness");
+    println!(
+        "Expected: the rich meta (with buildings/cars) narrows the town degradation —\n\
+         the fix the paper proposes for its own worst case (8.1%)."
+    );
+}

@@ -1,0 +1,53 @@
+//! XTRA1 — §III-C ablation: swap the NVM technology and recompute the
+//! costs that depend on the write path. Shows the co-design conclusion is
+//! portable across NVMs ("all NVM suffer from high write latency and
+//! energy; hence the algorithm-hardware co-design ... is applicable to
+//! similar other platforms").
+
+use mramrl_bench::{fmt, Table};
+use mramrl_mem::tech::TechParams;
+use mramrl_mem::WearTracker;
+
+fn main() {
+    let fc1_grad_bytes = 37_752_832u64 * 2; // FC1 gradient accumulator
+    let model_bytes = 112_380_682u64; // full 56.19 M weights at 16 bit
+
+    let mut t = Table::new(
+        "§III-C ablation — the E2E write path under different NVMs",
+        &[
+            "NVM",
+            "Write BW [GB/s]",
+            "FC1 grad RMW/image [ms]",
+            "Model write-back [ms]",
+            "Write-back energy [mJ]",
+            "E2E lifetime @336 MB/s",
+        ],
+    );
+    for tech in [TechParams::stt_mram(), TechParams::rram(), TechParams::pcm()] {
+        // Write bandwidth with the same 1024-bit interface.
+        let bw = 1024.0 / tech.write_latency_ns / 8.0; // GB/s
+        let rmw_ms = fc1_grad_bytes as f64 / bw / 1.0e6;
+        let wb_ms = model_bytes as f64 / bw / 1.0e6;
+        let wb_mj = model_bytes as f64 * 8.0 * tech.write_energy_pj_per_bit * 1e-9;
+        let wear = WearTracker::new(tech.clone(), 128_000_000);
+        let life = wear
+            .lifetime_years(336.0e6)
+            .map_or("unlimited".to_string(), |y| format!("{y:.1} years"));
+        t.row_owned(vec![
+            tech.kind.to_string(),
+            fmt(bw, 2),
+            fmt(rmw_ms, 1),
+            fmt(wb_ms, 1),
+            fmt(wb_mj, 1),
+            life,
+        ]);
+    }
+    t.print();
+    t.save("ablation_nvm_tech");
+
+    println!(
+        "Reading: every NVM makes per-image gradient write-back prohibitive (tens of ms\n\
+         per image on STT-MRAM, worse elsewhere), and RRAM/PCM additionally wear out in\n\
+         under ~15 years of E2E training — the TL + SRAM-tail co-design avoids all of it."
+    );
+}

@@ -1,0 +1,39 @@
+//! FIG1 — Fig. 1(b,c): minimum fps for obstacle avoidance vs drone speed.
+
+use mramrl_bench::{fmt, Table};
+use mramrl_core::{Mission, ENV_CLASSES};
+
+fn main() {
+    // Fig. 1(c): the d_min settings.
+    let mut dmin = Table::new(
+        "Fig. 1(c) — minimum obstacle distance per environment",
+        &["Environment", "d_min [m]"],
+    );
+    for c in ENV_CLASSES {
+        dmin.row(&[c.name, &fmt(c.d_min, 1)]);
+    }
+    dmin.print();
+    dmin.save("fig01c_dmin");
+
+    // Fig. 1(b): required fps per speed × environment.
+    let velocities = [2.5, 5.0, 7.5, 10.0];
+    let mut headers: Vec<String> = vec!["v_drone [m/s]".into()];
+    headers.extend(ENV_CLASSES.iter().map(|c| c.name.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut fps = Table::new(
+        "Fig. 1(b) — image frames per second required",
+        &headers_ref,
+    );
+    for (v, row) in Mission::fig1_table(&velocities) {
+        let mut cells = vec![fmt(v, 1)];
+        cells.extend(row.iter().map(|(_, f)| fmt(*f, 3)));
+        fps.row_owned(cells);
+    }
+    fps.print();
+    fps.save("fig01b_required_fps");
+
+    println!(
+        "Spot-check vs paper: Indoor 1 @ 2.5 m/s → {:.3} fps (paper: 3.571)",
+        Mission::required_fps(2.5, 0.7)
+    );
+}

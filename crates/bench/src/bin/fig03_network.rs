@@ -1,0 +1,61 @@
+//! FIG3A — Fig. 3(a): the modified-AlexNet weight census, and the
+//! Fig. 3(b) topology weight fractions.
+
+use mramrl_bench::{fmt, Table};
+use mramrl_nn::{NetworkSpec, Topology};
+
+fn main() {
+    let spec = NetworkSpec::date19_alexnet();
+    let census = spec.weight_census();
+
+    let mut t = Table::new(
+        "Fig. 3(a) — FC layer census (modified AlexNet)",
+        &["Layers", "# neurons", "# weights", "% total weights", "% cumulative weights"],
+    );
+    let mut fc_sum = 0u64;
+    for c in census.iter().filter(|c| c.name.starts_with("FC")) {
+        fc_sum += c.weights;
+        t.row_owned(vec![
+            c.name.clone(),
+            c.neurons.to_string(),
+            c.weights.to_string(),
+            fmt(c.pct_of_total, 3),
+            fmt(c.pct_cumulative, 3),
+        ]);
+    }
+    t.row_owned(vec![
+        "sum".into(),
+        String::new(),
+        fc_sum.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    t.print();
+    t.save("fig03a_census");
+
+    println!(
+        "Total network weights: {} (paper: 56,190,341 incl. conv; FC sum {} = paper's 52,443,141)\n",
+        spec.total_weights(),
+        fc_sum
+    );
+
+    let mut f = Table::new(
+        "Fig. 3(b) — fraction of weights learnt in real time per topology",
+        &["Topology", "Trained layers", "% of total weights"],
+    );
+    for topo in Topology::ALL {
+        let pct = match topo.tail() {
+            Some(k) => spec.trainable_fraction_for_tail(k) * 100.0,
+            None => 100.0,
+        };
+        let layers = match topo {
+            Topology::L2 => "FC4+FC5",
+            Topology::L3 => "FC3+FC4+FC5",
+            Topology::L4 => "FC2+FC3+FC4+FC5",
+            Topology::E2E => "all layers",
+        };
+        f.row_owned(vec![topo.to_string(), layers.into(), fmt(pct, 2)]);
+    }
+    f.print();
+    f.save("fig03b_fractions");
+}

@@ -1,0 +1,20 @@
+//! FIG4B — Fig. 4(b): the system parameter table.
+
+use mramrl_accel::SystemParams;
+use mramrl_bench::Table;
+
+fn main() {
+    let params = SystemParams::date19();
+    let mut t = Table::new("Fig. 4(b) — system parameters", &["Parameter", "Value"]);
+    for (k, v) in params.table() {
+        t.row(&[&k, &v]);
+    }
+    t.print();
+    t.save("fig04b_system");
+
+    println!(
+        "Derived: stack read bandwidth {:.0} GB/s, write-pulse-limited write bandwidth {:.2} GB/s",
+        params.mram_read_gbytes_per_s(),
+        params.mram_write_gbytes_per_s()
+    );
+}

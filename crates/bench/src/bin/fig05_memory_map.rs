@@ -1,0 +1,63 @@
+//! FIG5 — Fig. 5 / §III-D: mapping the CNN weights to stacked STT-MRAM
+//! and on-die SRAM, for every topology's architecture.
+
+use mramrl_bench::{fmt, Table};
+use mramrl_core::{Platform, Topology};
+
+fn main() {
+    // Per-layer placement for the paper's proposed (L3 / 30 MB) design.
+    let platform = Platform::proposed().expect("proposed design places");
+    let mut t = Table::new(
+        "Fig. 5 — weight placement, proposed design (L3, 30 MB SRAM)",
+        &["Layer", "Weight bytes", "Weights in", "Gradients in", "Trainable"],
+    );
+    for p in platform.placement().placements() {
+        t.row_owned(vec![
+            p.name.clone(),
+            p.weight_bytes.to_string(),
+            p.weights_in.to_string(),
+            p.gradients_in.map_or("-".into(), |g| g.to_string()),
+            if p.trainable { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t.print();
+    t.save("fig05_placement");
+
+    println!(
+        "SRAM: {:.2} MB used of 30 MB (paper: 12.6 weights + 12.6 gradients + 4.2 scratch = 29.4)\n\
+         MRAM: {:.1} MB of frozen weights (paper: ~100 MB)\n",
+        platform.sram_used_mb(),
+        platform.placement().mram_weight_mb()
+    );
+
+    // The three architectures of §II-D.
+    let mut a = Table::new(
+        "§II-D — the three embedded architectures (+ E2E baseline)",
+        &["Topology", "SRAM [MB]", "SRAM used [MB]", "NVM write-free", "Placeable"],
+    );
+    for (topo, sram) in [
+        (Topology::L2, 12.7),
+        (Topology::L3, 30.0),
+        (Topology::L4, 63.0),
+        (Topology::E2E, 30.0),
+    ] {
+        match Platform::new(topo, sram, 128.0) {
+            Ok(p) => a.row_owned(vec![
+                topo.to_string(),
+                fmt(sram, 1),
+                fmt(p.sram_used_mb(), 2),
+                p.is_nvm_write_free(topo).to_string(),
+                "yes".into(),
+            ]),
+            Err(_) => a.row_owned(vec![
+                topo.to_string(),
+                fmt(sram, 1),
+                "-".into(),
+                "false".into(),
+                "no (exceeds 128 MB stack)".into(),
+            ]),
+        }
+    }
+    a.print();
+    a.save("fig05_architectures");
+}

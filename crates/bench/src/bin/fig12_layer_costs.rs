@@ -1,0 +1,83 @@
+//! FIG12 — Fig. 12(a,b): per-layer latency / active PEs / power / energy
+//! for forward and backward propagation, with ours-vs-paper errors.
+
+use mramrl_accel::{compare_rows, paper, Calibration, PlatformModel};
+use mramrl_bench::{fmt, fmt_pct, Table};
+
+fn layer_table(
+    title: &str,
+    ours: &[mramrl_accel::LayerCost],
+    reference: &[paper::PaperLayerRow],
+    save_as: &str,
+) {
+    let cmp = compare_rows(ours, reference);
+    let mut t = Table::new(
+        title,
+        &[
+            "Layer",
+            "Latency [ms]",
+            "Active PE",
+            "Power [mW]",
+            "Energy [mJ]",
+            "NVM write",
+            "Paper lat [ms]",
+            "Lat err",
+            "Provenance",
+        ],
+    );
+    for (o, c) in ours.iter().zip(&cmp) {
+        t.row_owned(vec![
+            o.name.clone(),
+            fmt(o.latency_ms, 4),
+            o.active_pes.to_string(),
+            fmt(o.power_mw, 0),
+            fmt(o.energy_mj, 3),
+            if o.nvm_write { "yes" } else { "no" }.into(),
+            fmt(c.paper_ms, 4),
+            fmt_pct(c.latency_err_pct),
+            c.provenance.into(),
+        ]);
+    }
+    let total_ms: f64 = ours.iter().map(|c| c.latency_ms).sum();
+    let total_mj: f64 = ours.iter().map(|c| c.energy_mj).sum();
+    t.row_owned(vec![
+        "total".into(),
+        fmt(total_ms, 4),
+        String::new(),
+        String::new(),
+        fmt(total_mj, 2),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t.print();
+    t.save(save_as);
+}
+
+fn main() {
+    for calib in [Calibration::date19(), Calibration::ideal()] {
+        let name = calib.name;
+        println!("## Calibration profile: {name}\n");
+        let model = PlatformModel::new(calib);
+        layer_table(
+            &format!("Fig. 12(a) — forward propagation ({name})"),
+            model.forward_table(),
+            &paper::FWD,
+            &format!("fig12a_forward_{name}"),
+        );
+        layer_table(
+            &format!("Fig. 12(b) — backward propagation, E2E ({name})"),
+            model.backward_table(),
+            &paper::BWD,
+            &format!("fig12b_backward_{name}"),
+        );
+        println!(
+            "Paper totals: fwd {:.2} ms / {:.1} mJ, bwd {:.2} ms / {:.1} mJ\n",
+            paper::FWD_TOTAL_MS,
+            paper::FWD_TOTAL_MJ,
+            paper::BWD_TOTAL_MS,
+            paper::BWD_TOTAL_MJ
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Runs the whole reproduction suite in order, writing every CSV into
+//! `results/`. Learning-curve experiments run at quick scale unless
+//! `--full` is passed (budget minutes for `--full`).
+
+use std::process::Command;
+
+fn run(bin: &str, extra: &[String]) -> bool {
+    println!("\n===================================================================");
+    println!("== {bin}");
+    println!("===================================================================");
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let status = Command::new(dir.join(bin))
+        .args(extra)
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("{bin} exited with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("cannot run {bin}: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig01_min_fps",
+        "fig03_network",
+        "fig04_system",
+        "table1_mram",
+        "fig05_memory_map",
+        "fig12_layer_costs",
+        "fig13_fps_energy",
+        "ablation_nvm_tech",
+        "ablation_design_space",
+        "ablation_endurance",
+        "fig10_learning_curves",
+        "fig11_safe_flight",
+        "ablation_meta_richness",
+        "make_report",
+    ];
+    let mut failed = Vec::new();
+    for bin in bins {
+        if !run(bin, &extra) {
+            failed.push(bin);
+        }
+    }
+    println!("\n===================================================================");
+    if failed.is_empty() {
+        println!("repro_all: all {} experiments completed; CSVs in results/", bins.len());
+    } else {
+        println!("repro_all: FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,51 @@
+//! TAB1 — Table 1: STT-MRAM parameters, plus the §III-C "Why STT-MRAM?"
+//! technology comparison.
+
+use mramrl_bench::{fmt, Table};
+use mramrl_mem::tech::TechParams;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 — STT-MRAM parameters used in the system",
+        &["Write latency", "Read latency", "Write energy", "Read energy"],
+    );
+    let m = TechParams::stt_mram();
+    t.row_owned(vec![
+        format!("{}ns", m.write_latency_ns),
+        format!("{}ns", m.read_latency_ns),
+        format!("{}pJ/bit", m.write_energy_pj_per_bit),
+        format!("{}pJ/bit", m.read_energy_pj_per_bit),
+    ]);
+    t.print();
+    t.save("table1_mram");
+
+    let mut cmp = Table::new(
+        "§III-C — why STT-MRAM (NVM technology comparison)",
+        &[
+            "Technology",
+            "Read lat [ns]",
+            "Write lat [ns]",
+            "Read [pJ/bit]",
+            "Write [pJ/bit]",
+            "Endurance [cycles]",
+        ],
+    );
+    for tech in [TechParams::stt_mram(), TechParams::rram(), TechParams::pcm()] {
+        cmp.row_owned(vec![
+            tech.kind.to_string(),
+            fmt(tech.read_latency_ns, 0),
+            fmt(tech.write_latency_ns, 0),
+            fmt(tech.read_energy_pj_per_bit, 1),
+            fmt(tech.write_energy_pj_per_bit, 1),
+            tech.endurance_writes
+                .map_or("unlimited".into(), |e| format!("{e:.0e}")),
+        ]);
+    }
+    cmp.print();
+    cmp.save("table1_nvm_comparison");
+
+    println!(
+        "Write/read energy asymmetry of STT-MRAM: {:.2}x — the premise of the co-design.",
+        m.write_read_energy_ratio()
+    );
+}

@@ -1,0 +1,205 @@
+//! Reproduction harness utilities: table rendering, CSV output, run modes.
+//!
+//! Each paper artifact has one binary in `src/bin/` (see DESIGN.md §4).
+//! Binaries print the table/series to stdout and write a CSV under
+//! `results/` (override with `MRAMRL_RESULTS`). Learning-curve binaries
+//! run at a quick scale by default; pass `--full` for the DESIGN.md §6
+//! full scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable/saveable table.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_bench::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1", "2"]);
+/// assert!(t.to_markdown().contains("| 1 | 2 |"));
+/// assert_eq!(t.to_csv(), "x,y\n1,2\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs headers");
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {}\n\n", self.title);
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        s
+    }
+
+    /// Renders CSV (no quoting: cells are numeric/simple by construction).
+    pub fn to_csv(&self) -> String {
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prints the markdown to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Writes the CSV into the results dir as `<name>.csv`, returning the
+    /// path (best-effort: IO errors are reported to stderr, not fatal —
+    /// reproduction output still reaches stdout).
+    pub fn save(&self, name: &str) -> Option<PathBuf> {
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match fs::write(&path, self.to_csv()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// The results directory (`MRAMRL_RESULTS` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MRAMRL_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// `true` if `--full` (or `MRAMRL_FULL=1`) was requested.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("MRAMRL_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Parses `--name value` from argv, with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a float with `digits` decimals, trimming to a compact cell.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Signed-percent formatter (`+3.2%` / `-1.0%`).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_shapes() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1", "2"]);
+        t.row_owned(vec!["3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.to_csv().lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(3.21), "+3.2%");
+        assert_eq!(fmt_pct(-1.0), "-1.0%");
+    }
+
+    #[test]
+    fn results_dir_default() {
+        if std::env::var_os("MRAMRL_RESULTS").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+
+    #[test]
+    fn arg_default_when_absent() {
+        assert_eq!(arg_u64("definitely-not-passed", 7), 7);
+    }
+}

@@ -1,0 +1,163 @@
+//! SRAM-capacity × topology design-space exploration (the XTRA4
+//! ablation): which architectures can train which topologies without
+//! touching the NVM, and what they cost.
+
+use mramrl_nn::Topology;
+
+use crate::error::CoreError;
+use crate::platform::Platform;
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Training topology.
+    pub topology: Topology,
+    /// SRAM capacity, MB.
+    pub sram_mb: f64,
+    /// Whether the network placed at all.
+    pub placeable: bool,
+    /// Whether online training keeps the NVM read-only.
+    pub nvm_write_free: bool,
+    /// SRAM actually used, MB (0 if unplaceable).
+    pub sram_used_mb: f64,
+    /// Supported fps at batch 4 (0 if unplaceable).
+    pub fps_batch4: f64,
+    /// Per-frame energy at batch 4, mJ (0 if unplaceable).
+    pub energy_per_frame_mj: f64,
+}
+
+/// Sweeps SRAM capacities against all four topologies.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_core::DesignSweep;
+///
+/// let sweep = DesignSweep::new(vec![12.7, 30.0, 63.0], 128.0);
+/// let points = sweep.run();
+/// assert_eq!(points.len(), 3 * 4);
+/// // The paper's three architectures appear as the write-free frontier.
+/// let frontier: Vec<_> = points.iter().filter(|p| p.nvm_write_free).collect();
+/// assert!(frontier.len() >= 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSweep {
+    sram_sizes_mb: Vec<f64>,
+    mram_mb: f64,
+}
+
+impl DesignSweep {
+    /// Creates a sweep over `sram_sizes_mb` with a fixed stack size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size list is empty.
+    pub fn new(sram_sizes_mb: Vec<f64>, mram_mb: f64) -> Self {
+        assert!(!sram_sizes_mb.is_empty(), "sweep needs at least one size");
+        Self {
+            sram_sizes_mb,
+            mram_mb,
+        }
+    }
+
+    /// The paper's three architectures (§II-D) plus margin points.
+    pub fn date19() -> Self {
+        Self::new(vec![8.0, 12.7, 30.0, 45.0, 63.0], 128.0)
+    }
+
+    /// Evaluates every (size × topology) point.
+    pub fn run(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for &sram in &self.sram_sizes_mb {
+            for topo in Topology::ALL {
+                out.push(self.evaluate(topo, sram));
+            }
+        }
+        out
+    }
+
+    fn evaluate(&self, topology: Topology, sram_mb: f64) -> DesignPoint {
+        match Platform::new(topology, sram_mb, self.mram_mb) {
+            Ok(p) => DesignPoint {
+                topology,
+                sram_mb,
+                placeable: true,
+                nvm_write_free: p.is_nvm_write_free(topology),
+                sram_used_mb: p.sram_used_mb(),
+                fps_batch4: p.max_fps(4),
+                energy_per_frame_mj: p.energy_per_frame_mj(4),
+            },
+            Err(CoreError::Placement(_)) | Err(CoreError::InvalidConfig { .. }) => DesignPoint {
+                topology,
+                sram_mb,
+                placeable: false,
+                nvm_write_free: false,
+                sram_used_mb: 0.0,
+                fps_batch4: 0.0,
+                energy_per_frame_mj: 0.0,
+            },
+        }
+    }
+
+    /// The smallest SRAM in the sweep that trains `topo` NVM-write-free,
+    /// if any.
+    pub fn min_sram_for(&self, topo: Topology) -> Option<f64> {
+        self.run()
+            .into_iter()
+            .filter(|p| p.topology == topo && p.nvm_write_free)
+            .map(|p| p.sram_mb)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_thresholds() {
+        let sweep = DesignSweep::date19();
+        // L2 fits from ~12.7 MB, L3 from 30, L4 from 63 — §II-D's
+        // "3 different embedded architectures".
+        assert_eq!(sweep.min_sram_for(Topology::L2), Some(12.7));
+        assert_eq!(sweep.min_sram_for(Topology::L3), Some(30.0));
+        assert_eq!(sweep.min_sram_for(Topology::L4), Some(63.0));
+        // E2E is never write-free.
+        assert_eq!(sweep.min_sram_for(Topology::E2E), None);
+    }
+
+    #[test]
+    fn bigger_topology_needs_bigger_sram() {
+        let sweep = DesignSweep::date19();
+        let l2 = sweep.min_sram_for(Topology::L2).unwrap();
+        let l3 = sweep.min_sram_for(Topology::L3).unwrap();
+        let l4 = sweep.min_sram_for(Topology::L4).unwrap();
+        assert!(l2 < l3 && l3 < l4);
+    }
+
+    #[test]
+    fn sweep_covers_matrix() {
+        let points = DesignSweep::new(vec![30.0], 128.0).run();
+        assert_eq!(points.len(), 4);
+        // On 30 MB: L2/L3 write-free, L4 degraded, E2E unplaceable.
+        let by_topo = |t: Topology| points.iter().find(|p| p.topology == t).unwrap();
+        assert!(by_topo(Topology::L2).nvm_write_free);
+        assert!(by_topo(Topology::L3).nvm_write_free);
+        assert!(!by_topo(Topology::L4).nvm_write_free);
+        assert!(!by_topo(Topology::E2E).placeable);
+    }
+
+    #[test]
+    fn faster_fps_for_smaller_topologies() {
+        let points = DesignSweep::new(vec![63.0], 128.0).run();
+        let fps = |t: Topology| {
+            points
+                .iter()
+                .find(|p| p.topology == t)
+                .map(|p| p.fps_batch4)
+                .unwrap()
+        };
+        assert!(fps(Topology::L2) > fps(Topology::L3));
+        assert!(fps(Topology::L3) > fps(Topology::L4));
+    }
+}

@@ -1,0 +1,57 @@
+//! Core error type.
+
+use core::fmt;
+
+/// Errors from platform construction and deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The design point cannot place the network in its memories.
+    Placement(mramrl_mem::MemError),
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Placement(e) => write!(f, "placement failed: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Placement(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<mramrl_mem::MemError> for CoreError {
+    fn from(e: mramrl_mem::MemError) -> Self {
+        CoreError::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(mramrl_mem::MemError::EmptyTransfer);
+        assert!(e.to_string().contains("placement"));
+        assert!(e.source().is_some());
+        let c = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_none());
+    }
+}

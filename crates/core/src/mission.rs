@@ -1,0 +1,153 @@
+//! The Fig. 1 operational analysis: fps ↔ velocity ↔ clutter.
+
+use crate::platform::Platform;
+
+/// An environment class with its minimum obstacle distance (Fig. 1(c)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvClass {
+    /// Class label ("Indoor 1" … "Outdoor 3").
+    pub name: &'static str,
+    /// Minimum obstacle distance, metres.
+    pub d_min: f64,
+}
+
+/// The six classes of Fig. 1(c).
+pub const ENV_CLASSES: [EnvClass; 6] = [
+    EnvClass { name: "Indoor 1", d_min: 0.7 },
+    EnvClass { name: "Indoor 2", d_min: 1.0 },
+    EnvClass { name: "Indoor 3", d_min: 1.3 },
+    EnvClass { name: "Outdoor 1", d_min: 3.0 },
+    EnvClass { name: "Outdoor 2", d_min: 4.0 },
+    EnvClass { name: "Outdoor 3", d_min: 5.0 },
+];
+
+/// Mission-level feasibility analysis.
+///
+/// The drone must process (and train on) one frame per `d_min` of travel,
+/// so the required rate is `fps = v / d_min` (Fig. 1) and conversely a
+/// platform sustaining `f` fps flies safely at `v = f · d_min`.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_core::Mission;
+///
+/// // Fig. 1(b) spot value: 2.5 m/s in Indoor 1 needs 3.571 fps.
+/// let fps = Mission::required_fps(2.5, 0.7);
+/// assert!((fps - 3.571).abs() < 0.001);
+/// assert!((Mission::max_velocity(15.0, 0.7) - 10.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mission;
+
+impl Mission {
+    /// Minimum fps for obstacle avoidance at `velocity` m/s in clutter
+    /// `d_min` m.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_min` is not positive.
+    pub fn required_fps(velocity: f64, d_min: f64) -> f64 {
+        assert!(d_min > 0.0, "d_min must be positive");
+        velocity / d_min
+    }
+
+    /// Maximum safe velocity for a platform sustaining `fps`.
+    pub fn max_velocity(fps: f64, d_min: f64) -> f64 {
+        fps * d_min
+    }
+
+    /// The Fig. 1(b) table: required fps per (velocity × class).
+    pub fn fig1_table(velocities: &[f64]) -> Vec<(f64, Vec<(EnvClass, f64)>)> {
+        velocities
+            .iter()
+            .map(|&v| {
+                (
+                    v,
+                    ENV_CLASSES
+                        .iter()
+                        .map(|&c| (c, Self::required_fps(v, c.d_min)))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Whether `platform` (at batch `n`) can fly `velocity` m/s in class
+    /// `class`.
+    pub fn feasible(platform: &Platform, n: usize, velocity: f64, class: EnvClass) -> bool {
+        platform.max_fps(n) >= Self::required_fps(velocity, class.d_min)
+    }
+
+    /// Maximum safe velocity of `platform` (at batch `n`) per class.
+    pub fn velocity_envelope(platform: &Platform, n: usize) -> Vec<(EnvClass, f64)> {
+        let fps = platform.max_fps(n);
+        ENV_CLASSES
+            .iter()
+            .map(|&c| (c, Self::max_velocity(fps, c.d_min)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramrl_nn::Topology;
+
+    #[test]
+    fn fig1b_spot_values() {
+        // All four spot checks embedded from the paper's table.
+        for (v, name, fps) in mramrl_accel::paper::FIG1_SPOT_CHECKS {
+            let class = ENV_CLASSES.iter().find(|c| c.name == name).unwrap();
+            assert!(
+                (Mission::required_fps(v, class.d_min) - fps).abs() < 0.005,
+                "{name} @ {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_table_shape() {
+        let t = Mission::fig1_table(&[2.5, 5.0, 7.5, 10.0]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].1.len(), 6);
+        // Indoor 1 @ 10 m/s = 14.28 fps (paper's hardest cell).
+        let hardest = &t[3].1[0];
+        assert!((hardest.1 - 14.285).abs() < 0.01);
+    }
+
+    #[test]
+    fn velocity_triples_from_e2e_to_l4() {
+        // §VI-C: 15 fps vs 3–6 fps ⇒ "more than 3X increase in velocity"
+        // (we compare L4 against our E2E model at the same batch).
+        let l4 = Platform::new(Topology::L4, 63.0, 128.0).unwrap();
+        let e2e = Platform::new(Topology::E2E, 63.0, 256.0).unwrap();
+        let v_l4 = Mission::max_velocity(l4.max_fps(4), 0.7);
+        let v_e2e = Mission::max_velocity(e2e.max_fps(4), 0.7);
+        assert!(v_l4 / v_e2e > 2.0, "{v_l4} vs {v_e2e}");
+    }
+
+    #[test]
+    fn proposed_platform_flies_indoor_at_5ms() {
+        // L3 at batch 4 ≈ 15.7 fps ⇒ Indoor 1 needs 7.14 fps at 5 m/s.
+        let p = Platform::proposed().unwrap();
+        assert!(Mission::feasible(&p, 4, 5.0, ENV_CLASSES[0]));
+        // Whereas 12 m/s indoor is beyond it.
+        assert!(!Mission::feasible(&p, 4, 12.0, ENV_CLASSES[0]));
+    }
+
+    #[test]
+    fn envelope_monotone_in_dmin() {
+        let p = Platform::proposed().unwrap();
+        let env = Mission::velocity_envelope(&p, 4);
+        for w in env.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d_min must be positive")]
+    fn zero_dmin_panics() {
+        let _ = Mission::required_fps(1.0, 0.0);
+    }
+}

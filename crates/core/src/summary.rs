@@ -1,0 +1,70 @@
+//! The paper's abstract, reproduced as one function.
+
+use mramrl_accel::{Calibration, PlatformModel};
+use mramrl_nn::Topology;
+
+/// The headline claims of the paper, as computed by this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Per-image training-latency reduction, L4 vs E2E, percent.
+    pub latency_reduction_pct: f64,
+    /// Per-image training-energy reduction, L4 vs E2E, percent.
+    pub energy_reduction_pct: f64,
+    /// Supported fps, L4 at batch 4.
+    pub fps_l4_batch4: f64,
+    /// Supported fps, E2E at batch 4.
+    pub fps_e2e_batch4: f64,
+    /// Velocity multiplier (fps ratio) L4 / E2E.
+    pub velocity_gain: f64,
+}
+
+/// Computes the headline numbers under a calibration profile.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_core::{headline, Calibration};
+///
+/// let h = headline(Calibration::date19());
+/// // "79.4% (83.45%) decrease in latency (energy)" — the paper's two
+/// // percentages (which its own Fig. 12 shows in the opposite roles).
+/// assert!(h.latency_reduction_pct > 80.0);
+/// assert!(h.energy_reduction_pct > 75.0);
+/// assert!(h.velocity_gain > 2.0);
+/// ```
+pub fn headline(calib: Calibration) -> Headline {
+    let model = PlatformModel::new(calib);
+    let (latency_reduction_pct, energy_reduction_pct) = model.reduction_vs_e2e(Topology::L4);
+    let fps_l4_batch4 = model.max_fps(Topology::L4, 4);
+    let fps_e2e_batch4 = model.max_fps(Topology::E2E, 4);
+    Headline {
+        latency_reduction_pct,
+        energy_reduction_pct,
+        fps_l4_batch4,
+        fps_e2e_batch4,
+        velocity_gain: fps_l4_batch4 / fps_e2e_batch4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date19_headline_bands() {
+        let h = headline(Calibration::date19());
+        assert!((h.latency_reduction_pct - 83.5).abs() < 1.5, "{}", h.latency_reduction_pct);
+        assert!((h.energy_reduction_pct - 79.4).abs() < 4.0, "{}", h.energy_reduction_pct);
+        assert!((h.fps_l4_batch4 - 15.0).abs() < 1.0, "{}", h.fps_l4_batch4);
+        assert!(h.fps_e2e_batch4 < 8.0);
+        assert!(h.velocity_gain > 2.0);
+    }
+
+    #[test]
+    fn ideal_headline_same_direction() {
+        let h = headline(Calibration::ideal());
+        assert!(h.latency_reduction_pct > 50.0);
+        assert!(h.energy_reduction_pct > 50.0);
+        assert!(h.velocity_gain > 1.5);
+    }
+}

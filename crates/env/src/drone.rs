@@ -1,0 +1,216 @@
+//! Drone kinematics and the five-action space.
+
+use crate::geom::Vec2;
+
+/// The paper's action space (§II-B): `A = {0,1,2,3,4}` — 0 moves forward,
+/// 1/3 turn left by 25°/55°, 2/4 turn right by 25°/55°.
+///
+/// The drone flies at constant speed (the premise of Fig. 1's fps/velocity
+/// analysis), so turning actions rotate the heading *and* advance one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Action 0: straight ahead.
+    Forward,
+    /// Action 1: left 25°.
+    Left25,
+    /// Action 2: right 25°.
+    Right25,
+    /// Action 3: left 55°.
+    Left55,
+    /// Action 4: right 55°.
+    Right55,
+}
+
+impl Action {
+    /// All actions, index-ordered.
+    pub const ALL: [Action; 5] = [
+        Action::Forward,
+        Action::Left25,
+        Action::Right25,
+        Action::Left55,
+        Action::Right55,
+    ];
+
+    /// Number of actions (the CNN's output width).
+    pub const COUNT: usize = 5;
+
+    /// Action from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 5`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// The action's index.
+    pub fn index(self) -> usize {
+        match self {
+            Action::Forward => 0,
+            Action::Left25 => 1,
+            Action::Right25 => 2,
+            Action::Left55 => 3,
+            Action::Right55 => 4,
+        }
+    }
+
+    /// Heading change in radians (left = positive / counter-clockwise).
+    pub fn turn_radians(self) -> f32 {
+        let deg = match self {
+            Action::Forward => 0.0,
+            Action::Left25 => 25.0,
+            Action::Right25 => -25.0,
+            Action::Left55 => 55.0,
+            Action::Right55 => -55.0,
+        };
+        deg * core::f32::consts::PI / 180.0
+    }
+}
+
+/// The drone's pose and motion parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{Drone, Action, Vec2};
+///
+/// let mut drone = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+/// drone.apply(Action::Forward);
+/// assert!((drone.position().x - drone.step_m()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drone {
+    pos: Vec2,
+    heading: f32,
+    step_m: f32,
+    radius: f32,
+}
+
+impl Drone {
+    /// Default distance flown per action (metres) — `d_frame` at indoor
+    /// speed/fps operating points.
+    pub const DEFAULT_STEP_M: f32 = 0.25;
+    /// Default collision radius (metres), a small quadrotor's footprint.
+    pub const DEFAULT_RADIUS_M: f32 = 0.18;
+
+    /// Creates a drone at `pos` facing `heading` radians.
+    pub fn new(pos: Vec2, heading: f32) -> Self {
+        Self {
+            pos,
+            heading,
+            step_m: Self::DEFAULT_STEP_M,
+            radius: Self::DEFAULT_RADIUS_M,
+        }
+    }
+
+    /// Overrides the per-action travel distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_m` is not positive.
+    #[must_use]
+    pub fn with_step(mut self, step_m: f32) -> Self {
+        assert!(step_m > 0.0, "step must be positive");
+        self.step_m = step_m;
+        self
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    /// Current heading in radians.
+    pub fn heading(&self) -> f32 {
+        self.heading
+    }
+
+    /// Distance flown per action.
+    pub fn step_m(&self) -> f32 {
+        self.step_m
+    }
+
+    /// Collision radius.
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Applies an action: rotate, then advance one step. Returns the
+    /// distance travelled (always `step_m`).
+    pub fn apply(&mut self, action: Action) -> f32 {
+        self.heading += action.turn_radians();
+        // Keep heading in (−π, π] for numeric hygiene.
+        if self.heading > core::f32::consts::PI {
+            self.heading -= 2.0 * core::f32::consts::PI;
+        } else if self.heading <= -core::f32::consts::PI {
+            self.heading += 2.0 * core::f32::consts::PI;
+        }
+        self.pos = self.pos + Vec2::from_angle(self.heading) * self.step_m;
+        self.step_m
+    }
+
+    /// Teleports the drone (episode reset).
+    pub fn reset(&mut self, pos: Vec2, heading: f32) {
+        self.pos = pos;
+        self.heading = heading;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_indices_roundtrip() {
+        for (i, a) in Action::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Action::from_index(i), *a);
+        }
+    }
+
+    #[test]
+    fn paper_turn_angles() {
+        assert_eq!(Action::Forward.turn_radians(), 0.0);
+        assert!((Action::Left25.turn_radians().to_degrees() - 25.0).abs() < 1e-4);
+        assert!((Action::Right55.turn_radians().to_degrees() + 55.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn forward_moves_along_heading() {
+        let mut d = Drone::new(Vec2::new(1.0, 1.0), core::f32::consts::FRAC_PI_2);
+        let dist = d.apply(Action::Forward);
+        assert_eq!(dist, d.step_m());
+        assert!((d.position().y - (1.0 + d.step_m())).abs() < 1e-5);
+        assert!((d.position().x - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn four_right_turns_of_90_return_heading() {
+        // 25 + 55 = 80… use left 25 ×  and check aggregate instead:
+        let mut d = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+        for _ in 0..9 {
+            d.apply(Action::Left25); // 225°, wrapped
+        }
+        let expect = (225.0f32 - 360.0).to_radians();
+        assert!((d.heading() - expect).abs() < 1e-3, "{}", d.heading());
+    }
+
+    #[test]
+    fn heading_stays_wrapped() {
+        let mut d = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+        for _ in 0..100 {
+            d.apply(Action::Right55);
+        }
+        assert!(d.heading() > -core::f32::consts::PI - 1e-4);
+        assert!(d.heading() <= core::f32::consts::PI + 1e-4);
+    }
+
+    #[test]
+    fn reset_teleports() {
+        let mut d = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+        d.apply(Action::Forward);
+        d.reset(Vec2::new(5.0, 5.0), 1.0);
+        assert_eq!(d.position(), Vec2::new(5.0, 5.0));
+        assert_eq!(d.heading(), 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The episodic RL environment: world + drone + camera + reward.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::camera::DepthCamera;
+use crate::drone::{Action, Drone};
+use crate::reward::RewardConfig;
+use crate::worlds::EnvKind;
+use crate::{Image, World};
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the action (depth image).
+    pub observation: Image,
+    /// Reward for the transition.
+    pub reward: f32,
+    /// `true` if the drone collided (episode over).
+    pub crashed: bool,
+    /// Metres flown this step.
+    pub distance: f32,
+}
+
+/// A complete drone RL environment.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{DroneEnv, EnvKind, Action};
+///
+/// let mut env = DroneEnv::new(EnvKind::OutdoorForest, 1);
+/// let _first = env.reset();
+/// let mut flown = 0.0;
+/// for _ in 0..10 {
+///     let step = env.step(Action::Forward);
+///     flown += step.distance;
+///     if step.crashed { env.reset(); }
+/// }
+/// assert!(flown > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DroneEnv {
+    kind: EnvKind,
+    world: World,
+    drone: Drone,
+    camera: DepthCamera,
+    reward_cfg: RewardConfig,
+    rng: SmallRng,
+    episode_distance: f32,
+    episode_steps: u64,
+    episodes: u64,
+}
+
+impl DroneEnv {
+    /// Builds the environment `kind` with deterministic `seed` (world
+    /// layout, spawn jitter and sensor noise all derive from it).
+    pub fn new(kind: EnvKind, seed: u64) -> Self {
+        let world = kind.build(seed);
+        let drone = Drone::new(world.spawn(), world.spawn_heading());
+        Self {
+            kind,
+            world,
+            drone,
+            camera: DepthCamera::date19(),
+            reward_cfg: RewardConfig::date19(),
+            rng: DepthCamera::noise_rng(seed),
+            episode_distance: 0.0,
+            episode_steps: 0,
+            episodes: 0,
+        }
+    }
+
+    /// Replaces the camera (tests, resolution studies).
+    #[must_use]
+    pub fn with_camera(mut self, camera: DepthCamera) -> Self {
+        self.camera = camera;
+        self
+    }
+
+    /// The environment kind.
+    pub fn kind(&self) -> EnvKind {
+        self.kind
+    }
+
+    /// The world (read-only).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Drone pose (read-only).
+    pub fn drone(&self) -> &Drone {
+        &self.drone
+    }
+
+    /// Number of completed episodes (crashes).
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Metres flown in the current episode.
+    pub fn episode_distance(&self) -> f32 {
+        self.episode_distance
+    }
+
+    /// Resets the drone to a jittered spawn pose and returns the first
+    /// observation.
+    pub fn reset(&mut self) -> Image {
+        let spawn = self.world.spawn();
+        let heading = self.world.spawn_heading() + self.rng.gen_range(-0.4..0.4f32);
+        self.drone.reset(spawn, heading);
+        self.episode_distance = 0.0;
+        self.episode_steps = 0;
+        self.observe()
+    }
+
+    /// Renders the current observation without moving.
+    pub fn observe(&mut self) -> Image {
+        self.camera.render(
+            &self.world,
+            self.drone.position(),
+            self.drone.heading(),
+            &mut self.rng,
+        )
+    }
+
+    /// Applies `action`; on crash the episode counter advances and the
+    /// caller should [`DroneEnv::reset`].
+    pub fn step(&mut self, action: Action) -> StepResult {
+        let distance = self.drone.apply(action);
+        let crashed = self
+            .world
+            .collides(self.drone.position(), self.drone.radius());
+        self.episode_steps += 1;
+
+        if crashed {
+            self.episodes += 1;
+            let observation = self.observe();
+            return StepResult {
+                observation,
+                reward: self.reward_cfg.crash_reward(),
+                crashed: true,
+                distance,
+            };
+        }
+        self.episode_distance += distance;
+        let observation = self.observe();
+        let reward = self.reward_cfg.of_depth(&observation);
+        StepResult {
+            observation,
+            reward,
+            crashed: false,
+            distance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_returns_image_of_camera_shape() {
+        let mut env = DroneEnv::new(EnvKind::IndoorApartment, 0);
+        let obs = env.reset();
+        assert_eq!(obs.shape(), [1, 40, 40]);
+    }
+
+    #[test]
+    fn rewards_bounded() {
+        let mut env = DroneEnv::new(EnvKind::IndoorApartment, 3);
+        env.reset();
+        for i in 0..200 {
+            let a = Action::from_index(i % 5);
+            let s = env.step(a);
+            assert!(s.reward >= -1.0 && s.reward <= 1.0, "{}", s.reward);
+            if s.crashed {
+                env.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn driving_into_a_wall_crashes() {
+        let mut env = DroneEnv::new(EnvKind::IndoorApartment, 1);
+        env.reset();
+        let mut crashed = false;
+        for _ in 0..500 {
+            let s = env.step(Action::Forward);
+            if s.crashed {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "straight-line flight must eventually crash indoors");
+        assert_eq!(env.episodes(), 1);
+    }
+
+    #[test]
+    fn crash_resets_episode_distance() {
+        let mut env = DroneEnv::new(EnvKind::IndoorApartment, 2);
+        env.reset();
+        loop {
+            if env.step(Action::Forward).crashed {
+                break;
+            }
+        }
+        assert!(env.episode_distance() > 0.0); // distance before crash kept
+        env.reset();
+        assert_eq!(env.episode_distance(), 0.0);
+    }
+
+    #[test]
+    fn forest_allows_long_flights() {
+        let mut env = DroneEnv::new(EnvKind::OutdoorForest, 4);
+        env.reset();
+        // A cautious circler should survive a while outdoors.
+        let mut survived = 0;
+        for i in 0..60 {
+            let a = if i % 3 == 0 { Action::Left25 } else { Action::Forward };
+            if env.step(a).crashed {
+                break;
+            }
+            survived += 1;
+        }
+        assert!(survived > 20, "{survived}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed: u64| {
+            let mut env = DroneEnv::new(EnvKind::OutdoorTown, seed);
+            env.reset();
+            (0..50)
+                .map(|i| {
+                    let s = env.step(Action::from_index(i % 5));
+                    if s.crashed {
+                        env.reset();
+                    }
+                    s.reward
+                })
+                .collect::<Vec<f32>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,276 @@
+//! 2-D geometry: vectors, shapes, ray casting.
+
+/// A 2-D vector / point in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Unit vector at `angle` radians (0 = +x, counter-clockwise).
+    pub fn from_angle(angle: f32) -> Self {
+        Self::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f32 {
+        (self - other).length()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f32 {
+        self.x * other.x + self.y * other.y
+    }
+}
+
+impl core::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl core::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl core::ops::Mul<f32> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f32) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+/// An axis-aligned box `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Lower corner.
+    pub min: Vec2,
+    /// Upper corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Creates a box from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` coordinate exceeds the matching `max`.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        assert!(min.x <= max.x && min.y <= max.y, "inverted aabb");
+        Self { min, max }
+    }
+
+    /// Box from centre and half-extents.
+    pub fn centered(center: Vec2, half_w: f32, half_h: f32) -> Self {
+        Self::new(
+            Vec2::new(center.x - half_w, center.y - half_h),
+            Vec2::new(center.x + half_w, center.y + half_h),
+        )
+    }
+
+    /// `true` if `p` is inside (inclusive).
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Minimum distance from `p` to the box (0 inside).
+    pub fn distance_to(&self, p: Vec2) -> f32 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Box centre.
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Ray → box entry distance (slab method), `None` if missed or behind.
+    pub fn ray_hit(&self, origin: Vec2, dir: Vec2) -> Option<f32> {
+        let inv = |d: f32| if d.abs() < 1e-12 { f32::INFINITY } else { 1.0 / d };
+        let (ix, iy) = (inv(dir.x), inv(dir.y));
+        let (mut t1, mut t2) = (
+            (self.min.x - origin.x) * ix,
+            (self.max.x - origin.x) * ix,
+        );
+        if t1 > t2 {
+            core::mem::swap(&mut t1, &mut t2);
+        }
+        let (mut t3, mut t4) = (
+            (self.min.y - origin.y) * iy,
+            (self.max.y - origin.y) * iy,
+        );
+        if t3 > t4 {
+            core::mem::swap(&mut t3, &mut t4);
+        }
+        let t_near = t1.max(t3);
+        let t_far = t2.min(t4);
+        if t_near > t_far || t_far < 0.0 {
+            None
+        } else {
+            Some(t_near.max(0.0))
+        }
+    }
+
+    /// Ray → *inner* wall exit distance: how far a ray travels inside the
+    /// box before hitting its boundary. Used for the world's outer walls.
+    pub fn ray_exit(&self, origin: Vec2, dir: Vec2) -> f32 {
+        let inv = |d: f32| if d.abs() < 1e-12 { f32::INFINITY } else { 1.0 / d };
+        let (ix, iy) = (inv(dir.x), inv(dir.y));
+        let tx = ((self.min.x - origin.x) * ix).max((self.max.x - origin.x) * ix);
+        let ty = ((self.min.y - origin.y) * iy).max((self.max.y - origin.y) * iy);
+        tx.min(ty).max(0.0)
+    }
+}
+
+/// A circle (tree trunk, pillar).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre.
+    pub center: Vec2,
+    /// Radius in metres.
+    pub radius: f32,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is not positive.
+    pub fn new(center: Vec2, radius: f32) -> Self {
+        assert!(radius > 0.0, "circle radius must be positive");
+        Self { center, radius }
+    }
+
+    /// `true` if `p` is inside.
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.center.distance(p) <= self.radius
+    }
+
+    /// Distance from `p` to the circle boundary (0 inside).
+    pub fn distance_to(&self, p: Vec2) -> f32 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// Ray → circle entry distance, `None` if missed or behind.
+    pub fn ray_hit(&self, origin: Vec2, dir: Vec2) -> Option<f32> {
+        let oc = origin - self.center;
+        let b = oc.dot(dir);
+        let c = oc.dot(oc) - self.radius * self.radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_d = disc.sqrt();
+        let t = -b - sqrt_d;
+        if t >= 0.0 {
+            Some(t)
+        } else {
+            let t2 = -b + sqrt_d;
+            if t2 >= 0.0 {
+                Some(0.0) // origin inside
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-5;
+
+    #[test]
+    fn vec_ops() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.distance(Vec2::new(0.0, 0.0)), 5.0);
+        assert_eq!((a + a).x, 6.0);
+        assert_eq!((a - a).length(), 0.0);
+        assert_eq!((a * 2.0).y, 8.0);
+        assert!((Vec2::from_angle(0.0).x - 1.0).abs() < EPS);
+        assert!((Vec2::from_angle(core::f32::consts::FRAC_PI_2).y - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn aabb_contains_and_distance() {
+        let b = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0));
+        assert!(b.contains(Vec2::new(1.0, 1.0)));
+        assert!(!b.contains(Vec2::new(3.0, 1.0)));
+        assert_eq!(b.distance_to(Vec2::new(1.0, 1.0)), 0.0);
+        assert!((b.distance_to(Vec2::new(5.0, 6.0)) - 5.0).abs() < EPS);
+        assert_eq!(b.center(), Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn ray_hits_box_front_face() {
+        let b = Aabb::new(Vec2::new(2.0, -1.0), Vec2::new(4.0, 1.0));
+        let t = b.ray_hit(Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)).unwrap();
+        assert!((t - 2.0).abs() < EPS);
+        // Pointing away: no hit.
+        assert!(b.ray_hit(Vec2::new(0.0, 0.0), Vec2::new(-1.0, 0.0)).is_none());
+        // Parallel miss.
+        assert!(b
+            .ray_hit(Vec2::new(0.0, 5.0), Vec2::new(1.0, 0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn ray_exit_from_inside() {
+        let b = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0));
+        let t = b.ray_exit(Vec2::new(5.0, 5.0), Vec2::new(1.0, 0.0));
+        assert!((t - 5.0).abs() < EPS);
+        let t = b.ray_exit(Vec2::new(5.0, 5.0), Vec2::from_angle(0.7853982)); // 45°
+        assert!((t - 5.0 * 2.0f32.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ray_hits_circle() {
+        let c = Circle::new(Vec2::new(5.0, 0.0), 1.0);
+        let t = c.ray_hit(Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)).unwrap();
+        assert!((t - 4.0).abs() < EPS);
+        // Tangent-ish miss.
+        assert!(c
+            .ray_hit(Vec2::new(0.0, 2.0), Vec2::new(1.0, 0.0))
+            .is_none());
+        // Origin inside → 0.
+        assert_eq!(c.ray_hit(Vec2::new(5.0, 0.0), Vec2::new(1.0, 0.0)), Some(0.0));
+    }
+
+    #[test]
+    fn circle_distance() {
+        let c = Circle::new(Vec2::new(0.0, 0.0), 2.0);
+        assert_eq!(c.distance_to(Vec2::new(1.0, 0.0)), 0.0);
+        assert!((c.distance_to(Vec2::new(5.0, 0.0)) - 3.0).abs() < EPS);
+        assert!(c.contains(Vec2::new(0.0, 1.9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted aabb")]
+    fn inverted_aabb_panics() {
+        let _ = Aabb::new(Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0));
+    }
+}

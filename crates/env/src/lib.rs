@@ -1,0 +1,161 @@
+//! Procedural drone-flight environments for the `mramrl` reproduction.
+//!
+//! The paper trains and tests in Unreal Engine 4 worlds (indoor apartment &
+//! house, outdoor forest & town, plus richer *meta* variants for transfer
+//! learning — §VI-B, Fig. 9). This crate substitutes a deterministic,
+//! seeded 2-D world model that produces the same observables the RL loop
+//! consumes:
+//!
+//! * a continuous-pose [`Drone`] with the paper's five-action space
+//!   (forward, ±25°, ±55° — §II-B);
+//! * a ray-cast stereo [`DepthCamera`] rendering `[1, H, W]` depth images
+//!   (depth noise grows with range, like stereo disparity error);
+//! * the paper's reward: **average depth in a centre window** of the depth
+//!   map, with a crash penalty (§II-B, following NAVREN-RL \[3\]);
+//! * world families whose clutter statistics match Fig. 1(c): indoor
+//!   `d_min` 0.7–1.3 m, outdoor 3–5 m.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramrl_env::{DroneEnv, EnvKind, Action};
+//!
+//! let mut env = DroneEnv::new(EnvKind::IndoorApartment, 42);
+//! let obs = env.reset();
+//! assert_eq!(obs.shape(), [1, 40, 40]);
+//! let step = env.step(Action::Forward);
+//! assert!(step.reward <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camera;
+mod drone;
+mod episode;
+mod geom;
+mod render;
+mod reward;
+mod world;
+pub mod worlds;
+
+pub use camera::DepthCamera;
+pub use drone::{Action, Drone};
+pub use episode::{DroneEnv, StepResult};
+pub use geom::{Aabb, Circle, Vec2};
+pub use render::ascii_map;
+pub use reward::RewardConfig;
+pub use world::{Obstacle, World};
+pub use worlds::EnvKind;
+
+/// Observation tensor re-export (the camera produces `mramrl_nn`-free
+/// tensors would be circular; we use a plain nested type instead).
+pub type DepthImage = Image;
+
+/// A single-channel depth image (row-major, `[H][W]`, values in `[0, 1]`
+/// where 1.0 is max range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a zero image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "image dimensions must be positive");
+        Self {
+            height,
+            width,
+            data: vec![0.0; height * width],
+        }
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn at(&self, y: usize, x: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    #[inline]
+    pub fn at_mut(&mut self, y: usize, x: usize) -> &mut f32 {
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Shape as `[1, H, W]` (channel-first, ready for the CNN).
+    pub fn shape(&self) -> [usize; 3] {
+        [1, self.height, self.width]
+    }
+
+    /// Mean over a centred window covering `frac` of each dimension —
+    /// the paper's reward kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `(0, 1]`.
+    pub fn center_mean(&self, frac: f32) -> f32 {
+        assert!(frac > 0.0 && frac <= 1.0, "window fraction must be in (0,1]");
+        let wh = ((self.height as f32 * frac).round() as usize).max(1);
+        let ww = ((self.width as f32 * frac).round() as usize).max(1);
+        let y0 = (self.height - wh) / 2;
+        let x0 = (self.width - ww) / 2;
+        let mut sum = 0.0;
+        for y in y0..y0 + wh {
+            for x in x0..x0 + ww {
+                sum += self.at(y, x);
+            }
+        }
+        sum / (wh * ww) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_center_mean_full_window_is_mean() {
+        let mut img = Image::zeros(4, 4);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        assert!((img.center_mean(1.0) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn image_center_mean_small_window() {
+        let mut img = Image::zeros(4, 4);
+        *img.at_mut(1, 1) = 1.0;
+        *img.at_mut(1, 2) = 1.0;
+        *img.at_mut(2, 1) = 1.0;
+        *img.at_mut(2, 2) = 1.0;
+        assert!((img.center_mean(0.5) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "window fraction")]
+    fn bad_fraction_panics() {
+        let _ = Image::zeros(4, 4).center_mean(0.0);
+    }
+}

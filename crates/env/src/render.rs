@@ -1,0 +1,88 @@
+//! ASCII world rendering — the reproduction's stand-in for Fig. 9's
+//! screenshots.
+
+use crate::geom::Vec2;
+use crate::world::World;
+
+/// Renders a top-down ASCII map: `#` obstacle, `.` free space, `D` drone,
+/// `+` border.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{ascii_map, EnvKind};
+///
+/// let world = EnvKind::IndoorApartment.build(0);
+/// let map = ascii_map(&world, world.spawn(), 48);
+/// assert!(map.contains('D'));
+/// assert!(map.contains('#'));
+/// ```
+pub fn ascii_map(world: &World, drone_pos: Vec2, cols: usize) -> String {
+    let cols = cols.max(8);
+    let b = world.bounds();
+    let (w_m, h_m) = (b.max.x - b.min.x, b.max.y - b.min.y);
+    // Terminal cells are ~2:1; halve the row count for roughly square look.
+    let rows = ((h_m / w_m * cols as f32) / 2.0).round().max(4.0) as usize;
+
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push_str(&"+".repeat(cols + 2));
+    out.push('\n');
+    for r in 0..rows {
+        out.push('+');
+        // Row 0 at the top = max y.
+        let y = b.max.y - (r as f32 + 0.5) / rows as f32 * h_m;
+        for c in 0..cols {
+            let x = b.min.x + (c as f32 + 0.5) / cols as f32 * w_m;
+            let p = Vec2::new(x, y);
+            let half_x = w_m / cols as f32 / 2.0;
+            let half_y = h_m / rows as f32 / 2.0;
+            let drone_here =
+                (drone_pos.x - x).abs() <= half_x && (drone_pos.y - y).abs() <= half_y;
+            let ch = if drone_here {
+                'D'
+            } else if world.obstacles().iter().any(|o| o.distance_to(p) < half_x) {
+                '#'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('+');
+        out.push('\n');
+    }
+    out.push_str(&"+".repeat(cols + 2));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::EnvKind;
+
+    #[test]
+    fn map_contains_expected_glyphs() {
+        let w = EnvKind::OutdoorForest.build(1);
+        let map = ascii_map(&w, w.spawn(), 60);
+        assert!(map.contains('D'));
+        assert!(map.contains('#'));
+        assert!(map.contains('.'));
+        assert!(map.starts_with('+'));
+    }
+
+    #[test]
+    fn indoor_map_has_wall_lines() {
+        let w = EnvKind::IndoorApartment.build(0);
+        let map = ascii_map(&w, w.spawn(), 48);
+        // The interior walls should appear as multiple '#' cells.
+        let hashes = map.chars().filter(|&c| c == '#').count();
+        assert!(hashes > 10, "{hashes}");
+    }
+
+    #[test]
+    fn width_clamped() {
+        let w = EnvKind::IndoorApartment.build(0);
+        let map = ascii_map(&w, w.spawn(), 1);
+        assert!(map.lines().next().unwrap().len() >= 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! The depth-window reward (§II-B).
+
+use crate::Image;
+
+/// Reward configuration.
+///
+/// The paper: "The depth map generated is segmented into a smaller window
+/// in the center. The reward is taken to be the average depth in this
+/// center window. The closer the drone is to the obstacles ... the smaller
+/// the reward." Crashes receive a penalty (per NAVREN-RL \[3\]).
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{RewardConfig, Image};
+///
+/// let cfg = RewardConfig::date19();
+/// let open = Image::zeros(9, 9); // all-zero = everything at distance 0
+/// assert_eq!(cfg.of_depth(&open), 0.0);
+/// assert_eq!(cfg.crash_reward(), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardConfig {
+    /// Fraction of each image dimension covered by the centre window.
+    pub center_frac: f32,
+    /// Reward issued on collision.
+    pub crash_penalty: f32,
+}
+
+impl RewardConfig {
+    /// The reproduction defaults: centre third, −1 crash penalty.
+    pub fn date19() -> Self {
+        Self {
+            center_frac: 1.0 / 3.0,
+            crash_penalty: -1.0,
+        }
+    }
+
+    /// Reward for a (non-crashing) step given the new depth image:
+    /// mean normalised depth over the centre window, in `[0, 1]`.
+    pub fn of_depth(&self, depth: &Image) -> f32 {
+        depth.center_mean(self.center_frac)
+    }
+
+    /// Reward for a crashing step.
+    pub fn crash_reward(&self) -> f32 {
+        self.crash_penalty
+    }
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_view_maxes_reward() {
+        let cfg = RewardConfig::date19();
+        let mut img = Image::zeros(9, 9);
+        for y in 0..9 {
+            for x in 0..9 {
+                *img.at_mut(y, x) = 1.0;
+            }
+        }
+        assert_eq!(cfg.of_depth(&img), 1.0);
+    }
+
+    #[test]
+    fn closer_center_obstacle_lowers_reward() {
+        let cfg = RewardConfig::date19();
+        let mut near = Image::zeros(9, 9);
+        let mut far = Image::zeros(9, 9);
+        for y in 0..9 {
+            for x in 0..9 {
+                *near.at_mut(y, x) = 1.0;
+                *far.at_mut(y, x) = 1.0;
+            }
+        }
+        // Centre 3×3 window: rows/cols 3..6.
+        for y in 3..6 {
+            for x in 3..6 {
+                *near.at_mut(y, x) = 0.1;
+                *far.at_mut(y, x) = 0.6;
+            }
+        }
+        assert!(cfg.of_depth(&near) < cfg.of_depth(&far));
+    }
+
+    #[test]
+    fn periphery_does_not_affect_reward() {
+        let cfg = RewardConfig::date19();
+        let mut a = Image::zeros(9, 9);
+        let mut b = Image::zeros(9, 9);
+        for y in 3..6 {
+            for x in 3..6 {
+                *a.at_mut(y, x) = 0.5;
+                *b.at_mut(y, x) = 0.5;
+            }
+        }
+        *b.at_mut(0, 0) = 1.0; // corner change only
+        assert_eq!(cfg.of_depth(&a), cfg.of_depth(&b));
+    }
+
+    #[test]
+    fn crash_is_worst() {
+        let cfg = RewardConfig::date19();
+        assert!(cfg.crash_reward() < 0.0);
+    }
+}

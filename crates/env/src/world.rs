@@ -1,0 +1,209 @@
+//! The world: bounds, obstacles, queries.
+
+use crate::geom::{Aabb, Circle, Vec2};
+
+/// One obstacle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Obstacle {
+    /// Circular obstacle (tree, pillar).
+    Circle(Circle),
+    /// Rectangular obstacle (wall, furniture, building, car).
+    Rect(Aabb),
+}
+
+impl Obstacle {
+    /// Ray intersection distance, if hit.
+    pub fn ray_hit(&self, origin: Vec2, dir: Vec2) -> Option<f32> {
+        match self {
+            Obstacle::Circle(c) => c.ray_hit(origin, dir),
+            Obstacle::Rect(r) => r.ray_hit(origin, dir),
+        }
+    }
+
+    /// Distance from a point to the obstacle surface (0 if inside).
+    pub fn distance_to(&self, p: Vec2) -> f32 {
+        match self {
+            Obstacle::Circle(c) => c.distance_to(p),
+            Obstacle::Rect(r) => r.distance_to(p),
+        }
+    }
+}
+
+/// A flight arena: outer walls, obstacles, spawn pose, clutter metadata.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{World, Obstacle, Circle, Vec2, Aabb};
+///
+/// let mut world = World::new("test", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0)), 1.0);
+/// world.add(Obstacle::Circle(Circle::new(Vec2::new(5.0, 5.0), 1.0)));
+/// let d = world.raycast(Vec2::new(0.0, 5.0), Vec2::new(1.0, 0.0));
+/// assert!((d - 4.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    name: String,
+    bounds: Aabb,
+    obstacles: Vec<Obstacle>,
+    spawn: Vec2,
+    spawn_heading: f32,
+    d_min: f32,
+}
+
+impl World {
+    /// Creates an empty world. `d_min` is the design minimum obstacle
+    /// spacing (the Fig. 1(c) clutter parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_min` is not positive.
+    pub fn new(name: impl Into<String>, bounds: Aabb, d_min: f32) -> Self {
+        assert!(d_min > 0.0, "d_min must be positive");
+        let spawn = bounds.center();
+        Self {
+            name: name.into(),
+            bounds,
+            obstacles: Vec::new(),
+            spawn,
+            spawn_heading: 0.0,
+            d_min,
+        }
+    }
+
+    /// World name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Outer bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Design minimum obstacle spacing in metres.
+    pub fn d_min(&self) -> f32 {
+        self.d_min
+    }
+
+    /// Obstacles.
+    pub fn obstacles(&self) -> &[Obstacle] {
+        &self.obstacles
+    }
+
+    /// Adds an obstacle.
+    pub fn add(&mut self, o: Obstacle) {
+        self.obstacles.push(o);
+    }
+
+    /// Sets the spawn pose.
+    pub fn set_spawn(&mut self, pos: Vec2, heading: f32) {
+        self.spawn = pos;
+        self.spawn_heading = heading;
+    }
+
+    /// Spawn position.
+    pub fn spawn(&self) -> Vec2 {
+        self.spawn
+    }
+
+    /// Spawn heading in radians.
+    pub fn spawn_heading(&self) -> f32 {
+        self.spawn_heading
+    }
+
+    /// Distance from `origin` along `dir` to the first obstacle or the
+    /// outer wall.
+    pub fn raycast(&self, origin: Vec2, dir: Vec2) -> f32 {
+        let mut best = self.bounds.ray_exit(origin, dir);
+        for o in &self.obstacles {
+            if let Some(t) = o.ray_hit(origin, dir) {
+                if t < best {
+                    best = t;
+                }
+            }
+        }
+        best
+    }
+
+    /// `true` if a drone of `radius` at `p` collides with an obstacle or
+    /// leaves the arena.
+    pub fn collides(&self, p: Vec2, radius: f32) -> bool {
+        if p.x - radius < self.bounds.min.x
+            || p.x + radius > self.bounds.max.x
+            || p.y - radius < self.bounds.min.y
+            || p.y + radius > self.bounds.max.y
+        {
+            return true;
+        }
+        self.obstacles.iter().any(|o| o.distance_to(p) < radius)
+    }
+
+    /// Distance from `p` to the nearest obstacle or wall.
+    pub fn clearance(&self, p: Vec2) -> f32 {
+        let wall = (p.x - self.bounds.min.x)
+            .min(self.bounds.max.x - p.x)
+            .min(p.y - self.bounds.min.y)
+            .min(self.bounds.max.y - p.y);
+        self.obstacles
+            .iter()
+            .map(|o| o.distance_to(p))
+            .fold(wall, f32::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> World {
+        let mut w = World::new(
+            "arena",
+            Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0)),
+            1.0,
+        );
+        w.add(Obstacle::Circle(Circle::new(Vec2::new(7.0, 5.0), 0.5)));
+        w.add(Obstacle::Rect(Aabb::new(
+            Vec2::new(2.0, 2.0),
+            Vec2::new(3.0, 3.0),
+        )));
+        w
+    }
+
+    #[test]
+    fn raycast_hits_nearest() {
+        let w = arena();
+        // Ray along y=5 from x=0: circle at 7−0.5 = 6.5 beats wall at 10.
+        let d = w.raycast(Vec2::new(0.0, 5.0), Vec2::new(1.0, 0.0));
+        assert!((d - 6.5).abs() < 1e-4);
+        // Ray along y=8: nothing until the wall.
+        let d = w.raycast(Vec2::new(0.0, 8.0), Vec2::new(1.0, 0.0));
+        assert!((d - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn collision_with_obstacles_and_walls() {
+        let w = arena();
+        assert!(w.collides(Vec2::new(7.0, 5.2), 0.3)); // near circle
+        assert!(w.collides(Vec2::new(2.5, 2.5), 0.1)); // inside rect
+        assert!(w.collides(Vec2::new(0.1, 5.0), 0.3)); // wall margin
+        assert!(!w.collides(Vec2::new(5.0, 8.0), 0.3)); // open space
+    }
+
+    #[test]
+    fn clearance_accounts_for_walls_and_obstacles() {
+        let w = arena();
+        let c = w.clearance(Vec2::new(5.0, 5.0));
+        // Circle surface: 2 − 0.5 = 1.5 is the nearest thing.
+        assert!((c - 1.5).abs() < 1e-4);
+        let c_edge = w.clearance(Vec2::new(0.5, 5.0));
+        assert!((c_edge - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spawn_defaults_to_center() {
+        let w = arena();
+        assert_eq!(w.spawn(), Vec2::new(5.0, 5.0));
+        assert_eq!(w.spawn_heading(), 0.0);
+    }
+}

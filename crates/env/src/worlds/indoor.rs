@@ -1,0 +1,160 @@
+//! Indoor world generators: apartment and house.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geom::{Aabb, Vec2};
+use crate::world::{Obstacle, World};
+
+const WALL_T: f32 = 0.12; // interior wall thickness, metres
+
+/// A one-bedroom apartment: 12×10 m, two interior walls with door gaps,
+/// scattered furniture. d_min ≈ 0.7 m ("Indoor 1" clutter).
+pub fn apartment(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(12.0, 10.0));
+    let mut w = World::new("indoor-apartment", bounds, 0.7);
+
+    // Vertical wall at x≈5 with a 1.2 m doorway whose position jitters.
+    let door_y = rng.gen_range(2.0..7.0);
+    add_vwall(&mut w, 5.0, 0.0, door_y, 10.0, door_y + 1.2);
+    // Horizontal wall at y≈5.5 on the right half with a doorway.
+    let door_x = rng.gen_range(6.0..10.0);
+    add_hwall(&mut w, 5.5, 5.0, door_x, 12.0, door_x + 1.2);
+
+    scatter_furniture(&mut w, &mut rng, 7, 0.25..0.55, Vec2::new(2.5, 2.5));
+    w.set_spawn(Vec2::new(2.5, 2.5), rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// A family house: 16×12 m, three interior walls, more furniture.
+/// d_min ≈ 1.0 m ("Indoor 2").
+pub fn house(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(2));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(16.0, 12.0));
+    let mut w = World::new("indoor-house", bounds, 1.0);
+
+    let d1 = rng.gen_range(2.0..8.5);
+    add_vwall(&mut w, 5.5, 0.0, d1, 12.0, d1 + 1.4);
+    let d2 = rng.gen_range(2.0..8.5);
+    add_vwall(&mut w, 11.0, 0.0, d2, 12.0, d2 + 1.4);
+    let d3 = rng.gen_range(1.0..3.5);
+    add_hwall(&mut w, 6.0, 0.0, d3, 5.5, d3 + 1.4);
+
+    scatter_furniture(&mut w, &mut rng, 9, 0.3..0.7, Vec2::new(2.8, 2.8));
+    w.set_spawn(Vec2::new(2.8, 2.8), rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// Adds a vertical wall segment pair along `x`, leaving `[gap_lo, gap_hi]`
+/// open.
+pub(crate) fn add_vwall(w: &mut World, x: f32, y0: f32, gap_lo: f32, y1: f32, gap_hi: f32) {
+    if gap_lo > y0 + 0.05 {
+        w.add(Obstacle::Rect(Aabb::new(
+            Vec2::new(x - WALL_T, y0),
+            Vec2::new(x + WALL_T, gap_lo),
+        )));
+    }
+    if y1 > gap_hi + 0.05 {
+        w.add(Obstacle::Rect(Aabb::new(
+            Vec2::new(x - WALL_T, gap_hi.min(y1)),
+            Vec2::new(x + WALL_T, y1),
+        )));
+    }
+}
+
+/// Adds a horizontal wall segment pair along `y`, leaving `[gap_lo,
+/// gap_hi]` open.
+pub(crate) fn add_hwall(w: &mut World, y: f32, x0: f32, gap_lo: f32, x1: f32, gap_hi: f32) {
+    if gap_lo > x0 + 0.05 {
+        w.add(Obstacle::Rect(Aabb::new(
+            Vec2::new(x0, y - WALL_T),
+            Vec2::new(gap_lo, y + WALL_T),
+        )));
+    }
+    if x1 > gap_hi + 0.05 {
+        w.add(Obstacle::Rect(Aabb::new(
+            Vec2::new(gap_hi.min(x1), y - WALL_T),
+            Vec2::new(x1, y + WALL_T),
+        )));
+    }
+}
+
+/// Scatters `n` box obstacles with rejection sampling: each keeps `d_min`
+/// clearance to previous furniture and 1.6 m to the spawn point.
+pub(crate) fn scatter_furniture(
+    w: &mut World,
+    rng: &mut SmallRng,
+    n: usize,
+    half_extent: core::ops::Range<f32>,
+    spawn: Vec2,
+) {
+    let bounds = w.bounds();
+    let d_min = w.d_min();
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < n && attempts < 400 {
+        attempts += 1;
+        let hx = rng.gen_range(half_extent.clone());
+        let hy = rng.gen_range(half_extent.clone());
+        let cx = rng.gen_range(bounds.min.x + 1.0..bounds.max.x - 1.0);
+        let cy = rng.gen_range(bounds.min.y + 1.0..bounds.max.y - 1.0);
+        let c = Vec2::new(cx, cy);
+        if c.distance(spawn) < 1.6 + hx.max(hy) {
+            continue;
+        }
+        let candidate = Aabb::centered(c, hx, hy);
+        let clear = w
+            .obstacles()
+            .iter()
+            .all(|o| o.distance_to(c) > d_min + hx.max(hy));
+        if clear {
+            w.add(Obstacle::Rect(candidate));
+            placed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apartment_has_walls_and_furniture() {
+        let w = apartment(0);
+        assert!(w.obstacles().len() >= 6, "{}", w.obstacles().len());
+        assert_eq!(w.d_min(), 0.7);
+    }
+
+    #[test]
+    fn house_is_bigger_with_more_obstacles() {
+        let a = apartment(5);
+        let h = house(5);
+        assert!(h.bounds().max.x > a.bounds().max.x);
+        assert!(h.obstacles().len() >= a.obstacles().len());
+    }
+
+    #[test]
+    fn doorways_leave_passages() {
+        // The raycast from the spawn should find at least one direction
+        // with > 3 m of free space (the doorway side), for many seeds.
+        for seed in 0..10u64 {
+            let w = apartment(seed);
+            let best = (0..16)
+                .map(|i| {
+                    let ang = i as f32 / 16.0 * core::f32::consts::TAU;
+                    w.raycast(w.spawn(), Vec2::from_angle(ang))
+                })
+                .fold(0.0f32, f32::max);
+            assert!(best > 3.0, "seed {seed}: best ray {best}");
+        }
+    }
+
+    #[test]
+    fn furniture_respects_spawn_clearance() {
+        for seed in 0..5u64 {
+            let w = house(seed);
+            assert!(w.clearance(w.spawn()) > 0.5, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Meta-environment generators for the transfer-learning phase.
+//!
+//! §II-D: "During TL phase, before deployment, a drone is trained in
+//! complex meta-training-environments (indoor and outdoor)." The meta
+//! worlds are larger and mix the features of their test family so the
+//! conv stack learns transferable obstacle features.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geom::{Aabb, Vec2};
+use crate::world::{Obstacle, World};
+
+use super::indoor::{add_hwall, add_vwall, scatter_furniture};
+use super::outdoor::scatter_trees;
+
+/// Meta-indoor: 20×14 m, apartment- and house-like rooms plus dense,
+/// size-varied furniture.
+pub fn indoor(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(20.0, 14.0));
+    let mut w = World::new("meta-indoor", bounds, 0.85);
+
+    let d1 = rng.gen_range(2.0..10.0);
+    add_vwall(&mut w, 6.5, 0.0, d1, 14.0, d1 + 1.3);
+    let d2 = rng.gen_range(2.0..10.0);
+    add_vwall(&mut w, 13.5, 0.0, d2, 14.0, d2 + 1.3);
+    let d3 = rng.gen_range(1.0..4.5);
+    add_hwall(&mut w, 7.0, 0.0, d3, 6.5, d3 + 1.3);
+    let d4 = rng.gen_range(14.5..18.0);
+    add_hwall(&mut w, 7.0, 13.5, d4, 20.0, d4 + 1.3);
+
+    let spawn = Vec2::new(3.2, 3.2);
+    scatter_furniture(&mut w, &mut rng, 12, 0.25..0.75, spawn);
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// Meta-outdoor: 90×90 m. Forest-dominated; `rich` adds town structures
+/// (buildings, cars) for the richer-meta ablation (§VI-B's suggested fix
+/// for the outdoor-town degradation).
+pub fn outdoor(seed: u64, rich: bool) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(6));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(90.0, 90.0));
+    let name = if rich { "meta-outdoor-rich" } else { "meta-outdoor" };
+    let mut w = World::new(name, bounds, 3.5);
+    let spawn = Vec2::new(45.0, 45.0);
+
+    scatter_trees(&mut w, &mut rng, 110, 0.25..0.7, spawn);
+
+    if rich {
+        // Buildings in one quadrant + scattered cars: town-like features.
+        for bi in 0..3 {
+            for bj in 0..3 {
+                if rng.gen_bool(0.2) {
+                    continue;
+                }
+                let cx = 62.0 + bi as f32 * 9.0 + rng.gen_range(-0.5..0.5);
+                let cy = 62.0 + bj as f32 * 9.0 + rng.gen_range(-0.5..0.5);
+                let hw = rng.gen_range(2.0..3.2);
+                let hh = rng.gen_range(2.0..3.2);
+                if Vec2::new(cx, cy).distance(spawn) < 6.0 {
+                    continue;
+                }
+                w.add(Obstacle::Rect(Aabb::centered(Vec2::new(cx, cy), hw, hh)));
+            }
+        }
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < 8 && attempts < 200 {
+            attempts += 1;
+            let c = Vec2::new(rng.gen_range(3.0..87.0), rng.gen_range(3.0..87.0));
+            if c.distance(spawn) < 5.0 {
+                continue;
+            }
+            if w.obstacles().iter().all(|o| o.distance_to(c) > 2.0) {
+                let (hw, hh) = if rng.gen_bool(0.5) { (1.0, 0.5) } else { (0.5, 1.0) };
+                w.add(Obstacle::Rect(Aabb::centered(c, hw, hh)));
+                placed += 1;
+            }
+        }
+    } else {
+        // A couple of isolated sheds only: sparse structure, far from the
+        // town distribution — the domain gap Fig. 11 exposes.
+        for _ in 0..2 {
+            let c = Vec2::new(rng.gen_range(10.0..80.0), rng.gen_range(10.0..80.0));
+            if c.distance(spawn) > 8.0 {
+                w.add(Obstacle::Rect(Aabb::centered(c, 2.0, 2.0)));
+            }
+        }
+    }
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_indoor_is_denser_than_tests() {
+        let m = indoor(0);
+        let a = super::super::indoor::apartment(0);
+        assert!(m.obstacles().len() > a.obstacles().len());
+        let mb = m.bounds();
+        let ab = a.bounds();
+        assert!((mb.max.x - mb.min.x) > (ab.max.x - ab.min.x));
+    }
+
+    #[test]
+    fn meta_outdoor_tree_dominated() {
+        let m = outdoor(0, false);
+        let circles = m
+            .obstacles()
+            .iter()
+            .filter(|o| matches!(o, Obstacle::Circle(_)))
+            .count();
+        let rects = m.obstacles().len() - circles;
+        assert!(circles > 10 * rects.max(1), "{circles} vs {rects}");
+    }
+
+    #[test]
+    fn rich_meta_adds_structures() {
+        let plain = outdoor(1, false);
+        let rich = outdoor(1, true);
+        let rects = |w: &World| {
+            w.obstacles()
+                .iter()
+                .filter(|o| matches!(o, Obstacle::Rect(_)))
+                .count()
+        };
+        assert!(rects(&rich) >= rects(&plain) + 5);
+    }
+
+    #[test]
+    fn spawns_clear() {
+        for seed in 0..5u64 {
+            let m = indoor(seed);
+            assert!(!m.collides(m.spawn(), 0.3), "meta-indoor {seed}");
+            let o = outdoor(seed, true);
+            assert!(!o.collides(o.spawn(), 0.3), "meta-outdoor-rich {seed}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Outdoor world generators: forest and town.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geom::{Aabb, Circle, Vec2};
+use crate::world::{Obstacle, World};
+
+/// A forest: 50×50 m of tree trunks with ≥ d_min = 3 m spacing
+/// ("Outdoor 1").
+pub fn forest(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(3));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(50.0, 50.0));
+    let mut w = World::new("outdoor-forest", bounds, 3.0);
+    let spawn = Vec2::new(25.0, 25.0);
+    scatter_trees(&mut w, &mut rng, 60, 0.25..0.65, spawn);
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// A town: 70×70 m grid of buildings along streets, with parked cars.
+/// d_min ≈ 4 m ("Outdoor 2").
+pub fn town(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(70.0, 70.0));
+    let mut w = World::new("outdoor-town", bounds, 4.0);
+
+    // Building blocks on a 14 m pitch, with jittered footprints; streets
+    // are the ~6 m gaps between them. Skip the block containing the spawn.
+    for bi in 0..5 {
+        for bj in 0..5 {
+            if bi == 2 && bj == 2 {
+                continue; // spawn plaza
+            }
+            if rng.gen_bool(0.15) {
+                continue; // vacant lot
+            }
+            let cx = 7.0 + bi as f32 * 14.0 + rng.gen_range(-0.8..0.8);
+            let cy = 7.0 + bj as f32 * 14.0 + rng.gen_range(-0.8..0.8);
+            let hw = rng.gen_range(3.0..4.5);
+            let hh = rng.gen_range(3.0..4.5);
+            w.add(Obstacle::Rect(Aabb::centered(Vec2::new(cx, cy), hw, hh)));
+        }
+    }
+    // Parked cars along the streets (1×2 m boxes).
+    let spawn = Vec2::new(35.0, 35.0);
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < 10 && attempts < 300 {
+        attempts += 1;
+        let c = Vec2::new(rng.gen_range(3.0..67.0), rng.gen_range(3.0..67.0));
+        if c.distance(spawn) < 4.0 {
+            continue;
+        }
+        let (hw, hh) = if rng.gen_bool(0.5) { (1.0, 0.5) } else { (0.5, 1.0) };
+        let clear = w.obstacles().iter().all(|o| o.distance_to(c) > 2.0);
+        if clear {
+            w.add(Obstacle::Rect(Aabb::centered(c, hw, hh)));
+            placed += 1;
+        }
+    }
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// Scatters circular trees with d_min spacing and a clear spawn disc.
+pub(crate) fn scatter_trees(
+    w: &mut World,
+    rng: &mut SmallRng,
+    n: usize,
+    radius: core::ops::Range<f32>,
+    spawn: Vec2,
+) {
+    let bounds = w.bounds();
+    let d_min = w.d_min();
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < n && attempts < 1500 {
+        attempts += 1;
+        let r = rng.gen_range(radius.clone());
+        let c = Vec2::new(
+            rng.gen_range(bounds.min.x + 1.0..bounds.max.x - 1.0),
+            rng.gen_range(bounds.min.y + 1.0..bounds.max.y - 1.0),
+        );
+        if c.distance(spawn) < 4.0 {
+            continue;
+        }
+        let clear = w.obstacles().iter().all(|o| o.distance_to(c) > d_min - r);
+        if clear {
+            w.add(Obstacle::Circle(Circle::new(c, r)));
+            placed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_tree_spacing_respects_dmin() {
+        let w = forest(11);
+        let circles: Vec<Circle> = w
+            .obstacles()
+            .iter()
+            .filter_map(|o| match o {
+                Obstacle::Circle(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert!(circles.len() > 30, "{}", circles.len());
+        for (i, a) in circles.iter().enumerate() {
+            for b in &circles[i + 1..] {
+                let gap = a.center.distance(b.center) - a.radius - b.radius;
+                // Surface-to-surface ≥ d_min − (r_a + r_b) placement rule
+                // keeps centre spacing near d_min; assert a usable corridor.
+                assert!(gap > 1.2, "trees {gap} m apart");
+            }
+        }
+    }
+
+    #[test]
+    fn town_has_buildings_and_cars() {
+        let w = town(2);
+        let rects = w
+            .obstacles()
+            .iter()
+            .filter(|o| matches!(o, Obstacle::Rect(_)))
+            .count();
+        assert!(rects >= 15, "{rects}");
+        // Big structures exist (buildings) and small ones too (cars).
+        let sizes: Vec<f32> = w
+            .obstacles()
+            .iter()
+            .filter_map(|o| match o {
+                Obstacle::Rect(r) => Some((r.max.x - r.min.x).max(r.max.y - r.min.y)),
+                _ => None,
+            })
+            .collect();
+        assert!(sizes.iter().any(|&s| s > 5.0));
+        assert!(sizes.iter().any(|&s| s < 2.5));
+    }
+
+    #[test]
+    fn town_streets_are_navigable() {
+        let w = town(0);
+        // From the spawn plaza, long sight lines exist down the streets.
+        let best = (0..32)
+            .map(|i| {
+                let ang = i as f32 / 32.0 * core::f32::consts::TAU;
+                w.raycast(w.spawn(), Vec2::from_angle(ang))
+            })
+            .fold(0.0f32, f32::max);
+        assert!(best > 10.0, "best sight line {best}");
+    }
+
+    #[test]
+    fn spawns_are_clear() {
+        for seed in 0..5u64 {
+            assert!(!forest(seed).collides(forest(seed).spawn(), 0.3));
+            assert!(!town(seed).collides(town(seed).spawn(), 0.3));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the environment substrate.
+
+use mramrl_env::{Aabb, Action, Circle, DepthCamera, Drone, DroneEnv, EnvKind, Obstacle, Vec2, World};
+use proptest::prelude::*;
+
+fn arb_point(lo: f32, hi: f32) -> impl Strategy<Value = Vec2> {
+    (lo..hi, lo..hi).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    /// Raycast distance is never negative and never exceeds the arena
+    /// diagonal.
+    #[test]
+    fn raycast_bounded(origin in arb_point(1.0, 39.0), angle in 0.0f32..6.28318) {
+        let mut w = World::new("t", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0)), 1.0);
+        w.add(Obstacle::Circle(Circle::new(Vec2::new(20.0, 20.0), 2.0)));
+        let d = w.raycast(origin, Vec2::from_angle(angle));
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= (40.0f32 * 40.0 + 40.0 * 40.0).sqrt() + 1e-3);
+    }
+
+    /// Adding an obstacle can only shorten (or keep) every ray.
+    #[test]
+    fn obstacles_shorten_rays(origin in arb_point(2.0, 38.0), angle in 0.0f32..6.28318,
+                              ox in 5.0f32..35.0, oy in 5.0f32..35.0, r in 0.3f32..2.0) {
+        let empty = World::new("e", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0)), 1.0);
+        let mut full = empty.clone();
+        full.add(Obstacle::Circle(Circle::new(Vec2::new(ox, oy), r)));
+        let dir = Vec2::from_angle(angle);
+        prop_assert!(full.raycast(origin, dir) <= empty.raycast(origin, dir) + 1e-4);
+    }
+
+    /// Collision is consistent with clearance: colliding ⇒ clearance < radius.
+    #[test]
+    fn collision_clearance_consistent(p in arb_point(0.5, 39.5), radius in 0.05f32..0.5) {
+        let mut w = World::new("t", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0)), 1.0);
+        w.add(Obstacle::Rect(Aabb::new(Vec2::new(10.0, 10.0), Vec2::new(14.0, 14.0))));
+        if w.collides(p, radius) {
+            prop_assert!(w.clearance(p) < radius + 1e-4);
+        } else {
+            prop_assert!(w.clearance(p) >= radius - 1e-4);
+        }
+    }
+
+    /// Drone motion: every action moves exactly step_m; heading stays
+    /// wrapped; left/right turns are mirror images.
+    #[test]
+    fn drone_kinematics(actions in proptest::collection::vec(0usize..5, 1..50)) {
+        let mut d = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+        let mut mirror = Drone::new(Vec2::new(0.0, 0.0), 0.0);
+        let mirror_action = |a: Action| match a {
+            Action::Left25 => Action::Right25,
+            Action::Right25 => Action::Left25,
+            Action::Left55 => Action::Right55,
+            Action::Right55 => Action::Left55,
+            Action::Forward => Action::Forward,
+        };
+        for &ai in &actions {
+            let a = Action::from_index(ai);
+            let dist = d.apply(a);
+            prop_assert!((dist - d.step_m()).abs() < 1e-6);
+            prop_assert!(d.heading().abs() <= core::f32::consts::PI + 1e-4);
+            mirror.apply(mirror_action(a));
+        }
+        // Mirrored action sequence ⇒ mirrored trajectory (y negated).
+        prop_assert!((d.position().x - mirror.position().x).abs() < 1e-3);
+        prop_assert!((d.position().y + mirror.position().y).abs() < 1e-3);
+    }
+
+    /// Depth images are always within [0, 1] and deterministic per seed.
+    #[test]
+    fn depth_image_range(seed in 0u64..200, heading in 0.0f32..6.28) {
+        let w = EnvKind::OutdoorForest.build(seed % 5);
+        let cam = DepthCamera::date19();
+        let img = cam.render(&w, w.spawn(), heading, &mut DepthCamera::noise_rng(seed));
+        for &v in img.data() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let img2 = cam.render(&w, w.spawn(), heading, &mut DepthCamera::noise_rng(seed));
+        prop_assert_eq!(img, img2);
+    }
+
+    /// Environment episodes: distance increments by step_m on non-crash
+    /// steps and the episode counter only advances on crashes.
+    #[test]
+    fn episode_accounting(seed in 0u64..30, steps in 10usize..80) {
+        let mut env = DroneEnv::new(EnvKind::IndoorHouse, seed);
+        env.reset();
+        let mut episodes = 0;
+        let mut dist = 0.0f32;
+        for i in 0..steps {
+            let before = env.episode_distance();
+            let s = env.step(Action::from_index(i % 5));
+            if s.crashed {
+                episodes += 1;
+                env.reset();
+                prop_assert_eq!(env.episode_distance(), 0.0);
+            } else {
+                prop_assert!((env.episode_distance() - before - s.distance).abs() < 1e-4);
+                dist += s.distance;
+            }
+            prop_assert_eq!(env.episodes(), episodes);
+        }
+        prop_assert!(dist >= 0.0);
+    }
+}

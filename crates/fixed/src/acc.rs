@@ -1,0 +1,176 @@
+//! 32-bit MAC accumulator mirroring the PE multiply-accumulate datapath.
+
+use core::fmt;
+
+use crate::q::Q;
+
+/// A 32-bit multiply-accumulate register.
+///
+/// Hardware MAC units keep products at full width (here 16×16 → 32 bit with
+/// `2·FRAC` fractional bits) and accumulate in the wide domain, quantising
+/// only once at the end of the dot product. Doing the same in the quantised
+/// inference path is what makes 16-bit fixed-point viable for the CNN: the
+/// per-product rounding error does not compound across the accumulation.
+///
+/// The accumulator stores the running sum at a fixed `2·FRAC_IN` fractional
+/// resolution chosen by the first `mac` call; [`Acc32::to_q`] re-quantises to
+/// any output format.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_fixed::{Acc32, Q8_8};
+///
+/// let w = Q8_8::from_f32(0.5);
+/// let x = Q8_8::from_f32(3.0);
+/// let acc = Acc32::zero().mac(w, x).mac(w, x);
+/// assert_eq!(acc.to_q::<8>().to_f32(), 3.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Acc32 {
+    sum: i64,
+    /// Fractional bits of `sum`. 0 until the first accumulate.
+    frac: u32,
+}
+
+impl Acc32 {
+    /// Creates an accumulator holding zero.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self { sum: 0, frac: 0 }
+    }
+
+    /// Creates an accumulator from an initial bias value.
+    #[inline]
+    pub fn from_q<const FRAC: u32>(bias: Q<FRAC>) -> Self {
+        Self {
+            sum: i64::from(bias.raw()) << FRAC,
+            frac: 2 * FRAC,
+        }
+    }
+
+    /// Multiply-accumulates one product (`self + a*b`), saturating at the
+    /// 32-bit accumulator width like the hardware unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if mixed `FRAC` widths are accumulated into the same register
+    /// (a programming error the hardware cannot express either).
+    #[inline]
+    #[must_use]
+    pub fn mac<const FRAC: u32>(self, a: Q<FRAC>, b: Q<FRAC>) -> Self {
+        let product = i64::from(a.raw()) * i64::from(b.raw());
+        let mut sum = self.sum;
+        let frac = if self.frac == 0 && self.sum == 0 {
+            2 * FRAC
+        } else {
+            assert_eq!(
+                self.frac,
+                2 * FRAC,
+                "mixed Q formats accumulated into one Acc32"
+            );
+            self.frac
+        };
+        sum = sum.saturating_add(product);
+        // Model the 32-bit accumulator: clamp to i32 range (in raw units).
+        sum = sum.clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+        Self { sum, frac }
+    }
+
+    /// Re-quantises the accumulated sum to `Q<OUT_FRAC>` with
+    /// round-to-nearest and saturation.
+    #[inline]
+    pub fn to_q<const OUT_FRAC: u32>(self) -> Q<OUT_FRAC> {
+        if self.frac == 0 {
+            return Q::from_raw(0);
+        }
+        let shift = self.frac as i64 - i64::from(OUT_FRAC);
+        let raw = if shift >= 0 {
+            let half = 1i64 << (shift - 1).max(0);
+            (self.sum + if shift > 0 { half } else { 0 }) >> shift
+        } else {
+            self.sum << (-shift)
+        };
+        Q::from_raw(raw.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16)
+    }
+
+    /// The raw wide sum (for tests/diagnostics).
+    #[inline]
+    pub const fn raw_sum(self) -> i64 {
+        self.sum
+    }
+}
+
+impl fmt::Debug for Acc32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Acc32(sum={}, frac={})", self.sum, self.frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q8_8;
+
+    #[test]
+    fn empty_accumulator_reads_zero() {
+        assert_eq!(Acc32::zero().to_q::<8>(), Q8_8::ZERO);
+    }
+
+    #[test]
+    fn dot_product_matches_float() {
+        let ws = [0.5f32, -0.25, 1.0, 2.0];
+        let xs = [4.0f32, 8.0, -1.5, 0.75];
+        let mut acc = Acc32::zero();
+        let mut expect = 0.0f32;
+        for (&w, &x) in ws.iter().zip(&xs) {
+            acc = acc.mac(Q8_8::from_f32(w), Q8_8::from_f32(x));
+            expect += w * x;
+        }
+        assert_eq!(acc.to_q::<8>().to_f32(), expect);
+    }
+
+    #[test]
+    fn bias_initialisation() {
+        let acc = Acc32::from_q(Q8_8::from_f32(2.5));
+        assert_eq!(acc.to_q::<8>().to_f32(), 2.5);
+    }
+
+    #[test]
+    fn wide_accumulation_does_not_lose_small_products() {
+        // 256 products of resolution-sized values would each round to zero
+        // if quantised eagerly; the wide accumulator keeps them.
+        let tiny = Q8_8::from_raw(1); // 2^-8
+        let one = Q8_8::ONE;
+        let mut acc = Acc32::zero();
+        for _ in 0..256 {
+            acc = acc.mac(tiny, one);
+        }
+        assert_eq!(acc.to_q::<8>().to_f32(), 1.0);
+    }
+
+    #[test]
+    fn accumulator_saturates_like_i32() {
+        let big = Q8_8::from_f32(127.0);
+        let mut acc = Acc32::zero();
+        for _ in 0..100_000 {
+            acc = acc.mac(big, big);
+        }
+        assert_eq!(acc.raw_sum(), i64::from(i32::MAX));
+        assert_eq!(acc.to_q::<8>(), Q8_8::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed Q formats")]
+    fn mixed_formats_panic() {
+        let _ = Acc32::zero()
+            .mac(Q8_8::ONE, Q8_8::ONE)
+            .mac(crate::Q4_12::ONE, crate::Q4_12::ONE);
+    }
+
+    #[test]
+    fn requantise_to_wider_fraction() {
+        let acc = Acc32::zero().mac(Q8_8::from_f32(0.5), Q8_8::from_f32(0.5));
+        assert_eq!(acc.to_q::<12>().to_f32(), 0.25);
+    }
+}

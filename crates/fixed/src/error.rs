@@ -1,0 +1,63 @@
+//! Error types for fallible fixed-point conversions.
+
+use core::fmt;
+
+/// Error returned when a floating-point value cannot be represented in the
+/// target `Q` format without saturation.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_fixed::Q8_8;
+///
+/// let err = Q8_8::try_from_f32(1.0e6).unwrap_err();
+/// assert!(err.to_string().contains("does not fit"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedRangeError {
+    value: f64,
+    frac_bits: u32,
+}
+
+impl FixedRangeError {
+    pub(crate) fn new(value: f64, frac_bits: u32) -> Self {
+        Self { value, frac_bits }
+    }
+
+    /// The offending input value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The fractional-bit count of the target format.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+}
+
+impl fmt::Display for FixedRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} does not fit in signed Q{}.{} format",
+            self.value,
+            16 - self.frac_bits,
+            self.frac_bits
+        )
+    }
+}
+
+impl std::error::Error for FixedRangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_format() {
+        let e = FixedRangeError::new(300.0, 8);
+        assert_eq!(e.value(), 300.0);
+        assert_eq!(e.frac_bits(), 8);
+        assert!(e.to_string().contains("Q8.8"));
+    }
+}

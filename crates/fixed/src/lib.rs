@@ -1,0 +1,67 @@
+//! 16-bit fixed-point arithmetic for the `mramrl` hardware datapath.
+//!
+//! The DATE 2019 platform computes with **16-bit fixed-point** MACs
+//! (Fig. 4(b): "Arithmetic precision: 16 bit fixed-point"). This crate
+//! provides a `Q`-format signed fixed-point type, [`Q<FRAC>`], with the
+//! saturating semantics typical of DSP datapaths, plus a 32-bit MAC
+//! accumulator ([`Acc32`]) mirroring how a hardware multiply-accumulate
+//! unit widens products before the final re-quantisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramrl_fixed::{Q8_8, Acc32};
+//!
+//! let a = Q8_8::from_f32(1.5);
+//! let b = Q8_8::from_f32(-2.25);
+//! assert_eq!((a * b).to_f32(), -3.375);
+//!
+//! // A hardware-style MAC chain: widen, accumulate, re-quantise once.
+//! let mut acc = Acc32::zero();
+//! for _ in 0..4 {
+//!     acc = acc.mac(a, b);
+//! }
+//! assert_eq!(acc.to_q::<8>().to_f32(), -13.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acc;
+mod error;
+mod q;
+
+pub use acc::Acc32;
+pub use error::FixedRangeError;
+pub use q::Q;
+
+/// Q8.8: 1 sign bit, 7 integer bits, 8 fractional bits. Range ±127.996,
+/// resolution 2⁻⁸. The default weight/activation format used by the
+/// quantised inference path.
+pub type Q8_8 = Q<8>;
+
+/// Q4.12: higher resolution (2⁻¹²) for small-magnitude activations.
+pub type Q4_12 = Q<12>;
+
+/// Q2.14: near-unit-range format (±2) for normalised depth images.
+pub type Q2_14 = Q<14>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_have_expected_resolution() {
+        assert_eq!(Q8_8::RESOLUTION, 1.0 / 256.0);
+        assert_eq!(Q4_12::RESOLUTION, 1.0 / 4096.0);
+        assert_eq!(Q2_14::RESOLUTION, 1.0 / 16384.0);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Q8_8>();
+        assert_send_sync::<Acc32>();
+        assert_send_sync::<FixedRangeError>();
+    }
+}

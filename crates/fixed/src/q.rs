@@ -1,0 +1,425 @@
+//! The signed 16-bit `Q`-format fixed-point scalar.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::error::FixedRangeError;
+
+/// A signed 16-bit fixed-point number with `FRAC` fractional bits.
+///
+/// The value represented is `raw / 2^FRAC`. All arithmetic **saturates** at
+/// the representable range, matching the behaviour of the platform's 16-bit
+/// MAC datapath (overflowing weights clip rather than wrap).
+///
+/// `FRAC` must be in `1..=15`; this is checked at compile time through the
+/// `RESOLUTION` constant used by every constructor.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_fixed::Q8_8;
+///
+/// let x = Q8_8::from_f32(3.25);
+/// assert_eq!(x.to_f32(), 3.25);
+/// assert_eq!((x + x).to_f32(), 6.5);
+/// assert_eq!(Q8_8::MAX.saturating_add(Q8_8::ONE), Q8_8::MAX);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Q<const FRAC: u32> {
+    raw: i16,
+}
+
+impl<const FRAC: u32> Q<FRAC> {
+    /// Scale factor `2^FRAC` as f64.
+    const SCALE: f64 = (1u32 << FRAC) as f64;
+
+    /// Smallest positive representable increment (`2^-FRAC`).
+    pub const RESOLUTION: f32 = 1.0 / Self::SCALE as f32;
+
+    /// The additive identity.
+    pub const ZERO: Self = Self { raw: 0 };
+
+    /// The multiplicative identity (saturates to `MAX` if `FRAC == 15`).
+    pub const ONE: Self = Self {
+        raw: if FRAC >= 15 {
+            i16::MAX
+        } else {
+            1i16 << FRAC
+        },
+    };
+
+    /// Largest representable value.
+    pub const MAX: Self = Self { raw: i16::MAX };
+
+    /// Smallest (most negative) representable value.
+    pub const MIN: Self = Self { raw: i16::MIN };
+
+    /// Creates a value from its raw two's-complement bit pattern.
+    #[inline]
+    pub const fn from_raw(raw: i16) -> Self {
+        Self { raw }
+    }
+
+    /// Returns the raw two's-complement bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.raw
+    }
+
+    /// Converts from `f32`, rounding to nearest and saturating.
+    ///
+    /// Non-finite inputs saturate (`NaN` maps to zero, like a DSP flush).
+    #[inline]
+    pub fn from_f32(value: f32) -> Self {
+        Self::from_f64(f64::from(value))
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    #[inline]
+    pub fn from_f64(value: f64) -> Self {
+        if value.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = (value * Self::SCALE).round();
+        let clamped = scaled.clamp(f64::from(i16::MIN), f64::from(i16::MAX));
+        Self {
+            raw: clamped as i16,
+        }
+    }
+
+    /// Converts from `f32`, failing if the value does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedRangeError`] when `value` is non-finite or outside the
+    /// representable range (no silent saturation).
+    pub fn try_from_f32(value: f32) -> Result<Self, FixedRangeError> {
+        if !value.is_finite() {
+            return Err(FixedRangeError::new(f64::from(value), FRAC));
+        }
+        let scaled = (f64::from(value) * Self::SCALE).round();
+        if scaled < f64::from(i16::MIN) || scaled > f64::from(i16::MAX) {
+            return Err(FixedRangeError::new(f64::from(value), FRAC));
+        }
+        Ok(Self { raw: scaled as i16 })
+    }
+
+    /// Converts to `f32` exactly (every representable value fits in f32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        (f64::from(self.raw) / Self::SCALE) as f32
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.raw) / Self::SCALE
+    }
+
+    /// Saturating addition.
+    #[inline]
+    #[must_use]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
+    }
+
+    /// Saturating multiplication with round-to-nearest on the dropped bits.
+    #[inline]
+    #[must_use]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = i32::from(self.raw) * i32::from(rhs.raw);
+        // Round to nearest: add half of the dropped LSB weight before shift.
+        let rounded = wide + (1i32 << (FRAC - 1));
+        let shifted = rounded >> FRAC;
+        Self {
+            raw: clamp_i32(shifted),
+        }
+    }
+
+    /// Saturating division with round-to-nearest.
+    ///
+    /// Division by zero saturates to `MAX`/`MIN` by sign (`0/0` gives zero),
+    /// mirroring a saturating hardware divider rather than trapping.
+    #[inline]
+    #[must_use]
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            return match self.raw.cmp(&0) {
+                Ordering::Greater => Self::MAX,
+                Ordering::Less => Self::MIN,
+                Ordering::Equal => Self::ZERO,
+            };
+        }
+        let wide = (i64::from(self.raw) << (FRAC + 1)) / i64::from(rhs.raw);
+        // wide has one extra fractional bit; round it away.
+        let rounded = (wide + wide.signum()) >> 1;
+        Self {
+            raw: clamp_i64(rounded),
+        }
+    }
+
+    /// Absolute value, saturating (`|MIN|` gives `MAX`).
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self {
+            raw: self.raw.saturating_abs(),
+        }
+    }
+
+    /// Rectified-linear activation (`max(self, 0)`), a single hardware
+    /// comparator in the PE (Fig. 4(b): 8 comparators per PE).
+    #[inline]
+    #[must_use]
+    pub fn relu(self) -> Self {
+        if self.raw < 0 {
+            Self::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Returns the larger of two values (comparator op).
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self.raw >= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two values (comparator op).
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self.raw <= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` if the value is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.raw == 0
+    }
+}
+
+#[inline]
+fn clamp_i32(v: i32) -> i16 {
+    v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+#[inline]
+fn clamp_i64(v: i64) -> i16 {
+    v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16
+}
+
+impl<const FRAC: u32> Add for Q<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Q<FRAC> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> Sub for Q<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Q<FRAC> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> Mul for Q<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> Div for Q<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.saturating_div(rhs)
+    }
+}
+
+impl<const FRAC: u32> Neg for Q<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            raw: self.raw.saturating_neg(),
+        }
+    }
+}
+
+impl<const FRAC: u32> PartialOrd for Q<FRAC> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const FRAC: u32> Ord for Q<FRAC> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Q<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}({})", 16 - FRAC, FRAC, self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Q<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const FRAC: u32> From<Q<FRAC>> for f32 {
+    #[inline]
+    fn from(q: Q<FRAC>) -> f32 {
+        q.to_f32()
+    }
+}
+
+impl<const FRAC: u32> From<Q<FRAC>> for f64 {
+    #[inline]
+    fn from(q: Q<FRAC>) -> f64 {
+        q.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Q8_8;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for raw in [-32768i16, -256, -1, 0, 1, 255, 256, 32767] {
+            let q = Q8_8::from_raw(raw);
+            assert_eq!(Q8_8::from_f64(q.to_f64()), q, "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn one_is_one() {
+        assert_eq!(Q8_8::ONE.to_f32(), 1.0);
+        assert_eq!(Q8_8::ONE * Q8_8::ONE, Q8_8::ONE);
+    }
+
+    #[test]
+    fn addition_saturates_both_ends() {
+        assert_eq!(Q8_8::MAX + Q8_8::ONE, Q8_8::MAX);
+        assert_eq!(Q8_8::MIN - Q8_8::ONE, Q8_8::MIN);
+    }
+
+    #[test]
+    fn multiplication_rounds_to_nearest() {
+        // 0.5 * resolution/2 rounds up to one LSB... use known case:
+        // 1.5 * 1.5 = 2.25 exactly representable.
+        let x = Q8_8::from_f32(1.5);
+        assert_eq!((x * x).to_f32(), 2.25);
+        // 127 * 127 saturates.
+        let big = Q8_8::from_f32(127.0);
+        assert_eq!(big * big, Q8_8::MAX);
+    }
+
+    #[test]
+    fn multiplication_by_negative() {
+        let a = Q8_8::from_f32(2.0);
+        let b = Q8_8::from_f32(-3.5);
+        assert_eq!((a * b).to_f32(), -7.0);
+    }
+
+    #[test]
+    fn division_basic_and_by_zero() {
+        let a = Q8_8::from_f32(7.0);
+        let b = Q8_8::from_f32(2.0);
+        assert_eq!((a / b).to_f32(), 3.5);
+        assert_eq!(a / Q8_8::ZERO, Q8_8::MAX);
+        assert_eq!((-a) / Q8_8::ZERO, Q8_8::MIN);
+        assert_eq!(Q8_8::ZERO / Q8_8::ZERO, Q8_8::ZERO);
+    }
+
+    #[test]
+    fn relu_and_comparators() {
+        assert_eq!(Q8_8::from_f32(-4.0).relu(), Q8_8::ZERO);
+        assert_eq!(Q8_8::from_f32(4.0).relu().to_f32(), 4.0);
+        let a = Q8_8::from_f32(1.0);
+        let b = Q8_8::from_f32(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn neg_saturates_min() {
+        assert_eq!(-Q8_8::MIN, Q8_8::MAX);
+        assert_eq!((-Q8_8::ONE).to_f32(), -1.0);
+    }
+
+    #[test]
+    fn nan_flushes_to_zero_and_inf_saturates() {
+        assert_eq!(Q8_8::from_f32(f32::NAN), Q8_8::ZERO);
+        assert_eq!(Q8_8::from_f32(f32::INFINITY), Q8_8::MAX);
+        assert_eq!(Q8_8::from_f32(f32::NEG_INFINITY), Q8_8::MIN);
+    }
+
+    #[test]
+    fn try_from_rejects_out_of_range() {
+        assert!(Q8_8::try_from_f32(200.0).is_err());
+        assert!(Q8_8::try_from_f32(f32::NAN).is_err());
+        assert_eq!(Q8_8::try_from_f32(1.5).unwrap().to_f32(), 1.5);
+    }
+
+    #[test]
+    fn ordering_matches_real_ordering() {
+        let vals = [-3.5f32, -1.0, 0.0, 0.25, 2.0];
+        for w in vals.windows(2) {
+            assert!(Q8_8::from_f32(w[0]) < Q8_8::from_f32(w[1]));
+        }
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        let s = format!("{:?}", Q8_8::from_f32(1.25));
+        assert!(s.contains("Q8.8"));
+        assert_eq!(format!("{}", Q8_8::from_f32(1.25)), "1.25");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the fixed-point datapath types.
+
+use mramrl_fixed::{Acc32, Q8_8};
+use proptest::prelude::*;
+
+fn arb_q() -> impl Strategy<Value = Q8_8> {
+    any::<i16>().prop_map(Q8_8::from_raw)
+}
+
+proptest! {
+    /// Converting to f64 and back is lossless for every representable value.
+    #[test]
+    fn f64_roundtrip_is_lossless(q in arb_q()) {
+        prop_assert_eq!(Q8_8::from_f64(q.to_f64()), q);
+    }
+
+    /// Addition never leaves the representable range and matches wide math
+    /// when the wide result is in range.
+    #[test]
+    fn add_matches_wide_when_in_range(a in arb_q(), b in arb_q()) {
+        let wide = i32::from(a.raw()) + i32::from(b.raw());
+        let got = a + b;
+        if wide >= i32::from(i16::MIN) && wide <= i32::from(i16::MAX) {
+            prop_assert_eq!(i32::from(got.raw()), wide);
+        } else if wide > 0 {
+            prop_assert_eq!(got, Q8_8::MAX);
+        } else {
+            prop_assert_eq!(got, Q8_8::MIN);
+        }
+    }
+
+    /// Addition is commutative; multiplication is commutative.
+    #[test]
+    fn commutativity(a in arb_q(), b in arb_q()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    /// Multiplication error versus exact real arithmetic is bounded by one
+    /// output LSB (round-to-nearest) whenever the exact result is in range.
+    #[test]
+    fn mul_error_bounded_by_half_ulp(a in arb_q(), b in arb_q()) {
+        let exact = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        let max = Q8_8::MAX.to_f64();
+        let min = Q8_8::MIN.to_f64();
+        if exact > max {
+            prop_assert_eq!(got, max);
+        } else if exact < min {
+            prop_assert_eq!(got, min);
+        } else {
+            prop_assert!((got - exact).abs() <= f64::from(Q8_8::RESOLUTION) / 2.0 + 1e-12,
+                "a={a:?} b={b:?} exact={exact} got={got}");
+        }
+    }
+
+    /// x * 1 == x and x * 0 == 0 for all x.
+    #[test]
+    fn identities(a in arb_q()) {
+        prop_assert_eq!(a * Q8_8::ONE, a);
+        prop_assert_eq!(a * Q8_8::ZERO, Q8_8::ZERO);
+        prop_assert_eq!(a + Q8_8::ZERO, a);
+    }
+
+    /// ReLU output is always non-negative and idempotent.
+    #[test]
+    fn relu_properties(a in arb_q()) {
+        let r = a.relu();
+        prop_assert!(r >= Q8_8::ZERO);
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    /// The wide accumulator equals quantising the exact dot product, up to
+    /// one final rounding, for short vectors that stay in range.
+    #[test]
+    fn acc_matches_exact_dot(
+        pairs in proptest::collection::vec((-64i16..64, -64i16..64), 1..16)
+    ) {
+        let mut acc = Acc32::zero();
+        let mut exact = 0.0f64;
+        for &(a, b) in &pairs {
+            let qa = Q8_8::from_raw(a * 4);
+            let qb = Q8_8::from_raw(b * 4);
+            acc = acc.mac(qa, qb);
+            exact += qa.to_f64() * qb.to_f64();
+        }
+        let got = acc.to_q::<8>().to_f64();
+        prop_assert!((got - exact).abs() <= f64::from(Q8_8::RESOLUTION) / 2.0 + 1e-12);
+    }
+
+    /// Ordering on Q mirrors ordering on the represented reals.
+    #[test]
+    fn order_homomorphism(a in arb_q(), b in arb_q()) {
+        prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+    }
+}

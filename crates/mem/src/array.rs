@@ -1,0 +1,261 @@
+//! A banked memory array behind an I/O bus.
+
+use crate::error::MemError;
+use crate::stats::AccessStats;
+use crate::tech::TechParams;
+
+/// One memory array (or aggregated set of banks) behind an I/O interface.
+///
+/// Latency/energy model:
+///
+/// * **Reads** stream at the I/O-bus bandwidth (`io_bits × io_gbps_per_pin`)
+///   after one array read latency; reads are bank-pipelined, so a long read
+///   burst is bus-limited. This matches HBM-style operation where the read
+///   latency hides behind the burst.
+/// * **Writes** are limited by the cell write pulse: each `io_bits`-wide
+///   beat must hold for `write_latency_ns` before the next can commit
+///   (STT-MRAM cannot pipeline the programming pulse across the same bank
+///   group the way reads pipeline). The resulting write bandwidth for the
+///   paper's stack — 1024 bits / 30 ns ≈ **4.27 GB/s** — is what makes
+///   per-image gradient write-back to NVM infeasible and drives the whole
+///   co-design.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::{MemoryArray, tech::TechParams};
+///
+/// let stack = MemoryArray::new("stt-stack", TechParams::stt_mram(), 128_000_000, 1024, 2.0);
+/// assert!((stack.write_bandwidth_gbytes_per_s() - 4.267).abs() < 0.01);
+/// assert!((stack.read_bandwidth_gbytes_per_s() - 256.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryArray {
+    name: String,
+    tech: TechParams,
+    capacity_bytes: u64,
+    io_bits: u32,
+    io_gbps_per_pin: f64,
+    stats: AccessStats,
+}
+
+/// Timing/energy outcome of one modelled access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Access {
+    /// Transfer latency in nanoseconds (latency + serialization).
+    pub latency_ns: f64,
+    /// Access energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl MemoryArray {
+    /// Creates an array.
+    ///
+    /// `io_bits` is the interface width in bits, `io_gbps_per_pin` the
+    /// per-pin signalling rate in Gbit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_bits` is zero or `io_gbps_per_pin` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        tech: TechParams,
+        capacity_bytes: u64,
+        io_bits: u32,
+        io_gbps_per_pin: f64,
+    ) -> Self {
+        assert!(io_bits > 0, "io_bits must be positive");
+        assert!(io_gbps_per_pin > 0.0, "io rate must be positive");
+        Self {
+            name: name.into(),
+            tech,
+            capacity_bytes,
+            io_bits,
+            io_gbps_per_pin,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The array's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Technology parameters.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Interface width in bits.
+    pub fn io_bits(&self) -> u32 {
+        self.io_bits
+    }
+
+    /// Read bandwidth in GB/s (bus-limited).
+    pub fn read_bandwidth_gbytes_per_s(&self) -> f64 {
+        f64::from(self.io_bits) * self.io_gbps_per_pin / 8.0
+    }
+
+    /// Write bandwidth in GB/s (write-pulse-limited, capped by the bus).
+    pub fn write_bandwidth_gbytes_per_s(&self) -> f64 {
+        let pulse_limited = f64::from(self.io_bits) / self.tech.write_latency_ns / 8.0;
+        pulse_limited.min(self.read_bandwidth_gbytes_per_s())
+    }
+
+    /// Models reading `bytes`, recording traffic/energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyTransfer`] for zero-byte transfers and
+    /// [`MemError::CapacityExceeded`] if the transfer exceeds capacity.
+    pub fn read(&mut self, bytes: u64) -> Result<Access, MemError> {
+        self.check(bytes)?;
+        let bits = bytes * 8;
+        let serial_ns = bytes as f64 / self.read_bandwidth_gbytes_per_s();
+        let latency_ns = self.tech.read_latency_ns + serial_ns;
+        let energy_pj = self.tech.read_energy_pj(bits);
+        self.stats.record_read(bits, energy_pj);
+        self.stats.record_busy(latency_ns);
+        Ok(Access {
+            latency_ns,
+            energy_pj,
+        })
+    }
+
+    /// Models writing `bytes`, recording traffic/energy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemoryArray::read`].
+    pub fn write(&mut self, bytes: u64) -> Result<Access, MemError> {
+        self.check(bytes)?;
+        let bits = bytes * 8;
+        let serial_ns = bytes as f64 / self.write_bandwidth_gbytes_per_s();
+        let latency_ns = self.tech.write_latency_ns + serial_ns;
+        let energy_pj = self.tech.write_energy_pj(bits);
+        self.stats.record_write(bits, energy_pj);
+        self.stats.record_busy(latency_ns);
+        Ok(Access {
+            latency_ns,
+            energy_pj,
+        })
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Standby power of this array in milliwatts.
+    pub fn standby_power_mw(&self) -> f64 {
+        self.tech.standby_power_mw(self.capacity_bytes as f64 / crate::MB)
+    }
+
+    fn check(&self, bytes: u64) -> Result<(), MemError> {
+        if bytes == 0 {
+            return Err(MemError::EmptyTransfer);
+        }
+        if bytes > self.capacity_bytes {
+            return Err(MemError::CapacityExceeded {
+                region: self.name.clone(),
+                need_bytes: bytes,
+                have_bytes: self.capacity_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> MemoryArray {
+        MemoryArray::new(
+            "stt-stack",
+            TechParams::stt_mram(),
+            128_000_000,
+            1024,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn paper_stack_bandwidths() {
+        let s = stack();
+        // 1024 I/O × 2 Gb/s = 256 GB/s read (Fig. 4(b) / JESD235B).
+        assert!((s.read_bandwidth_gbytes_per_s() - 256.0).abs() < 1e-9);
+        // 1024 bit / 30 ns = 34.1 Gb/s = 4.267 GB/s write.
+        assert!((s.write_bandwidth_gbytes_per_s() - 1024.0 / 30.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_is_much_slower_than_read() {
+        let s = stack();
+        assert!(s.read_bandwidth_gbytes_per_s() / s.write_bandwidth_gbytes_per_s() > 50.0);
+    }
+
+    #[test]
+    fn read_energy_matches_table1() {
+        let mut s = stack();
+        let a = s.read(1_000_000).unwrap(); // 8 Mbit
+        assert!((a.energy_pj - 8.0e6 * 0.7).abs() < 1e-6);
+        assert_eq!(s.stats().read_bits, 8_000_000);
+    }
+
+    #[test]
+    fn write_energy_matches_table1() {
+        let mut s = stack();
+        let a = s.write(1_000_000).unwrap();
+        assert!((a.energy_pj - 8.0e6 * 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_model_write_back_takes_tens_of_ms() {
+        // Writing the full 112 MB model to STT-MRAM: the E2E burden.
+        let mut s = stack();
+        let a = s.write(112_000_000).unwrap();
+        // ≈ 112 MB / 4.267 GB/s ≈ 26.25 ms.
+        assert!(a.latency_ns > 25.0e6 && a.latency_ns < 28.0e6, "{}", a.latency_ns);
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        let mut s = stack();
+        assert_eq!(s.read(0), Err(MemError::EmptyTransfer));
+        assert!(matches!(
+            s.write(1_000_000_000),
+            Err(MemError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut s = stack();
+        s.read(100).unwrap();
+        s.write(100).unwrap();
+        assert_eq!(s.stats().total_bits(), 1600);
+        s.reset_stats();
+        assert_eq!(s.stats().total_bits(), 0);
+    }
+
+    #[test]
+    fn sram_write_bandwidth_is_bus_capped() {
+        // SRAM write pulse (1 ns) would exceed the bus; must cap.
+        let s = MemoryArray::new("gb", TechParams::sram(), 30_000_000, 4096, 1.0);
+        assert_eq!(
+            s.write_bandwidth_gbytes_per_s(),
+            s.read_bandwidth_gbytes_per_s()
+        );
+    }
+}

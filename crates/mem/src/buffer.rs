@@ -1,0 +1,222 @@
+//! The on-die SRAM global buffer and its region planner.
+
+use crate::array::MemoryArray;
+use crate::error::MemError;
+use crate::tech::TechParams;
+use crate::MB;
+
+/// A named, fixed-size region inside the global buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region name (e.g. `"fc-weights"`).
+    pub name: String,
+    /// Region size in bytes.
+    pub bytes: u64,
+}
+
+/// An allocation plan for the global buffer (Fig. 5 / §III-D).
+///
+/// The paper's proposed design point splits the ~30 MB buffer into:
+/// 12.6 MB FC3–FC5 weights, 12.6 MB gradient accumulators, and a 4.2 MB
+/// scratchpad for PE-array staging — 29.4 MB total.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::BufferPlan;
+///
+/// let mut plan = BufferPlan::new(30_000_000);
+/// plan.alloc("fc-weights", 12_599_306)?;
+/// plan.alloc("fc-gradients", 12_599_306)?;
+/// plan.alloc("scratchpad", 4_200_000)?;
+/// assert!(plan.free_bytes() < 700_000);
+/// # Ok::<(), mramrl_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferPlan {
+    capacity_bytes: u64,
+    regions: Vec<Region>,
+}
+
+impl BufferPlan {
+    /// Creates an empty plan over `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Allocates a named region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::CapacityExceeded`] if the region does not fit in
+    /// the remaining space.
+    pub fn alloc(&mut self, name: impl Into<String>, bytes: u64) -> Result<(), MemError> {
+        let name = name.into();
+        let used = self.used_bytes();
+        if used + bytes > self.capacity_bytes {
+            return Err(MemError::CapacityExceeded {
+                region: name,
+                need_bytes: bytes,
+                have_bytes: self.capacity_bytes - used,
+            });
+        }
+        self.regions.push(Region { name, bytes });
+        Ok(())
+    }
+
+    /// Looks up a region size by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownRegion`] if no region has that name.
+    pub fn region_bytes(&self, name: &str) -> Result<u64, MemError> {
+        self.regions
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.bytes)
+            .ok_or_else(|| MemError::UnknownRegion { name: name.into() })
+    }
+
+    /// All regions, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total allocated bytes.
+    pub fn used_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Remaining bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes()
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+/// The on-die SRAM global buffer (Fig. 4(b): "Global buffer/scratchpad
+/// 30 MB / 4.2 MB").
+///
+/// Wraps a [`MemoryArray`] with SRAM technology and a 4096-bit port (the
+/// buffer has "4096 connections with 32 PEs in the first row") plus a
+/// [`BufferPlan`] region map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalBuffer {
+    array: MemoryArray,
+    plan: BufferPlan,
+}
+
+impl GlobalBuffer {
+    /// Creates a buffer of `capacity_bytes` with the paper's 4096-bit port
+    /// at the array clock (1 GHz ⇒ 1 Gb/s per line).
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            array: MemoryArray::new(
+                "global-buffer",
+                TechParams::sram(),
+                capacity_bytes,
+                4096,
+                1.0,
+            ),
+            plan: BufferPlan::new(capacity_bytes),
+        }
+    }
+
+    /// The paper's 30 MB buffer.
+    pub fn date19() -> Self {
+        Self::new(30_000_000)
+    }
+
+    /// The underlying array model (for access metering).
+    pub fn array_mut(&mut self) -> &mut MemoryArray {
+        &mut self.array
+    }
+
+    /// The underlying array model.
+    pub fn array(&self) -> &MemoryArray {
+        &self.array
+    }
+
+    /// The region plan.
+    pub fn plan(&self) -> &BufferPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the region plan.
+    pub fn plan_mut(&mut self) -> &mut BufferPlan {
+        &mut self.plan
+    }
+
+    /// Capacity in decimal megabytes.
+    pub fn capacity_mb(&self) -> f64 {
+        self.array.capacity_bytes() as f64 / MB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact byte sizes of the trainable FC tail (weights incl. biases,
+    /// 16-bit each) — derived in `mramrl-nn` and cross-checked here.
+    const FC345_BYTES: u64 = (4_196_352 + 2_098_176 + 5_125) * 2;
+
+    #[test]
+    fn fig5_plan_fits_30mb() {
+        // Fig. 5 / §III-D: 12.6 + 12.6 + 4.2 = 29.4 MB in a 30 MB buffer.
+        let mut gb = GlobalBuffer::date19();
+        gb.plan_mut().alloc("fc-weights", FC345_BYTES).unwrap();
+        gb.plan_mut().alloc("fc-gradients", FC345_BYTES).unwrap();
+        gb.plan_mut().alloc("scratchpad", 4_200_000).unwrap();
+        let used_mb = gb.plan().used_bytes() as f64 / MB;
+        assert!((used_mb - 29.4).abs() < 0.01, "used {used_mb} MB");
+    }
+
+    #[test]
+    fn fc_tail_is_12_6_mb() {
+        assert!((FC345_BYTES as f64 / MB - 12.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn overallocation_fails_with_remaining_space() {
+        let mut plan = BufferPlan::new(10);
+        plan.alloc("a", 6).unwrap();
+        let err = plan.alloc("b", 5).unwrap_err();
+        assert_eq!(
+            err,
+            MemError::CapacityExceeded {
+                region: "b".into(),
+                need_bytes: 5,
+                have_bytes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut plan = BufferPlan::new(100);
+        plan.alloc("x", 40).unwrap();
+        assert_eq!(plan.region_bytes("x").unwrap(), 40);
+        assert!(plan.region_bytes("y").is_err());
+        assert_eq!(plan.free_bytes(), 60);
+    }
+
+    #[test]
+    fn buffer_port_bandwidth() {
+        // 4096 bits/cycle at 1 GHz = 512 GB/s.
+        let gb = GlobalBuffer::date19();
+        assert!((gb.array().read_bandwidth_gbytes_per_s() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_in_mb() {
+        assert_eq!(GlobalBuffer::date19().capacity_mb(), 30.0);
+    }
+}

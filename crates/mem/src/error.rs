@@ -1,0 +1,62 @@
+//! Error types for the memory substrate.
+
+use core::fmt;
+
+/// Errors produced by memory capacity planning and access modelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemError {
+    /// A region or allocation does not fit in the target memory.
+    CapacityExceeded {
+        /// Human-readable name of the memory or region.
+        region: String,
+        /// Bytes requested.
+        need_bytes: u64,
+        /// Bytes available.
+        have_bytes: u64,
+    },
+    /// A named buffer region was not found.
+    UnknownRegion {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An access was issued against an empty/zero-sized transfer.
+    EmptyTransfer,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::CapacityExceeded {
+                region,
+                need_bytes,
+                have_bytes,
+            } => write!(
+                f,
+                "capacity exceeded in {region}: need {need_bytes} B, have {have_bytes} B"
+            ),
+            MemError::UnknownRegion { name } => write!(f, "unknown buffer region `{name}`"),
+            MemError::EmptyTransfer => write!(f, "zero-sized memory transfer"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MemError::CapacityExceeded {
+            region: "global buffer".into(),
+            need_bytes: 31_000_000,
+            have_bytes: 30_000_000,
+        };
+        assert!(e.to_string().contains("global buffer"));
+        assert!(MemError::EmptyTransfer.to_string().contains("zero-sized"));
+        assert!(MemError::UnknownRegion { name: "x".into() }
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,70 @@
+//! Memory substrate models for the `mramrl` platform.
+//!
+//! This crate models every memory in the DATE 2019 system (Fig. 4):
+//!
+//! * a 3-D **stacked STT-MRAM** organised like HBM (1024 I/O at 2 Gb/s,
+//!   JEDEC-style channels) holding the frozen CONV+FC1+FC2 weights
+//!   (~100 MB) — see [`HbmStack`];
+//! * the 30 MB on-die **SRAM global buffer** holding the trainable FC tail,
+//!   its gradient accumulators and a 4.2 MB scratchpad — see
+//!   [`GlobalBuffer`] and [`BufferPlan`];
+//! * per-PE 4.5 KB **register files** — see [`RegisterFile`];
+//! * the off-chip camera **DRAM** and its DDR link — see [`DdrLink`].
+//!
+//! Technology parameters (Table 1 of the paper plus §III-C comparison
+//! points) live in [`tech`]; the layer-to-memory **placement planner** that
+//! reproduces Fig. 5 lives in [`placement`]; write-endurance accounting for
+//! the "why read-only NVM" ablation lives in [`endurance`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mramrl_mem::tech::TechParams;
+//!
+//! let mram = TechParams::stt_mram();
+//! // Table 1: 30 ns writes at 4.5 pJ/bit, 10 ns reads at 0.7 pJ/bit.
+//! assert_eq!(mram.write_latency_ns, 30.0);
+//! assert_eq!(mram.read_energy_pj_per_bit, 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod buffer;
+pub mod endurance;
+pub mod error;
+pub mod link;
+pub mod placement;
+pub mod rf;
+pub mod stack;
+pub mod stats;
+pub mod tech;
+
+pub use array::MemoryArray;
+pub use buffer::{BufferPlan, GlobalBuffer};
+pub use endurance::WearTracker;
+pub use error::MemError;
+pub use link::{DdrLink, IoBus};
+pub use placement::{LayerPlacement, PlacementPlan, PlacementRequest, StorageClass};
+pub use rf::RegisterFile;
+pub use stack::HbmStack;
+pub use stats::AccessStats;
+pub use tech::{TechKind, TechParams};
+
+/// Bytes in one decimal megabyte (the unit the paper uses: 12.6 MB,
+/// 29.4 MB, 100 MB are all decimal).
+pub const MB: f64 = 1.0e6;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn send_sync_public_types() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::MemoryArray>();
+        assert_send_sync::<crate::GlobalBuffer>();
+        assert_send_sync::<crate::HbmStack>();
+        assert_send_sync::<crate::PlacementPlan>();
+        assert_send_sync::<crate::MemError>();
+    }
+}

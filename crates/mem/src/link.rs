@@ -1,0 +1,133 @@
+//! Off-chip interconnect models (DDR link, generic I/O bus).
+
+use crate::error::MemError;
+
+/// A point-to-point I/O bus: `bits` lines at `gbps_per_pin` each.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::IoBus;
+///
+/// // The STT-MRAM stack ↔ global buffer interface: 1024 I/O × 2 Gb/s.
+/// let bus = IoBus::new(1024, 2.0);
+/// assert_eq!(bus.bandwidth_gbytes_per_s(), 256.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoBus {
+    bits: u32,
+    gbps_per_pin: f64,
+}
+
+impl IoBus {
+    /// Creates a bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or the pin rate is not positive.
+    pub fn new(bits: u32, gbps_per_pin: f64) -> Self {
+        assert!(bits > 0 && gbps_per_pin > 0.0, "invalid bus parameters");
+        Self { bits, gbps_per_pin }
+    }
+
+    /// Line count.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Aggregate bandwidth in GB/s.
+    pub fn bandwidth_gbytes_per_s(&self) -> f64 {
+        f64::from(self.bits) * self.gbps_per_pin / 8.0
+    }
+
+    /// Time in nanoseconds to move `bytes` across the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyTransfer`] for zero-length transfers.
+    pub fn transfer_ns(&self, bytes: u64) -> Result<f64, MemError> {
+        if bytes == 0 {
+            return Err(MemError::EmptyTransfer);
+        }
+        Ok(bytes as f64 / self.bandwidth_gbytes_per_s())
+    }
+}
+
+/// The DDR link between the off-chip camera/DSP DRAM and the logic die
+/// (§III-A: "the data flow between DRAM and logic die uses the DDR6
+/// protocol").
+///
+/// DDR6 is not a published standard at the paper's timeframe; we model it
+/// as a 64-bit interface at 8 Gb/s/pin (64 GB/s), the rate class the paper
+/// implies. One camera frame (224×224×3 bytes after the DSP) moves in
+/// ≈2.4 µs — never a bottleneck, which is exactly why the paper spends no
+/// further time on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdrLink {
+    bus: IoBus,
+}
+
+impl DdrLink {
+    /// Creates a link over an arbitrary bus.
+    pub fn new(bus: IoBus) -> Self {
+        Self { bus }
+    }
+
+    /// The paper's camera-DRAM link.
+    pub fn date19() -> Self {
+        Self::new(IoBus::new(64, 8.0))
+    }
+
+    /// Bandwidth in GB/s.
+    pub fn bandwidth_gbytes_per_s(&self) -> f64 {
+        self.bus.bandwidth_gbytes_per_s()
+    }
+
+    /// Time in nanoseconds to move one `bytes`-sized camera frame on-chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyTransfer`] for zero-length frames.
+    pub fn frame_transfer_ns(&self, bytes: u64) -> Result<f64, MemError> {
+        self.bus.transfer_ns(bytes)
+    }
+}
+
+impl Default for DdrLink {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_bandwidth() {
+        let b = IoBus::new(128, 1.0);
+        assert_eq!(b.bandwidth_gbytes_per_s(), 16.0);
+        assert_eq!(b.bits(), 128);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let b = IoBus::new(8, 1.0); // 1 GB/s
+        assert!((b.transfer_ns(1000).unwrap() - 1000.0).abs() < 1e-9);
+        assert!(b.transfer_ns(0).is_err());
+    }
+
+    #[test]
+    fn camera_frame_is_microseconds() {
+        let link = DdrLink::date19();
+        // 224×224×3 bytes ≈ 150 kB → ≈ 2.4 µs at 64 GB/s.
+        let ns = link.frame_transfer_ns(224 * 224 * 3).unwrap();
+        assert!(ns > 1.0e3 && ns < 5.0e3, "{ns}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bus parameters")]
+    fn zero_width_bus_panics() {
+        let _ = IoBus::new(0, 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-PE register files.
+
+/// The 4.5 KB register file inside each processing element (Fig. 4(b)).
+///
+/// Mapping feasibility in `mramrl-systolic` is gated on whether a filter
+/// row (with all input channels for the mapping's channel group) plus the
+/// corresponding input row fit here — that is exactly what distinguishes
+/// the Type I/II/III conv mappings in §IV-A.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::RegisterFile;
+///
+/// let rf = RegisterFile::date19();
+/// // CONV1 Type I: a filter row of 11 taps × 3 input channels × 24 output
+/// // channels plus an input row of 227 px × 3 channels fits in 4.5 KB.
+/// let filter_row = 11 * 3 * 24 * 2;
+/// let input_row = 227 * 3 * 2;
+/// assert!(rf.fits(filter_row + input_row));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegisterFile {
+    capacity_bytes: u32,
+}
+
+impl RegisterFile {
+    /// Creates a register file of `capacity_bytes`.
+    pub const fn new(capacity_bytes: u32) -> Self {
+        Self { capacity_bytes }
+    }
+
+    /// The paper's 4.5 KB register file.
+    pub const fn date19() -> Self {
+        Self::new(4608)
+    }
+
+    /// Capacity in bytes.
+    pub const fn capacity_bytes(self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Whether an allocation of `bytes` fits.
+    pub const fn fits(self, bytes: u32) -> bool {
+        bytes <= self.capacity_bytes
+    }
+
+    /// How many 16-bit words fit.
+    pub const fn capacity_words(self) -> u32 {
+        self.capacity_bytes / 2
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date19_is_4_5_kb() {
+        let rf = RegisterFile::date19();
+        assert_eq!(rf.capacity_bytes(), 4608);
+        assert_eq!(rf.capacity_words(), 2304);
+    }
+
+    #[test]
+    fn conv2_row_does_not_fit_with_all_channels() {
+        // §IV-A Type II exists because CONV2's 256-channel filter rows with
+        // all 96 input channels exceed the RF: 5 taps × 96 ch × 14 out-ch
+        // would be fine, but with full input depth and no channel split the
+        // working set blows past 4.5 KB.
+        let rf = RegisterFile::date19();
+        let filter_row_all_ch = 5 * 96 * 14 * 2; // 13.4 KB
+        assert!(!rf.fits(filter_row_all_ch));
+        let filter_row_half_ch = 5 * 48 * 14 * 2; // 6.7 KB still too big
+        assert!(!rf.fits(filter_row_half_ch));
+        let filter_row_one_out = 5 * 48 * 2; // one output channel at a time
+        assert!(rf.fits(filter_row_one_out + 27 * 48 * 2));
+    }
+
+    #[test]
+    fn fits_boundary() {
+        let rf = RegisterFile::new(100);
+        assert!(rf.fits(100));
+        assert!(!rf.fits(101));
+        assert!(rf.fits(0));
+    }
+}

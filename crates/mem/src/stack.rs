@@ -1,0 +1,226 @@
+//! The 3-D stacked STT-MRAM organised like HBM (JESD235B-style channels).
+
+use crate::array::{Access, MemoryArray};
+use crate::error::MemError;
+use crate::stats::AccessStats;
+use crate::tech::TechParams;
+
+/// HBM-style 3-D stack with the DRAM dies replaced by STT-MRAM (§III-B).
+///
+/// The paper borrows the JEDEC HBM organisation \[10\]: the stack exposes
+/// independent channels whose aggregate interface is **1024 I/O at
+/// 2 Gb/s each** towards the logic-die global buffer. Transfers are striped
+/// across channels, so bandwidth aggregates while per-access latency is one
+/// channel's latency.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::HbmStack;
+///
+/// let stack = HbmStack::date19();
+/// assert_eq!(stack.total_io_bits(), 1024);
+/// assert_eq!(stack.channels(), 8);
+/// assert!(stack.capacity_bytes() >= 100_000_000); // holds the 100 MB model
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbmStack {
+    channels: Vec<MemoryArray>,
+}
+
+impl HbmStack {
+    /// Builds a stack of `channels` identical channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(
+        channels: usize,
+        tech: TechParams,
+        capacity_per_channel: u64,
+        io_bits_per_channel: u32,
+        io_gbps_per_pin: f64,
+    ) -> Self {
+        assert!(channels > 0, "stack needs at least one channel");
+        let channels = (0..channels)
+            .map(|i| {
+                MemoryArray::new(
+                    format!("hbm-ch{i}"),
+                    tech.clone(),
+                    capacity_per_channel,
+                    io_bits_per_channel,
+                    io_gbps_per_pin,
+                )
+            })
+            .collect();
+        Self { channels }
+    }
+
+    /// The paper's configuration: 8 channels × 128 I/O = 1024 I/O at
+    /// 2 Gb/s, 16 MB per channel (128 MB total ≥ the 100 MB frozen model).
+    pub fn date19() -> Self {
+        Self::new(8, TechParams::stt_mram(), 16_000_000, 128, 2.0)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Aggregate interface width in bits.
+    pub fn total_io_bits(&self) -> u32 {
+        self.channels.iter().map(MemoryArray::io_bits).sum()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels.iter().map(MemoryArray::capacity_bytes).sum()
+    }
+
+    /// Aggregate read bandwidth in GB/s.
+    pub fn read_bandwidth_gbytes_per_s(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(MemoryArray::read_bandwidth_gbytes_per_s)
+            .sum()
+    }
+
+    /// Aggregate write bandwidth in GB/s (write-pulse limited).
+    pub fn write_bandwidth_gbytes_per_s(&self) -> f64 {
+        self.channels
+            .iter()
+            .map(MemoryArray::write_bandwidth_gbytes_per_s)
+            .sum()
+    }
+
+    /// Reads `bytes`, striped evenly across channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-level errors ([`MemError::EmptyTransfer`],
+    /// [`MemError::CapacityExceeded`]).
+    pub fn read(&mut self, bytes: u64) -> Result<Access, MemError> {
+        self.striped(bytes, true)
+    }
+
+    /// Writes `bytes`, striped evenly across channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-level errors.
+    pub fn write(&mut self, bytes: u64) -> Result<Access, MemError> {
+        self.striped(bytes, false)
+    }
+
+    fn striped(&mut self, bytes: u64, is_read: bool) -> Result<Access, MemError> {
+        if bytes == 0 {
+            return Err(MemError::EmptyTransfer);
+        }
+        if bytes > self.capacity_bytes() {
+            return Err(MemError::CapacityExceeded {
+                region: "hbm-stack".into(),
+                need_bytes: bytes,
+                have_bytes: self.capacity_bytes(),
+            });
+        }
+        let n = self.channels.len() as u64;
+        let per = bytes / n;
+        let rem = bytes % n;
+        let mut worst_ns = 0.0f64;
+        let mut energy = 0.0f64;
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            let mut share = per + u64::from((i as u64) < rem);
+            if share == 0 {
+                // Tiny transfer: land it on channel 0 only.
+                if i == 0 {
+                    share = bytes;
+                } else {
+                    continue;
+                }
+            }
+            let a = if is_read { ch.read(share)? } else { ch.write(share)? };
+            worst_ns = worst_ns.max(a.latency_ns);
+            energy += a.energy_pj;
+        }
+        Ok(Access {
+            latency_ns: worst_ns,
+            energy_pj: energy,
+        })
+    }
+
+    /// Aggregated access statistics across channels.
+    pub fn stats(&self) -> AccessStats {
+        self.channels
+            .iter()
+            .fold(AccessStats::default(), |acc, ch| acc + *ch.stats())
+    }
+
+    /// Resets statistics on every channel.
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset_stats();
+        }
+    }
+
+    /// Total standby power in milliwatts.
+    pub fn standby_power_mw(&self) -> f64 {
+        self.channels.iter().map(MemoryArray::standby_power_mw).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date19_matches_fig4b() {
+        let s = HbmStack::date19();
+        assert_eq!(s.total_io_bits(), 1024);
+        // 1024 I/O × 2 Gb/s = 256 GB/s aggregate read.
+        assert!((s.read_bandwidth_gbytes_per_s() - 256.0).abs() < 1e-9);
+        // Write-pulse limited: 1024 b / 30 ns ≈ 4.267 GB/s aggregate.
+        assert!((s.write_bandwidth_gbytes_per_s() - 1024.0 / 30.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn striping_divides_latency() {
+        let mut s = HbmStack::date19();
+        let a = s.read(8_000_000).unwrap();
+        // 1 MB per channel at 32 GB/s per channel ≈ 31.25 µs + 10 ns.
+        assert!((a.latency_ns - (1.0e6 / 32.0 + 10.0)).abs() < 1.0);
+        // Energy is for all 8 MB regardless of striping.
+        assert!((a.energy_pj - 64.0e6 * 0.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_transfer_uses_one_channel() {
+        let mut s = HbmStack::date19();
+        let a = s.read(4).unwrap();
+        assert!(a.latency_ns >= 10.0);
+        assert_eq!(s.stats().read_bits, 32);
+    }
+
+    #[test]
+    fn capacity_is_sum_of_channels() {
+        let s = HbmStack::date19();
+        assert_eq!(s.capacity_bytes(), 128_000_000);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut s = HbmStack::date19();
+        assert!(matches!(
+            s.write(200_000_000),
+            Err(MemError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_aggregate_and_reset() {
+        let mut s = HbmStack::date19();
+        s.read(8000).unwrap();
+        assert_eq!(s.stats().read_bits, 64_000);
+        s.reset_stats();
+        assert_eq!(s.stats().read_bits, 0);
+    }
+}

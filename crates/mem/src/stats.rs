@@ -1,0 +1,167 @@
+//! Access accounting shared by all memory models.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Cumulative read/write traffic and energy for one memory.
+///
+/// All memory models in this crate meter their traffic into an
+/// `AccessStats`; the deployment simulator aggregates them to produce the
+/// per-mission energy and endurance numbers.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::AccessStats;
+///
+/// let mut s = AccessStats::default();
+/// s.record_read(1024, 716.8);
+/// s.record_write(512, 2304.0);
+/// assert_eq!(s.read_bits, 1024);
+/// assert_eq!(s.total_energy_pj(), 716.8 + 2304.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessStats {
+    /// Total bits read.
+    pub read_bits: u64,
+    /// Total bits written.
+    pub write_bits: u64,
+    /// Number of read transactions.
+    pub read_ops: u64,
+    /// Number of write transactions.
+    pub write_ops: u64,
+    /// Energy spent reading, picojoules.
+    pub read_energy_pj: f64,
+    /// Energy spent writing, picojoules.
+    pub write_energy_pj: f64,
+    /// Time the memory port was busy, nanoseconds.
+    pub busy_ns: f64,
+}
+
+impl AccessStats {
+    /// Creates empty statistics (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read transaction of `bits` costing `energy_pj`.
+    pub fn record_read(&mut self, bits: u64, energy_pj: f64) {
+        self.read_bits += bits;
+        self.read_ops += 1;
+        self.read_energy_pj += energy_pj;
+    }
+
+    /// Records one write transaction of `bits` costing `energy_pj`.
+    pub fn record_write(&mut self, bits: u64, energy_pj: f64) {
+        self.write_bits += bits;
+        self.write_ops += 1;
+        self.write_energy_pj += energy_pj;
+    }
+
+    /// Adds port-busy time.
+    pub fn record_busy(&mut self, ns: f64) {
+        self.busy_ns += ns;
+    }
+
+    /// Total access energy in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.read_energy_pj + self.write_energy_pj
+    }
+
+    /// Total access energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.total_energy_pj() * 1.0e-9
+    }
+
+    /// Total traffic in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.read_bits + self.write_bits
+    }
+
+    /// Fraction of traffic that was writes (0 when idle).
+    pub fn write_fraction(&self) -> f64 {
+        let total = self.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.write_bits as f64 / total as f64
+        }
+    }
+}
+
+impl Add for AccessStats {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            read_bits: self.read_bits + rhs.read_bits,
+            write_bits: self.write_bits + rhs.write_bits,
+            read_ops: self.read_ops + rhs.read_ops,
+            write_ops: self.write_ops + rhs.write_ops,
+            read_energy_pj: self.read_energy_pj + rhs.read_energy_pj,
+            write_energy_pj: self.write_energy_pj + rhs.write_energy_pj,
+            busy_ns: self.busy_ns + rhs.busy_ns,
+        }
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {:.3} Mb ({} ops), writes {:.3} Mb ({} ops), energy {:.3} mJ",
+            self.read_bits as f64 / 1.0e6,
+            self.read_ops,
+            self.write_bits as f64 / 1.0e6,
+            self.write_ops,
+            self.total_energy_mj()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_totals() {
+        let mut s = AccessStats::new();
+        s.record_read(100, 70.0);
+        s.record_read(100, 70.0);
+        s.record_write(50, 225.0);
+        assert_eq!(s.read_bits, 200);
+        assert_eq!(s.read_ops, 2);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.total_bits(), 250);
+        assert!((s.total_energy_pj() - 365.0).abs() < 1e-12);
+        assert!((s.write_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_merges_fields() {
+        let mut a = AccessStats::new();
+        a.record_read(10, 7.0);
+        let mut b = AccessStats::new();
+        b.record_write(20, 90.0);
+        b.record_busy(5.0);
+        let c = a + b;
+        assert_eq!(c.read_bits, 10);
+        assert_eq!(c.write_bits, 20);
+        assert_eq!(c.busy_ns, 5.0);
+    }
+
+    #[test]
+    fn idle_write_fraction_is_zero() {
+        assert_eq!(AccessStats::new().write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!AccessStats::new().to_string().is_empty());
+    }
+}

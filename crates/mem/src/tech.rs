@@ -1,0 +1,247 @@
+//! Memory technology parameter sets.
+//!
+//! [`TechParams::stt_mram`] carries Table 1 of the paper verbatim. The other
+//! non-volatile presets ([`TechParams::rram`], [`TechParams::pcm`]) encode
+//! the qualitative comparison of §III-C ("Compared to other NVMs such as
+//! Phase-change memory or resistive RAM, STT-MRAM exhibits better read/write
+//! latency") with representative numbers from the literature the paper cites
+//! (\[11\] Chen 2016 survey, \[12\] Lin 2009); they exist so the
+//! `ablation_nvm_tech` experiment can swap the NVM and show the co-design
+//! conclusion is technology-portable.
+
+use core::fmt;
+
+/// Broad class of a memory technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechKind {
+    /// On-die static RAM (global buffer, register files).
+    Sram,
+    /// Dynamic RAM (off-chip camera buffer).
+    Dram,
+    /// Spin-transfer-torque magnetic RAM (the paper's NVM of choice).
+    SttMram,
+    /// Resistive RAM (comparison point, §III-C).
+    Rram,
+    /// Phase-change memory (comparison point, §III-C).
+    Pcm,
+}
+
+impl fmt::Display for TechKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TechKind::Sram => "SRAM",
+            TechKind::Dram => "DRAM",
+            TechKind::SttMram => "STT-MRAM",
+            TechKind::Rram => "RRAM",
+            TechKind::Pcm => "PCM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Electrical/timing parameters of a memory technology.
+///
+/// Energies are per *bit* and include I/O, peripheral and array energy, the
+/// same accounting convention as Table 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_mem::tech::TechParams;
+///
+/// let sram = TechParams::sram();
+/// let mram = TechParams::stt_mram();
+/// // The whole co-design exists because NVM writes are expensive:
+/// assert!(mram.write_energy_pj_per_bit > 10.0 * sram.write_energy_pj_per_bit);
+/// assert!(!mram.volatile && sram.volatile);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    /// Technology class.
+    pub kind: TechKind,
+    /// Array read latency in nanoseconds.
+    pub read_latency_ns: f64,
+    /// Array write latency in nanoseconds.
+    pub write_latency_ns: f64,
+    /// Read energy in picojoules per bit (I/O + peripheral + array).
+    pub read_energy_pj_per_bit: f64,
+    /// Write energy in picojoules per bit (I/O + peripheral + array).
+    pub write_energy_pj_per_bit: f64,
+    /// Standby (leakage) power in microwatts per decimal megabyte.
+    pub leakage_uw_per_mb: f64,
+    /// Whether contents are lost on power-down.
+    pub volatile: bool,
+    /// Write endurance in program cycles per cell, if limited.
+    pub endurance_writes: Option<u64>,
+}
+
+impl TechParams {
+    /// STT-MRAM parameters, Table 1 of the paper (refs \[4\]\[5\]\[6\]).
+    pub fn stt_mram() -> Self {
+        Self {
+            kind: TechKind::SttMram,
+            read_latency_ns: 10.0,
+            write_latency_ns: 30.0,
+            read_energy_pj_per_bit: 0.7,
+            write_energy_pj_per_bit: 4.5,
+            // NVM: essentially zero standby power for retention; small
+            // peripheral leakage remains.
+            leakage_uw_per_mb: 1.0,
+            volatile: false,
+            // Mature perpendicular STT-MRAM: >1e12 cycles (refs [5][6]).
+            endurance_writes: Some(1_000_000_000_000),
+        }
+    }
+
+    /// On-die 15 nm SRAM (global buffer / scratchpad / register files).
+    ///
+    /// Latency/energy are representative post-synthesis values for a large
+    /// banked 15 nm SRAM macro at 0.8 V; the exact values only matter for
+    /// the SRAM-vs-NVM *contrast*, which is orders of magnitude.
+    pub fn sram() -> Self {
+        Self {
+            kind: TechKind::Sram,
+            read_latency_ns: 1.0,
+            write_latency_ns: 1.0,
+            read_energy_pj_per_bit: 0.08,
+            write_energy_pj_per_bit: 0.08,
+            // SRAM leakage dominates standby power: ~1 mW/MB at 0.8 V.
+            leakage_uw_per_mb: 1000.0,
+            volatile: true,
+            endurance_writes: None,
+        }
+    }
+
+    /// Off-chip buffer DRAM (camera frame store), DDR-class part.
+    pub fn dram() -> Self {
+        Self {
+            kind: TechKind::Dram,
+            read_latency_ns: 15.0,
+            write_latency_ns: 15.0,
+            read_energy_pj_per_bit: 4.0,
+            write_energy_pj_per_bit: 4.0,
+            // Refresh power folded into leakage-equivalent.
+            leakage_uw_per_mb: 300.0,
+            volatile: true,
+            endurance_writes: None,
+        }
+    }
+
+    /// Resistive RAM comparison point (§III-C; survey values from \[11\]).
+    ///
+    /// Slower, more write-hungry and endurance-limited than STT-MRAM, with
+    /// large device-to-device variation (not modelled) — the reasons the
+    /// paper rejects it.
+    pub fn rram() -> Self {
+        Self {
+            kind: TechKind::Rram,
+            read_latency_ns: 20.0,
+            write_latency_ns: 100.0,
+            read_energy_pj_per_bit: 1.5,
+            write_energy_pj_per_bit: 10.0,
+            leakage_uw_per_mb: 1.0,
+            volatile: false,
+            endurance_writes: Some(1_000_000_000),
+        }
+    }
+
+    /// Phase-change memory comparison point (§III-C; survey values \[11\]).
+    pub fn pcm() -> Self {
+        Self {
+            kind: TechKind::Pcm,
+            read_latency_ns: 50.0,
+            write_latency_ns: 150.0,
+            read_energy_pj_per_bit: 2.0,
+            write_energy_pj_per_bit: 15.0,
+            leakage_uw_per_mb: 1.0,
+            volatile: false,
+            endurance_writes: Some(100_000_000),
+        }
+    }
+
+    /// Energy in picojoules to read `bits` bits.
+    #[inline]
+    pub fn read_energy_pj(&self, bits: u64) -> f64 {
+        self.read_energy_pj_per_bit * bits as f64
+    }
+
+    /// Energy in picojoules to write `bits` bits.
+    #[inline]
+    pub fn write_energy_pj(&self, bits: u64) -> f64 {
+        self.write_energy_pj_per_bit * bits as f64
+    }
+
+    /// Standby power in milliwatts for `capacity_mb` decimal megabytes.
+    #[inline]
+    pub fn standby_power_mw(&self, capacity_mb: f64) -> f64 {
+        self.leakage_uw_per_mb * capacity_mb / 1000.0
+    }
+
+    /// Write-to-read energy ratio — the asymmetry that motivates the
+    /// read-only-NVM co-design.
+    #[inline]
+    pub fn write_read_energy_ratio(&self) -> f64 {
+        self.write_energy_pj_per_bit / self.read_energy_pj_per_bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_verbatim() {
+        let m = TechParams::stt_mram();
+        assert_eq!(m.write_latency_ns, 30.0);
+        assert_eq!(m.read_latency_ns, 10.0);
+        assert_eq!(m.write_energy_pj_per_bit, 4.5);
+        assert_eq!(m.read_energy_pj_per_bit, 0.7);
+        assert!(!m.volatile);
+    }
+
+    #[test]
+    fn stt_mram_write_asymmetry() {
+        let m = TechParams::stt_mram();
+        // 4.5 / 0.7 ≈ 6.43× energy, 3× latency: the paper's core premise.
+        assert!((m.write_read_energy_ratio() - 6.428).abs() < 0.01);
+        assert_eq!(m.write_latency_ns / m.read_latency_ns, 3.0);
+    }
+
+    #[test]
+    fn stt_beats_other_nvms_on_latency_and_energy() {
+        // §III-C: "Compared to other NVMs ... STT-MRAM exhibits better
+        // read/write latency".
+        let stt = TechParams::stt_mram();
+        for other in [TechParams::rram(), TechParams::pcm()] {
+            assert!(stt.read_latency_ns < other.read_latency_ns, "{}", other.kind);
+            assert!(stt.write_latency_ns < other.write_latency_ns, "{}", other.kind);
+            assert!(stt.write_energy_pj_per_bit < other.write_energy_pj_per_bit);
+            assert!(
+                stt.endurance_writes.unwrap() > other.endurance_writes.unwrap(),
+                "{}",
+                other.kind
+            );
+        }
+    }
+
+    #[test]
+    fn nvm_standby_is_negligible_vs_sram() {
+        let stt = TechParams::stt_mram();
+        let sram = TechParams::sram();
+        // High-density + low-standby-power is why NVM is attractive (§I).
+        assert!(stt.standby_power_mw(100.0) < 0.01 * sram.standby_power_mw(100.0));
+    }
+
+    #[test]
+    fn energy_math() {
+        let m = TechParams::stt_mram();
+        assert_eq!(m.read_energy_pj(1000), 700.0);
+        assert_eq!(m.write_energy_pj(1000), 4500.0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TechKind::SttMram.to_string(), "STT-MRAM");
+        assert_eq!(TechKind::Sram.to_string(), "SRAM");
+    }
+}

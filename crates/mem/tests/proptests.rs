@@ -1,0 +1,113 @@
+//! Property tests for the memory substrate.
+
+use mramrl_mem::tech::TechParams;
+use mramrl_mem::{BufferPlan, IoBus, MemoryArray, PlacementPlan, PlacementRequest};
+use proptest::prelude::*;
+
+fn arb_layers() -> impl Strategy<Value = Vec<(String, u64, bool)>> {
+    proptest::collection::vec((1_000u64..50_000_000, any::<bool>()), 1..12).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (b, t))| (format!("L{i}"), b, t))
+            .collect()
+    })
+}
+
+proptest! {
+    /// The placement plan never allocates more SRAM than the capacity and
+    /// accounts for every layer exactly once.
+    #[test]
+    fn placement_respects_capacity(
+        layers in arb_layers(),
+        scratch in 0u64..5_000_000,
+        sram in 5_000_000u64..64_000_000,
+    ) {
+        let total: u64 = layers.iter().map(|(_, b, _)| *b).sum();
+        let req = PlacementRequest::new(layers.clone(), scratch, sram, total * 3 + 1_000_000);
+        if scratch > sram {
+            prop_assert!(PlacementPlan::solve(&req).is_err());
+            return Ok(());
+        }
+        let plan = PlacementPlan::solve(&req).unwrap();
+        prop_assert!(plan.sram_used_bytes() <= sram);
+        prop_assert_eq!(plan.placements().len(), layers.len());
+        let placed: u64 = plan.mram_weight_bytes() + plan.sram_weight_bytes();
+        prop_assert_eq!(placed, total);
+    }
+
+    /// Frozen layers never get gradient storage; trainable layers always do.
+    #[test]
+    fn gradient_storage_iff_trainable(layers in arb_layers()) {
+        let req = PlacementRequest::new(layers, 0, 30_000_000, 2_000_000_000);
+        let plan = PlacementPlan::solve(&req).unwrap();
+        for p in plan.placements() {
+            prop_assert_eq!(p.gradients_in.is_some(), p.trainable);
+        }
+    }
+
+    /// A plan that is NVM-write-free stays write-free when the SRAM grows:
+    /// the greedy tail-first order allocates identically with more slack.
+    /// (Note: spill *count* is not monotone under greedy allocation — a
+    /// bigger SRAM can admit one big layer and starve a smaller one — so
+    /// the stronger property would be false by design.)
+    #[test]
+    fn write_freedom_preserved_by_growth(layers in arb_layers(), extra in 1u64..50_000_000) {
+        let small = PlacementRequest::new(layers.clone(), 0, 20_000_000, 2_000_000_000);
+        let big = PlacementRequest::new(layers, 0, 20_000_000 + extra, 2_000_000_000);
+        let p_small = PlacementPlan::solve(&small).unwrap();
+        let p_big = PlacementPlan::solve(&big).unwrap();
+        if p_small.is_write_free_nvm() {
+            prop_assert!(p_big.is_write_free_nvm());
+            prop_assert_eq!(p_big.mram_weight_bytes(), p_small.mram_weight_bytes());
+        }
+    }
+
+    /// Array accounting: energy scales linearly with bytes, latency is
+    /// monotone in bytes.
+    #[test]
+    fn array_access_monotone(bytes_a in 1u64..1_000_000, bytes_b in 1u64..1_000_000) {
+        let mut m = MemoryArray::new("x", TechParams::stt_mram(), 10_000_000, 1024, 2.0);
+        let a = m.read(bytes_a).unwrap();
+        let b = m.read(bytes_b).unwrap();
+        if bytes_a < bytes_b {
+            prop_assert!(a.latency_ns <= b.latency_ns);
+            prop_assert!(a.energy_pj < b.energy_pj);
+        }
+        prop_assert!((a.energy_pj - 0.7 * 8.0 * bytes_a as f64).abs() < 1e-6);
+    }
+
+    /// Writes always cost at least as much latency and energy as reads of
+    /// the same size on every NVM preset.
+    #[test]
+    fn nvm_writes_dominate_reads(bytes in 1u64..1_000_000) {
+        for tech in [TechParams::stt_mram(), TechParams::rram(), TechParams::pcm()] {
+            let mut m = MemoryArray::new("x", tech, 10_000_000, 1024, 2.0);
+            let r = m.read(bytes).unwrap();
+            let w = m.write(bytes).unwrap();
+            prop_assert!(w.latency_ns >= r.latency_ns);
+            prop_assert!(w.energy_pj >= r.energy_pj);
+        }
+    }
+
+    /// Buffer plans: allocation succeeds iff it fits, and used+free is
+    /// always the capacity.
+    #[test]
+    fn buffer_plan_invariant(allocs in proptest::collection::vec(1u64..10_000_000, 0..10)) {
+        let mut plan = BufferPlan::new(30_000_000);
+        for (i, a) in allocs.iter().enumerate() {
+            let fits = plan.used_bytes() + a <= 30_000_000;
+            prop_assert_eq!(plan.alloc(format!("r{i}"), *a).is_ok(), fits);
+            prop_assert_eq!(plan.used_bytes() + plan.free_bytes(), 30_000_000);
+        }
+    }
+
+    /// Bus transfer time is additive: t(a) + t(b) == t(a+b).
+    #[test]
+    fn bus_time_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let bus = IoBus::new(1024, 2.0);
+        let ta = bus.transfer_ns(a).unwrap();
+        let tb = bus.transfer_ns(b).unwrap();
+        let tab = bus.transfer_ns(a + b).unwrap();
+        prop_assert!((ta + tb - tab).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,358 @@
+//! 2-D convolution with analytic backward pass.
+
+use rand::rngs::SmallRng;
+
+use crate::init::WeightInit;
+use crate::layer::{Layer, ParamTensor};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer (`[C_in, H, W] → [C_out, H', W']`).
+///
+/// Weights are stored `[C_out, C_in, K_h, K_w]`; square stride and
+/// symmetric zero padding, matching the AlexNet layers of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{Conv2d, Layer, Tensor};
+///
+/// let mut conv = Conv2d::new("CONV1", 1, 4, 3, 1, 1, 42);
+/// let y = conv.forward(&Tensor::zeros(&[1, 8, 8]));
+/// assert_eq!(y.shape(), &[4, 8, 8]);
+/// assert_eq!(conv.param_count(), 4 * 9 + 4);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: ParamTensor,
+    bias: ParamTensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    pub fn new(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "bad conv dims");
+        let mut rng = crate::init::rng_from_seed(seed);
+        Self::with_rng(name, in_c, out_c, k, stride, pad, &mut rng)
+    }
+
+    /// Creates a conv layer drawing weights from an existing RNG.
+    pub fn with_rng(
+        name: impl Into<String>,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "bad conv dims");
+        let fan_in = in_c * k * k;
+        let weight = ParamTensor::new(WeightInit::HeUniform.init(
+            &[out_c, in_c, k, k],
+            fan_in,
+            out_c * k * k,
+            rng,
+        ));
+        let bias = ParamTensor::new(Tensor::zeros(&[out_c]));
+        Self {
+            name: name.into(),
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        (
+            (in_h + 2 * self.pad - self.k) / self.stride + 1,
+            (in_w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Weight tensor (for quantisation snapshots).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Bias tensor.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// (in_c, out_c, k, stride, pad) geometry tuple.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, usize) {
+        (self.in_c, self.out_c, self.k, self.stride, self.pad)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv expects [C,H,W]");
+        assert_eq!(input.shape()[0], self.in_c, "conv input channel mismatch");
+        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+        let (out_h, out_w) = self.out_hw(in_h, in_w);
+        let mut out = Tensor::zeros(&[self.out_c, out_h, out_w]);
+        let w = self.weight.value.data();
+        let b = self.bias.value.data();
+        let x = input.data();
+
+        for oc in 0..self.out_c {
+            let w_oc = &w[oc * self.in_c * self.k * self.k..(oc + 1) * self.in_c * self.k * self.k];
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = b[oc];
+                    let base_y = (oy * self.stride) as isize - self.pad as isize;
+                    let base_x = (ox * self.stride) as isize - self.pad as isize;
+                    for ic in 0..self.in_c {
+                        let w_ic = &w_oc[ic * self.k * self.k..(ic + 1) * self.k * self.k];
+                        let x_ic = &x[ic * in_h * in_w..(ic + 1) * in_h * in_w];
+                        for ky in 0..self.k {
+                            let iy = base_y + ky as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            let row = &x_ic[iy as usize * in_w..(iy as usize + 1) * in_w];
+                            let w_row = &w_ic[ky * self.k..(ky + 1) * self.k];
+                            for kx in 0..self.k {
+                                let ix = base_x + kx as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                acc += w_row[kx] * row[ix as usize];
+                            }
+                        }
+                    }
+                    *out.at3_mut(oc, oy, ox) = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("conv backward called before forward");
+        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+        let (out_h, out_w) = self.out_hw(in_h, in_w);
+        assert_eq!(
+            grad_output.shape(),
+            &[self.out_c, out_h, out_w],
+            "conv grad shape mismatch"
+        );
+
+        let mut grad_in = Tensor::zeros(&[self.in_c, in_h, in_w]);
+        let x = input.data();
+        let w = self.weight.value.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+        let go = grad_output.data();
+        let gi = grad_in.data_mut();
+
+        for oc in 0..self.out_c {
+            let w_base = oc * self.in_c * self.k * self.k;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let g = go[(oc * out_h + oy) * out_w + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += g;
+                    let base_y = (oy * self.stride) as isize - self.pad as isize;
+                    let base_x = (ox * self.stride) as isize - self.pad as isize;
+                    for ic in 0..self.in_c {
+                        let wi_base = w_base + ic * self.k * self.k;
+                        let x_base = ic * in_h * in_w;
+                        for ky in 0..self.k {
+                            let iy = base_y + ky as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            let iy = iy as usize;
+                            for kx in 0..self.k {
+                                let ix = base_x + kx as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                let ix = ix as usize;
+                                let xi = x_base + iy * in_w + ix;
+                                gw[wi_base + ky * self.k + kx] += g * x[xi];
+                                gi[xi] += g * w[wi_base + ky * self.k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&ParamTensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = self.out_hw(input_shape[1], input_shape[2]);
+        vec![self.out_c, h, w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new("c", 1, 1, 1, 1, 0, 0);
+        conv.weight.value.data_mut()[0] = 1.0;
+        conv.bias.value.data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, 0);
+        // Sum filter.
+        for v in conv.weight.value.data_mut() {
+            *v = 1.0;
+        }
+        conv.bias.value.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1]);
+        assert_eq!(y.data()[0], 45.0 + 0.5);
+    }
+
+    #[test]
+    fn stride_and_padding_shapes() {
+        let mut conv = Conv2d::new("c", 3, 96, 11, 4, 0, 1);
+        let y = conv.forward(&Tensor::zeros(&[3, 227, 227]));
+        assert_eq!(y.shape(), &[96, 55, 55]);
+        let mut conv2 = Conv2d::new("c2", 8, 4, 5, 1, 2, 1);
+        let y2 = conv2.forward(&Tensor::zeros(&[8, 27, 27]));
+        assert_eq!(y2.shape(), &[4, 27, 27]);
+    }
+
+    #[test]
+    fn bias_gradient_equals_grad_sum() {
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, 3);
+        let x = Tensor::filled(&[1, 4, 4], 0.3);
+        let _ = conv.forward(&x);
+        let g = Tensor::filled(&[2, 4, 4], 1.0);
+        let _ = conv.backward(&g);
+        // Each output channel saw 16 unit gradients.
+        assert_eq!(conv.bias.grad.data(), &[16.0, 16.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, 3);
+        let x = Tensor::filled(&[1, 3, 3], 1.0);
+        let g = Tensor::filled(&[1, 1, 1], 1.0);
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&g);
+        let first = conv.weight.grad.data()[0];
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&g);
+        assert_eq!(conv.weight.grad.data()[0], 2.0 * first);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, 3);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 1]));
+    }
+
+    /// Central-difference gradient check: the definitive correctness test
+    /// for the analytic backward pass.
+    #[test]
+    fn numerical_gradient_check() {
+        let mut conv = Conv2d::new("c", 2, 3, 3, 2, 1, 11);
+        let x = {
+            let mut rng = crate::init::rng_from_seed(5);
+            WeightInit::HeUniform.init(&[2, 5, 5], 4, 4, &mut rng)
+        };
+        // Loss = sum(output): grad_output = ones.
+        let y = conv.forward(&x);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let grad_in = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        // Check a scattering of weight gradients.
+        for idx in [0usize, 7, 20, 33, 52] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let y_plus = conv.forward(&x).sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let y_minus = conv.forward(&x).sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (y_plus - y_minus) / (2.0 * eps);
+            let analytic = conv.weight.grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "w[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // And input gradients.
+        for idx in [0usize, 12, 24, 49] {
+            let mut x2 = x.clone();
+            x2.data_mut()[idx] += eps;
+            let y_plus = conv.forward(&x2).sum();
+            x2.data_mut()[idx] -= 2.0 * eps;
+            let y_minus = conv.forward(&x2).sum();
+            let numeric = (y_plus - y_minus) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "x[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the CNN library.
+
+use core::fmt;
+
+/// Errors from network construction, weight transfer and serialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Tensor/parameter shapes are incompatible.
+    ShapeMismatch {
+        /// What was being matched.
+        context: String,
+    },
+    /// A named layer does not exist.
+    UnknownLayer {
+        /// The missing name.
+        name: String,
+    },
+    /// Serialised weight data is malformed.
+    WeightFormat {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            NnError::UnknownLayer { name } => write!(f, "unknown layer `{name}`"),
+            NnError::WeightFormat { reason } => write!(f, "bad weight data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NnError::UnknownLayer { name: "FC9".into() }
+            .to_string()
+            .contains("FC9"));
+        assert!(NnError::WeightFormat {
+            reason: "truncated".into()
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(NnError::ShapeMismatch {
+            context: "x".into()
+        }
+        .to_string()
+        .contains("shape"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Fully-connected (linear) layer.
+
+use rand::rngs::SmallRng;
+
+use crate::init::WeightInit;
+use crate::layer::{Layer, ParamTensor};
+use crate::tensor::Tensor;
+
+/// A fully-connected layer `y = W·x + b` with weights `[out, in]`.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{Linear, Layer, Tensor};
+///
+/// let mut fc = Linear::new("FC5", 8, 5, 0);
+/// let y = fc.forward(&Tensor::zeros(&[8]));
+/// assert_eq!(y.shape(), &[5]);
+/// assert_eq!(fc.param_count(), 8 * 5 + 5);
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    in_f: usize,
+    out_f: usize,
+    weight: ParamTensor,
+    bias: ParamTensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(name: impl Into<String>, in_f: usize, out_f: usize, seed: u64) -> Self {
+        let mut rng = crate::init::rng_from_seed(seed);
+        Self::with_rng(name, in_f, out_f, &mut rng)
+    }
+
+    /// Creates a linear layer drawing weights from an existing RNG.
+    pub fn with_rng(name: impl Into<String>, in_f: usize, out_f: usize, rng: &mut SmallRng) -> Self {
+        assert!(in_f > 0 && out_f > 0, "bad linear dims");
+        let weight =
+            ParamTensor::new(WeightInit::HeUniform.init(&[out_f, in_f], in_f, out_f, rng));
+        let bias = ParamTensor::new(Tensor::zeros(&[out_f]));
+        Self {
+            name: name.into(),
+            in_f,
+            out_f,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_f
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+
+    /// Weight tensor (for quantisation snapshots).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Bias tensor.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_f, "linear input length mismatch");
+        let x = input.data();
+        let w = self.weight.value.data();
+        let b = self.bias.value.data();
+        let mut out = Tensor::zeros(&[self.out_f]);
+        let o = out.data_mut();
+        for (j, oj) in o.iter_mut().enumerate() {
+            let row = &w[j * self.in_f..(j + 1) * self.in_f];
+            let mut acc = b[j];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *oj = acc;
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("linear backward called before forward");
+        assert_eq!(grad_output.len(), self.out_f, "linear grad length mismatch");
+        let x = input.data();
+        let go = grad_output.data();
+        let w = self.weight.value.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+
+        let mut grad_in = Tensor::zeros(&[self.in_f]);
+        let gi = grad_in.data_mut();
+        for j in 0..self.out_f {
+            let g = go[j];
+            gb[j] += g;
+            if g == 0.0 {
+                continue;
+            }
+            let row_w = &w[j * self.in_f..(j + 1) * self.in_f];
+            let row_gw = &mut gw[j * self.in_f..(j + 1) * self.in_f];
+            for i in 0..self.in_f {
+                row_gw[i] += g * x[i];
+                gi[i] += g * row_w[i];
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&ParamTensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.out_f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_product() {
+        let mut fc = Linear::new("f", 2, 2, 0);
+        fc.weight.value = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        fc.bias.value = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let y = fc.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let mut fc = Linear::new("f", 3, 2, 1);
+        let _ = fc.forward(&Tensor::filled(&[3], 1.0));
+        let gi = fc.backward(&Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        assert_eq!(gi.shape(), &[3]);
+        assert_eq!(fc.bias.grad.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut fc = Linear::new("f", 6, 4, 9);
+        let x = {
+            let mut rng = crate::init::rng_from_seed(3);
+            WeightInit::HeUniform.init(&[6], 6, 6, &mut rng)
+        };
+        let y = fc.forward(&x);
+        // Loss: weighted sum so gradients differ per output.
+        let gvec: Vec<f32> = (0..4).map(|i| 0.5 + i as f32).collect();
+        let loss = |out: &Tensor| -> f32 {
+            out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum()
+        };
+        let _ = loss(&y);
+        let grad_in = fc.backward(&Tensor::from_vec(&[4], gvec.clone()));
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11, 17, 23] {
+            let orig = fc.weight.value.data()[idx];
+            fc.weight.value.data_mut()[idx] = orig + eps;
+            let p = loss(&fc.forward(&x));
+            fc.weight.value.data_mut()[idx] = orig - eps;
+            let m = loss(&fc.forward(&x));
+            fc.weight.value.data_mut()[idx] = orig;
+            let numeric = (p - m) / (2.0 * eps);
+            let analytic = fc.weight.grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "w[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+        for idx in 0..6 {
+            let mut x2 = x.clone();
+            x2.data_mut()[idx] += eps;
+            let p = loss(&fc.forward(&x2));
+            x2.data_mut()[idx] -= 2.0 * eps;
+            let m = loss(&fc.forward(&x2));
+            let numeric = (p - m) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "x[{idx}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3a_weight_counts() {
+        // The five FC layers of the paper, parameter counts exactly as
+        // listed in Fig. 3(a).
+        let expect = [
+            (9216usize, 4096usize, 37_752_832u64),
+            (4096, 2048, 8_390_656),
+            (2048, 2048, 4_196_352),
+            (2048, 1024, 2_098_176),
+            (1024, 5, 5_125),
+        ];
+        for (i, o, n) in expect {
+            assert_eq!(Linear::new("f", i, o, 0).param_count(), n);
+        }
+    }
+}

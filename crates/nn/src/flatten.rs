@@ -1,0 +1,75 @@
+//! Flatten layer (`[C,H,W] → [C·H·W]`).
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Flattens the conv feature map into the FC input vector.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{Flatten, Layer, Tensor};
+///
+/// let mut f = Flatten::new("flatten");
+/// let y = f.forward(&Tensor::zeros(&[256, 6, 6]));
+/// assert_eq!(y.shape(), &[9216]); // the paper's FC1 input width
+/// ```
+#[derive(Debug)]
+pub struct Flatten {
+    name: String,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            in_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.in_shape = Some(input.shape().to_vec());
+        input.clone().reshaped(&[input.len()])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .in_shape
+            .as_ref()
+            .expect("flatten backward before forward");
+        grad_output.clone().reshaped(shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let mut f = Flatten::new("f");
+        let x = Tensor::from_vec(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[4]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 1, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn output_shape() {
+        assert_eq!(Flatten::new("f").output_shape(&[256, 6, 6]), vec![9216]);
+    }
+}

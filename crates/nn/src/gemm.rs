@@ -1,0 +1,365 @@
+//! GEMM-based convolution via im2col/col2im (§V-B).
+//!
+//! The paper's platform backpropagates conv layers by expanding them into
+//! matrix multiplications: "we use GEMM \[16\], where the system first reads
+//! the data ... and expands the inputs to each CONV layers in a 2D
+//! matrix". This module implements that exact transformation in software —
+//! `im2col`, its adjoint `col2im`, and a plain `matmul` — and the conv
+//! forward/backward passes expressed through them.
+//!
+//! Besides mirroring the hardware path, the GEMM formulation is an
+//! independent implementation of convolution: the tests prove it
+//! equivalent to the direct loops in [`crate::Conv2d`], which is a strong
+//! cross-check on both.
+
+use crate::tensor::Tensor;
+
+/// Dense row-major matrix multiply: `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimensions");
+    assert_eq!(b.len(), k * n, "B dimensions");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `A[m×k]ᵀ · B[m×n] → C[k×n]` without materialising the transpose —
+/// the systolic array's Fig. 8 trick, in software.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimensions");
+    assert_eq!(b.len(), m * n, "B dimensions");
+    let mut c = vec![0.0f32; k * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Expands a `[C,H,W]` input into the im2col matrix of shape
+/// `[out_h·out_w, C·k·k]` (rows = output positions, cols = patch taps;
+/// zero padding materialised as zeros).
+///
+/// # Panics
+///
+/// Panics if the input is not 3-D or the filter exceeds the padded input.
+pub fn im2col(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Vec<f32>, usize, usize) {
+    assert_eq!(input.shape().len(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "filter exceeds input");
+    let out_h = (h + 2 * pad - k) / stride + 1;
+    let out_w = (w + 2 * pad - k) / stride + 1;
+    let rows = out_h * out_w;
+    let cols = c * k * k;
+    let mut m = vec![0.0f32; rows * cols];
+    let x = input.data();
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        m[row * cols + (ci * k + ky) * k + kx] =
+                            x[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    (m, rows, cols)
+}
+
+/// The adjoint of [`im2col`]: scatters a `[out_h·out_w, C·k·k]` matrix
+/// back into a `[C,H,W]` tensor, accumulating overlaps.
+///
+/// # Panics
+///
+/// Panics if the matrix size does not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    m: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let out_h = (h + 2 * pad - k) / stride + 1;
+    let out_w = (w + 2 * pad - k) / stride + 1;
+    let cols = c * k * k;
+    assert_eq!(m.len(), out_h * out_w * cols, "col2im size mismatch");
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let o = out.data_mut();
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        o[(ci * h + iy as usize) * w + ix as usize] +=
+                            m[row * cols + (ci * k + ky) * k + kx];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution forward through GEMM: `out[oc, pos] = W[oc, taps] ·
+/// im2col(x)[pos, taps]ᵀ + b`.
+///
+/// Weights are `[out_c, in_c, k, k]` (as in [`crate::Conv2d`]).
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_gemm(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let out_c = weight.shape()[0];
+    let in_c = weight.shape()[1];
+    let k = weight.shape()[2];
+    assert_eq!(weight.shape()[3], k, "square filters only");
+    assert_eq!(input.shape()[0], in_c, "channel mismatch");
+    assert_eq!(bias.len(), out_c, "bias mismatch");
+
+    let (cols_m, positions, taps) = im2col(input, k, stride, pad);
+    // W[out_c × taps] · cols_mᵀ[taps × positions]: compute as
+    // (cols_m[positions × taps] · Wᵀ)ᵀ via matmul_at_b on Wᵀ… simplest:
+    // out[oc][pos] = Σ_t W[oc,t] · cols_m[pos,t].
+    let w = weight.data();
+    let (h, wdt) = (input.shape()[1], input.shape()[2]);
+    let out_h = (h + 2 * pad - k) / stride + 1;
+    let out_w = (wdt + 2 * pad - k) / stride + 1;
+    let mut out = Tensor::zeros(&[out_c, out_h, out_w]);
+    let o = out.data_mut();
+    for oc in 0..out_c {
+        let w_row = &w[oc * taps..(oc + 1) * taps];
+        let b = bias.data()[oc];
+        for pos in 0..positions {
+            let patch = &cols_m[pos * taps..(pos + 1) * taps];
+            let mut acc = b;
+            for (wv, xv) in w_row.iter().zip(patch) {
+                acc += wv * xv;
+            }
+            o[oc * positions + pos] = acc;
+        }
+    }
+    out
+}
+
+/// Conv backward through GEMM, as the platform computes it (§V-B):
+/// weight gradient `dW = gradᵀ · im2col(x)` and input gradient
+/// `dX = col2im(grad · W)`.
+///
+/// Returns `(grad_weight, grad_bias, grad_input)`.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_gemm_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let out_c = weight.shape()[0];
+    let in_c = weight.shape()[1];
+    let k = weight.shape()[2];
+    let (h, w) = (input.shape()[1], input.shape()[2]);
+    let (cols_m, positions, taps) = im2col(input, k, stride, pad);
+    assert_eq!(grad_output.len(), out_c * positions, "grad geometry");
+
+    // grad as a [positions × out_c] matrix (transposed view of [oc, pos]).
+    let go = grad_output.data();
+    let mut grad_pos_oc = vec![0.0f32; positions * out_c];
+    for oc in 0..out_c {
+        for pos in 0..positions {
+            grad_pos_oc[pos * out_c + oc] = go[oc * positions + pos];
+        }
+    }
+
+    // dW[oc × taps] = grad[pos × oc]ᵀ · cols_m[pos × taps].
+    let dw = matmul_at_b(&grad_pos_oc, &cols_m, positions, out_c, taps);
+    let grad_weight = Tensor::from_vec(&[out_c, in_c, k, k], dw);
+
+    // db[oc] = Σ_pos grad.
+    let mut db = vec![0.0f32; out_c];
+    for oc in 0..out_c {
+        for pos in 0..positions {
+            db[oc] += go[oc * positions + pos];
+        }
+    }
+    let grad_bias = Tensor::from_vec(&[out_c], db);
+
+    // dX = col2im( grad[pos × oc] · W[oc × taps] ).
+    let dcols = matmul(&grad_pos_oc, weight.data(), positions, out_c, taps);
+    let grad_input = col2im(&dcols, in_c, h, w, k, stride, pad);
+    (grad_weight, grad_bias, grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::init::{rng_from_seed, WeightInit};
+    use crate::layer::Layer;
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = rng_from_seed(seed);
+        WeightInit::HeUniform.init(shape, 8, 8, &mut rng)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let c = matmul(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_at_b_equals_explicit_transpose() {
+        let a = rand_tensor(&[6, 4], 1); // A is 6×4
+        let b = rand_tensor(&[6, 3], 2); // B is 6×3
+        let fast = matmul_at_b(a.data(), b.data(), 6, 4, 3);
+        // Explicit Aᵀ then plain matmul.
+        let mut at = vec![0.0f32; 24];
+        for i in 0..6 {
+            for j in 0..4 {
+                at[j * 6 + i] = a.data()[i * 4 + j];
+            }
+        }
+        let slow = matmul(&at, b.data(), 4, 6, 3);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // k=1, stride=1: im2col is just a reshape.
+        let x = Tensor::from_vec(&[2, 2, 2], (0..8).map(|v| v as f32).collect());
+        let (m, rows, cols) = im2col(&x, 1, 1, 0);
+        assert_eq!((rows, cols), (4, 2));
+        // Row = position, col = channel.
+        assert_eq!(m[0 * 2], 0.0); // (0,0) ch0
+        assert_eq!(m[0 * 2 + 1], 4.0); // (0,0) ch1
+        assert_eq!(m[3 * 2 + 1], 7.0); // (1,1) ch1
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), m> == <x, col2im(m)> — the defining adjoint property
+        // that makes the GEMM backward correct.
+        let x = rand_tensor(&[2, 5, 5], 3);
+        let (ix, rows, cols) = im2col(&x, 3, 2, 1);
+        let m = rand_tensor(&[rows, cols], 4);
+        let lhs: f32 = ix.iter().zip(m.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(m.data(), 2, 5, 5, 3, 2, 1);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gemm_forward_equals_direct_conv() {
+        for (in_c, out_c, k, stride, pad, hw) in
+            [(1usize, 4usize, 3usize, 1usize, 0usize, 7usize), (2, 3, 3, 2, 1, 9), (3, 8, 5, 2, 0, 11)]
+        {
+            let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 7);
+            let x = rand_tensor(&[in_c, hw, hw], 8);
+            let direct = conv.forward(&x);
+            let gemm = conv2d_gemm(&x, conv.weight(), conv.bias(), stride, pad);
+            assert_eq!(direct.shape(), gemm.shape());
+            for (d, g) in direct.data().iter().zip(gemm.data()) {
+                assert!((d - g).abs() < 1e-4, "{d} vs {g} (k={k},s={stride},p={pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_backward_equals_direct_backward() {
+        let (in_c, out_c, k, stride, pad, hw) = (2usize, 3usize, 3usize, 2usize, 1usize, 8usize);
+        let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 9);
+        let x = rand_tensor(&[in_c, hw, hw], 10);
+        let y = conv.forward(&x);
+        let grad = rand_tensor(y.shape(), 11);
+        let direct_gi = conv.backward(&grad);
+        let direct_gw = conv.params()[0].grad.clone();
+        let direct_gb = conv.params()[1].grad.clone();
+
+        let (gw, gb, gi) = conv2d_gemm_backward(&x, conv.weight(), &grad, stride, pad);
+        for (a, b) in direct_gw.data().iter().zip(gw.data()) {
+            assert!((a - b).abs() < 1e-4, "dW {a} vs {b}");
+        }
+        for (a, b) in direct_gb.data().iter().zip(gb.data()) {
+            assert!((a - b).abs() < 1e-4, "db {a} vs {b}");
+        }
+        for (a, b) in direct_gi.data().iter().zip(gi.data()) {
+            assert!((a - b).abs() < 1e-4, "dX {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn expansion_blowup_matches_cost_model_assumption() {
+        // The accel model charges conv backward for the im2col expansion:
+        // at stride 4 the CONV1-like expansion is ~k²/stride² ≈ 7.6× the
+        // input. Verify the blowup factor on a scaled geometry.
+        let x = Tensor::zeros(&[3, 57, 57]);
+        let (m, rows, cols) = im2col(&x, 11, 4, 0);
+        let blowup = (rows * cols) as f64 / x.len() as f64;
+        assert_eq!(m.len(), rows * cols);
+        assert!(blowup > 5.0, "{blowup}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Seeded weight initialisation.
+//!
+//! The paper initialises from ImageNet weights before meta-training; we
+//! have no ImageNet, so the TL phase starts from He-initialised weights
+//! (the standard choice for ReLU networks) — the meta-environment training
+//! then provides the transferable features. Documented as a substitution
+//! in DESIGN.md §2.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Weight initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WeightInit {
+    /// He/Kaiming uniform: `U(±sqrt(6 / fan_in))` — for ReLU stacks.
+    #[default]
+    HeUniform,
+    /// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform,
+    /// All zeros (biases, gradient accumulators).
+    Zeros,
+}
+
+impl WeightInit {
+    /// Fills a tensor of `shape` given the layer fan.
+    pub fn init(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> Tensor {
+        match self {
+            WeightInit::Zeros => Tensor::zeros(shape),
+            WeightInit::HeUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                random_uniform(shape, bound, rng)
+            }
+            WeightInit::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                random_uniform(shape, bound, rng)
+            }
+        }
+    }
+}
+
+fn random_uniform(shape: &[usize], bound: f32, rng: &mut SmallRng) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Creates the crate's deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_bounds_respected() {
+        let mut rng = rng_from_seed(1);
+        let t = WeightInit::HeUniform.init(&[64, 9], 9, 64, &mut rng);
+        let bound = (6.0f32 / 9.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // Not degenerate: spread across the range.
+        assert!(t.max_value() > bound * 0.5);
+    }
+
+    #[test]
+    fn xavier_narrower_than_he_for_wide_fanout() {
+        let mut rng = rng_from_seed(2);
+        let he = WeightInit::HeUniform.init(&[1000], 10, 1000, &mut rng);
+        let xa = WeightInit::XavierUniform.init(&[1000], 10, 1000, &mut rng);
+        let he_max = he.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let xa_max = xa.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(xa_max < he_max);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = WeightInit::HeUniform.init(&[32], 4, 8, &mut rng_from_seed(7));
+        let b = WeightInit::HeUniform.init(&[32], 4, 8, &mut rng_from_seed(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zeros_is_zeros() {
+        let t = WeightInit::Zeros.init(&[5], 5, 5, &mut rng_from_seed(0));
+        assert_eq!(t.sum(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The layer abstraction.
+
+use crate::tensor::Tensor;
+
+/// A learnable parameter with its gradient accumulator and (lazily
+/// allocated) momentum state.
+///
+/// Gradients **accumulate** across `backward` calls — exactly the paper's
+/// batching scheme, where the global buffer stores "the sum of weight and
+/// bias gradients" over N serial images before one update (§III-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamTensor {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (sum over the batch so far).
+    pub grad: Tensor,
+    /// SGD momentum buffer (allocated by the optimiser on first use).
+    pub velocity: Option<Tensor>,
+}
+
+impl ParamTensor {
+    /// Wraps a value with a zeroed gradient accumulator.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            value,
+            grad,
+            velocity: None,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable network layer.
+///
+/// The contract mirrors single-image training on the platform:
+///
+/// * [`Layer::forward`] caches whatever the backward pass needs;
+/// * [`Layer::backward`] consumes the gradient w.r.t. the layer output,
+///   **adds** parameter gradients into the accumulators, and returns the
+///   gradient w.r.t. the layer input;
+/// * `backward` must be called after a matching `forward`.
+pub trait Layer: Send {
+    /// Stable layer name (`"CONV1"`, `"FC3"`, …).
+    fn name(&self) -> &str;
+
+    /// Computes the layer output, caching activations for backward.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Back-propagates `grad_output`, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward` or with a gradient
+    /// whose shape does not match the cached output.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Learnable parameters (empty for ReLU/pool layers).
+    fn params(&self) -> Vec<&ParamTensor> {
+        Vec::new()
+    }
+
+    /// Mutable learnable parameters.
+    fn params_mut(&mut self) -> Vec<&mut ParamTensor> {
+        Vec::new()
+    }
+
+    /// Total scalar parameter count (weights + biases).
+    fn param_count(&self) -> u64 {
+        self.params().iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Output shape for a given input shape (used by spec validation).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_tensor_grad_starts_zero() {
+        let p = ParamTensor::new(Tensor::filled(&[4], 2.0));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+        assert!(p.velocity.is_none());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = ParamTensor::new(Tensor::filled(&[4], 2.0));
+        p.grad.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

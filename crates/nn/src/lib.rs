@@ -1,0 +1,87 @@
+//! From-scratch CNN library for the `mramrl` reproduction.
+//!
+//! Implements everything the paper's learning stack needs, with no external
+//! ML dependencies:
+//!
+//! * a dense [`Tensor`] type and seeded initialisers;
+//! * the layer zoo of the modified AlexNet (Fig. 3): [`Conv2d`],
+//!   [`MaxPool2d`], [`Relu`], [`Lrn`] (local response normalisation),
+//!   [`Flatten`], [`Linear`] — every layer with analytic backward passes
+//!   verified against numerical differentiation;
+//! * a [`Network`] container with per-layer freezing (the mechanism behind
+//!   the paper's L2/L3/L4 partial-training topologies), gradient
+//!   accumulation over a batch, and [`Sgd`] updates;
+//! * [`NetworkSpec`]: declarative network descriptions, including the exact
+//!   full-size DATE-19 AlexNet (56.2 M weights; reproduces the Fig. 3(a)
+//!   census byte-for-byte) and a width-scaled *micro* variant that keeps
+//!   the 5-conv + 5-FC topology but trains in seconds on a CPU;
+//! * a 16-bit fixed-point inference path ([`quant`]) mirroring the
+//!   platform's Q8.8 datapath with wide MAC accumulation;
+//! * weight (de)serialisation for the transfer-learning hand-off.
+//!
+//! The paper trains with **batch-size-N gradient accumulation over serial
+//! single-image passes** (§V: "we use our system to serially process one
+//! image at a time"); the API mirrors that: `forward` / `backward` operate
+//! on single images and gradients accumulate until [`Network::apply_sgd`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mramrl_nn::{NetworkSpec, Sgd};
+//!
+//! // A tiny conv net: 5 actions from an 8×8 depth image.
+//! let spec = NetworkSpec::micro(8, 1, 5);
+//! let mut net = spec.build(42);
+//! let image = mramrl_nn::Tensor::zeros(&[1, 8, 8]);
+//! let q_values = net.forward(&image);
+//! assert_eq!(q_values.shape(), &[5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod fc;
+mod flatten;
+pub mod gemm;
+mod init;
+mod layer;
+mod loss;
+mod lrn;
+mod network;
+mod pool;
+pub mod quant;
+mod relu;
+mod serialize;
+mod sgd;
+pub mod spec;
+mod tensor;
+mod topology;
+
+pub use conv::Conv2d;
+pub use error::NnError;
+pub use fc::Linear;
+pub use flatten::Flatten;
+pub use init::WeightInit;
+pub use layer::{Layer, ParamTensor};
+pub use loss::Loss;
+pub use lrn::Lrn;
+pub use network::Network;
+pub use pool::MaxPool2d;
+pub use relu::Relu;
+pub use sgd::Sgd;
+pub use spec::{LayerSpec, NetworkSpec};
+pub use tensor::Tensor;
+pub use topology::Topology;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn send_public_types() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::Tensor>();
+        assert_send::<crate::Network>();
+        assert_send::<crate::NnError>();
+    }
+}

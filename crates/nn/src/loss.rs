@@ -1,0 +1,107 @@
+//! Scalar regression losses for the Q-learning update.
+//!
+//! The Bellman update of Eq. 1 is realised as a gradient step on a
+//! pointwise loss between `Q(s,a)` and the target `y`. The paper's setup
+//! corresponds to squared error; [`Loss::Huber`] is the standard robust
+//! alternative (bounded gradients under reward outliers such as the crash
+//! penalty) and is exposed for the training-stability knobs.
+
+/// A pointwise regression loss on one Q-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Loss {
+    /// `L = ½(q − y)²` — gradient `q − y`.
+    SquaredError,
+    /// Huber with threshold `delta`: quadratic near zero, linear beyond —
+    /// gradient clamped to `±delta`.
+    Huber {
+        /// Transition point between quadratic and linear regimes.
+        delta: f32,
+    },
+}
+
+impl Loss {
+    /// The loss value for prediction `q` against target `y`.
+    pub fn value(&self, q: f32, y: f32) -> f32 {
+        let e = q - y;
+        match self {
+            Loss::SquaredError => 0.5 * e * e,
+            Loss::Huber { delta } => {
+                if e.abs() <= *delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e.abs() - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    /// The gradient `dL/dq`.
+    pub fn gradient(&self, q: f32, y: f32) -> f32 {
+        let e = q - y;
+        match self {
+            Loss::SquaredError => e,
+            Loss::Huber { delta } => e.clamp(-*delta, *delta),
+        }
+    }
+}
+
+impl Default for Loss {
+    fn default() -> Self {
+        Loss::SquaredError
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_error_values_and_gradients() {
+        let l = Loss::SquaredError;
+        assert_eq!(l.value(3.0, 1.0), 2.0);
+        assert_eq!(l.gradient(3.0, 1.0), 2.0);
+        assert_eq!(l.gradient(1.0, 3.0), -2.0);
+        assert_eq!(l.value(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn huber_matches_quadratic_inside_delta() {
+        let h = Loss::Huber { delta: 1.0 };
+        let s = Loss::SquaredError;
+        for e in [-0.9f32, -0.3, 0.0, 0.5, 1.0] {
+            assert!((h.value(e, 0.0) - s.value(e, 0.0)).abs() < 1e-6);
+            assert_eq!(h.gradient(e, 0.0), s.gradient(e, 0.0));
+        }
+    }
+
+    #[test]
+    fn huber_linear_outside_delta() {
+        let h = Loss::Huber { delta: 1.0 };
+        assert_eq!(h.gradient(5.0, 0.0), 1.0);
+        assert_eq!(h.gradient(-5.0, 0.0), -1.0);
+        // Value: δ(|e| − δ/2) = 1·(5 − 0.5) = 4.5.
+        assert!((h.value(5.0, 0.0) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_continuous_at_delta() {
+        let h = Loss::Huber { delta: 2.0 };
+        let inside = h.value(1.9999, 0.0);
+        let outside = h.value(2.0001, 0.0);
+        assert!((inside - outside).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_is_derivative_numerically() {
+        for loss in [Loss::SquaredError, Loss::Huber { delta: 0.7 }] {
+            for q in [-2.0f32, -0.5, 0.1, 1.3] {
+                let eps = 1e-3;
+                let numeric = (loss.value(q + eps, 0.0) - loss.value(q - eps, 0.0)) / (2.0 * eps);
+                assert!(
+                    (numeric - loss.gradient(q, 0.0)).abs() < 1e-2,
+                    "{loss:?} at {q}"
+                );
+            }
+        }
+    }
+}

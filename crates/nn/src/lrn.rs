@@ -1,0 +1,210 @@
+//! Local response normalisation (the AlexNet "norm" layer).
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Cross-channel local response normalisation:
+///
+/// `b[c] = a[c] / (k + α/n · Σ_{c'∈window(c)} a[c']²)^β`
+///
+/// with AlexNet's constants (n = 5, α = 1e−4, β = 0.75, k = 2) by default.
+/// The paper's Fig. 3(a) places "norm" after CONV1 and CONV2.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{Lrn, Layer, Tensor};
+///
+/// let mut lrn = Lrn::alexnet("norm1");
+/// let y = lrn.forward(&Tensor::filled(&[8, 4, 4], 1.0));
+/// // Normalisation shrinks activations slightly.
+/// assert!(y.data().iter().all(|&v| v < 1.0 && v > 0.5));
+/// ```
+#[derive(Debug)]
+pub struct Lrn {
+    name: String,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cached_input: Option<Tensor>,
+    cached_denom: Option<Tensor>,
+}
+
+impl Lrn {
+    /// Creates an LRN layer with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(name: impl Into<String>, n: usize, alpha: f32, beta: f32, k: f32) -> Self {
+        assert!(n > 0, "lrn window must be positive");
+        Self {
+            name: name.into(),
+            n,
+            alpha,
+            beta,
+            k,
+            cached_input: None,
+            cached_denom: None,
+        }
+    }
+
+    /// AlexNet's constants: n=5, α=1e−4, β=0.75, k=2.
+    pub fn alexnet(name: impl Into<String>) -> Self {
+        Self::new(name, 5, 1e-4, 0.75, 2.0)
+    }
+
+    fn window(&self, c: usize, channels: usize) -> (usize, usize) {
+        let half = self.n / 2;
+        let lo = c.saturating_sub(half);
+        let hi = (c + half).min(channels - 1);
+        (lo, hi)
+    }
+}
+
+impl Layer for Lrn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "lrn expects [C,H,W]");
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(input.shape());
+        let mut denom = Tensor::zeros(input.shape());
+        let scale = self.alpha / self.n as f32;
+
+        for y in 0..h {
+            for x in 0..w {
+                for ci in 0..c {
+                    let (lo, hi) = self.window(ci, c);
+                    let mut ssq = 0.0;
+                    for cj in lo..=hi {
+                        let v = input.at3(cj, y, x);
+                        ssq += v * v;
+                    }
+                    let d = self.k + scale * ssq;
+                    *denom.at3_mut(ci, y, x) = d;
+                    *out.at3_mut(ci, y, x) = input.at3(ci, y, x) / d.powf(self.beta);
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        self.cached_denom = Some(denom);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("lrn backward before forward");
+        let denom = self.cached_denom.as_ref().unwrap();
+        assert_eq!(grad_output.shape(), input.shape(), "lrn grad shape mismatch");
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let scale = self.alpha / self.n as f32;
+        let mut grad_in = Tensor::zeros(input.shape());
+
+        for y in 0..h {
+            for x in 0..w {
+                for ci in 0..c {
+                    // Direct term.
+                    let d_ci = denom.at3(ci, y, x);
+                    let mut g = grad_output.at3(ci, y, x) / d_ci.powf(self.beta);
+                    // Cross terms: every output j whose window contains ci.
+                    let (lo, hi) = self.window(ci, c);
+                    for cj in lo..=hi {
+                        let d_cj = denom.at3(cj, y, x);
+                        let a_cj = input.at3(cj, y, x);
+                        let go_cj = grad_output.at3(cj, y, x);
+                        g -= go_cj
+                            * 2.0
+                            * scale
+                            * self.beta
+                            * a_cj
+                            * input.at3(ci, y, x)
+                            * d_cj.powf(-self.beta - 1.0);
+                    }
+                    *grad_in.at3_mut(ci, y, x) = g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng_from_seed, WeightInit};
+
+    #[test]
+    fn zero_input_passes_through() {
+        let mut lrn = Lrn::alexnet("n");
+        let y = lrn.forward(&Tensor::zeros(&[4, 2, 2]));
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn normalisation_shrinks_large_activations_more() {
+        let mut lrn = Lrn::new("n", 3, 0.5, 0.75, 2.0);
+        let mut x = Tensor::zeros(&[3, 1, 1]);
+        *x.at3_mut(0, 0, 0) = 1.0;
+        *x.at3_mut(1, 0, 0) = 10.0;
+        *x.at3_mut(2, 0, 0) = 5.0;
+        let y = lrn.forward(&x);
+        // Channel 1's window sees channel 2's energy too; channel 0's does
+        // not extend past the edge — so channel 1 is normalised harder.
+        let shrink0 = y.at3(0, 0, 0) / 1.0;
+        let shrink1 = y.at3(1, 0, 0) / 10.0;
+        assert!(shrink1 < shrink0, "{shrink1} vs {shrink0}");
+    }
+
+    #[test]
+    fn window_clamps_at_edges() {
+        let lrn = Lrn::alexnet("n");
+        assert_eq!(lrn.window(0, 8), (0, 2));
+        assert_eq!(lrn.window(7, 8), (5, 7));
+        assert_eq!(lrn.window(4, 8), (2, 6));
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Use exaggerated alpha so cross-terms are significant.
+        let mut lrn = Lrn::new("n", 3, 0.3, 0.75, 2.0);
+        let mut rng = rng_from_seed(17);
+        let x = WeightInit::HeUniform.init(&[4, 2, 2], 2, 2, &mut rng);
+        let y = lrn.forward(&x);
+        let gvec: Vec<f32> = (0..y.len()).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let loss = |out: &Tensor| -> f32 {
+            out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum()
+        };
+        let _ = loss(&y);
+        let grad_in = lrn.backward(&Tensor::from_vec(y.shape(), gvec.clone()));
+
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let p = loss(&lrn.forward(&xp));
+            xp.data_mut()[idx] -= 2.0 * eps;
+            let m = loss(&lrn.forward(&xp));
+            let numeric = (p - m) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * analytic.abs().max(0.5),
+                "x[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_params() {
+        assert_eq!(Lrn::alexnet("n").param_count(), 0);
+    }
+}

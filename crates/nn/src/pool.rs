@@ -1,0 +1,169 @@
+//! Max pooling.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over `[C, H, W]` inputs.
+///
+/// AlexNet uses overlapping 3×3/stride-2 pooling; window placement follows
+/// the floor convention (`out = (in − k)/s + 1`), which reproduces the
+/// paper's 55→27→13→6 pyramid.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{MaxPool2d, Layer, Tensor};
+///
+/// let mut pool = MaxPool2d::new("pool1", 3, 2);
+/// let y = pool.forward(&Tensor::zeros(&[96, 55, 55]));
+/// assert_eq!(y.shape(), &[96, 27, 27]);
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    k: usize,
+    stride: usize,
+    /// Flat input index of each output's argmax.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(name: impl Into<String>, k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0, "bad pool dims");
+        Self {
+            name: name.into(),
+            k,
+            stride,
+            argmax: None,
+            in_shape: None,
+        }
+    }
+
+    fn out_hw(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        ((in_h - self.k) / self.stride + 1, (in_w - self.k) / self.stride + 1)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "pool expects [C,H,W]");
+        let (c, in_h, in_w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert!(in_h >= self.k && in_w >= self.k, "pool window exceeds input");
+        let (out_h, out_w) = self.out_hw(in_h, in_w);
+        let mut out = Tensor::zeros(&[c, out_h, out_w]);
+        let mut argmax = vec![0usize; c * out_h * out_w];
+        let x = input.data();
+
+        for ci in 0..c {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..self.k {
+                        let iy = oy * self.stride + ky;
+                        for kx in 0..self.k {
+                            let ix = ox * self.stride + kx;
+                            let idx = (ci * in_h + iy) * in_w + ix;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = (ci * out_h + oy) * out_w + ox;
+                    out.data_mut()[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.in_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("pool backward before forward");
+        let in_shape = self.in_shape.as_ref().unwrap();
+        assert_eq!(grad_output.len(), argmax.len(), "pool grad length mismatch");
+        let mut grad_in = Tensor::zeros(in_shape);
+        let gi = grad_in.data_mut();
+        for (g, &idx) in grad_output.data().iter().zip(argmax) {
+            gi[idx] += g;
+        }
+        grad_in
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = self.out_hw(input_shape[1], input_shape[2]);
+        vec![input_shape[0], h, w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_pool_pyramid() {
+        let p = MaxPool2d::new("p", 3, 2);
+        assert_eq!(p.output_shape(&[96, 55, 55]), vec![96, 27, 27]);
+        assert_eq!(p.output_shape(&[256, 27, 27]), vec![256, 13, 13]);
+        assert_eq!(p.output_shape(&[256, 13, 13]), vec![256, 6, 6]);
+    }
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.0, 9.0,
+            ],
+        );
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 9.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = p.forward(&x);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1], vec![7.0]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        let mut p = MaxPool2d::new("p", 3, 2);
+        // 5×5 input with the global max at the shared centre (2,2).
+        let mut x = Tensor::zeros(&[1, 5, 5]);
+        *x.at3_mut(0, 2, 2) = 10.0;
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        let g = p.backward(&Tensor::filled(&[1, 2, 2], 1.0));
+        // All four 3×3 windows contain (2,2): gradient 4 accumulates there.
+        assert_eq!(g.at3(0, 2, 2), 4.0);
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool window exceeds input")]
+    fn window_too_large_panics() {
+        let mut p = MaxPool2d::new("p", 4, 2);
+        let _ = p.forward(&Tensor::zeros(&[1, 3, 3]));
+    }
+}

@@ -1,0 +1,386 @@
+//! 16-bit fixed-point inference mirroring the hardware datapath.
+//!
+//! The platform computes in 16-bit fixed point (Fig. 4(b)) with wide MAC
+//! accumulators. [`QuantizedNet`] snapshots a trained [`Network`] into
+//! Q8.8 weights and runs forward passes exactly as the PE array would:
+//! products widen to 32 bits, accumulate, and re-quantise once per output.
+//! LRN is evaluated in float — on silicon it is a small LUT + shift unit,
+//! and its numeric error is negligible next to the Q8.8 weight rounding.
+//!
+//! The tests quantify the fidelity the paper's co-design relies on: the
+//! fixed-point Q-values track the float network closely enough that the
+//! greedy action (argmax) almost always agrees.
+
+use mramrl_fixed::{Acc32, Q8_8};
+
+use crate::error::NnError;
+use crate::network::Network;
+use crate::spec::{LayerSpec, NetworkSpec};
+use crate::tensor::Tensor;
+
+/// A quantised layer snapshot.
+#[derive(Debug, Clone)]
+enum QLayer {
+    Conv {
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        weight: Vec<Q8_8>,
+        bias: Vec<Q8_8>,
+    },
+    Fc {
+        in_f: usize,
+        out_f: usize,
+        weight: Vec<Q8_8>,
+        bias: Vec<Q8_8>,
+    },
+    Relu,
+    MaxPool {
+        k: usize,
+        stride: usize,
+    },
+    Lrn,
+    Flatten,
+}
+
+/// A fixed-point snapshot of a network for inference.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{NetworkSpec, Tensor};
+/// use mramrl_nn::quant::QuantizedNet;
+///
+/// let spec = NetworkSpec::micro(16, 1, 5);
+/// let mut net = spec.build(3);
+/// let qnet = QuantizedNet::from_network(&spec, &net)?;
+/// let x = Tensor::filled(&[1, 16, 16], 0.5);
+/// let (qy, y) = (qnet.forward(&x), net.forward(&x));
+/// // Fixed-point Q-values track the float network closely.
+/// for (a, b) in qy.data().iter().zip(y.data()) {
+///     assert!((a - b).abs() < 0.25);
+/// }
+/// # Ok::<(), mramrl_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedNet {
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedNet {
+    /// Snapshots `net` (built from `spec`) into Q8.8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `net` was not built from
+    /// `spec` (parameter structure differs).
+    pub fn from_network(spec: &NetworkSpec, net: &Network) -> Result<Self, NnError> {
+        let mut params: Vec<&Tensor> = Vec::new();
+        for l in net.layers() {
+            for p in l.params() {
+                params.push(&p.value);
+            }
+        }
+        let mut pi = 0usize;
+        let mut take2 = |want_w: usize, want_b: usize| -> Result<(Vec<Q8_8>, Vec<Q8_8>), NnError> {
+            if pi + 2 > params.len() {
+                return Err(NnError::ShapeMismatch {
+                    context: "network has fewer param tensors than spec".into(),
+                });
+            }
+            let w = params[pi];
+            let b = params[pi + 1];
+            pi += 2;
+            if w.len() != want_w || b.len() != want_b {
+                return Err(NnError::ShapeMismatch {
+                    context: format!(
+                        "param sizes {}x{} vs spec {want_w}x{want_b}",
+                        w.len(),
+                        b.len()
+                    ),
+                });
+            }
+            Ok((
+                w.data().iter().map(|&v| Q8_8::from_f32(v)).collect(),
+                b.data().iter().map(|&v| Q8_8::from_f32(v)).collect(),
+            ))
+        };
+
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        for l in &spec.layers {
+            layers.push(match l {
+                LayerSpec::Conv {
+                    in_c,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    ..
+                } => {
+                    let (weight, bias) = take2(in_c * out_c * k * k, *out_c)?;
+                    QLayer::Conv {
+                        in_c: *in_c,
+                        out_c: *out_c,
+                        k: *k,
+                        stride: *stride,
+                        pad: *pad,
+                        weight,
+                        bias,
+                    }
+                }
+                LayerSpec::Fc { in_f, out_f, .. } => {
+                    let (weight, bias) = take2(in_f * out_f, *out_f)?;
+                    QLayer::Fc {
+                        in_f: *in_f,
+                        out_f: *out_f,
+                        weight,
+                        bias,
+                    }
+                }
+                LayerSpec::Relu { .. } => QLayer::Relu,
+                LayerSpec::MaxPool { k, stride, .. } => QLayer::MaxPool {
+                    k: *k,
+                    stride: *stride,
+                },
+                LayerSpec::Lrn { .. } => QLayer::Lrn,
+                LayerSpec::Flatten { .. } => QLayer::Flatten,
+            });
+        }
+        if pi != params.len() {
+            return Err(NnError::ShapeMismatch {
+                context: "network has more param tensors than spec".into(),
+            });
+        }
+        Ok(Self { layers })
+    }
+
+    /// Runs a fixed-point forward pass; input and output are float tensors
+    /// (quantised on entry, dequantised on exit, like the camera DSP and
+    /// action decoder would).
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut shape: Vec<usize> = input.shape().to_vec();
+        let mut x: Vec<Q8_8> = input.data().iter().map(|&v| Q8_8::from_f32(v)).collect();
+
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv {
+                    in_c,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    weight,
+                    bias,
+                } => {
+                    let (in_h, in_w) = (shape[1], shape[2]);
+                    let out_h = (in_h + 2 * pad - k) / stride + 1;
+                    let out_w = (in_w + 2 * pad - k) / stride + 1;
+                    let mut out = vec![Q8_8::ZERO; out_c * out_h * out_w];
+                    for oc in 0..*out_c {
+                        for oy in 0..out_h {
+                            for ox in 0..out_w {
+                                let mut acc = Acc32::from_q(bias[oc]);
+                                let by = (oy * stride) as isize - *pad as isize;
+                                let bx = (ox * stride) as isize - *pad as isize;
+                                for ic in 0..*in_c {
+                                    for ky in 0..*k {
+                                        let iy = by + ky as isize;
+                                        if iy < 0 || iy >= in_h as isize {
+                                            continue;
+                                        }
+                                        for kx in 0..*k {
+                                            let ix = bx + kx as isize;
+                                            if ix < 0 || ix >= in_w as isize {
+                                                continue;
+                                            }
+                                            let wv = weight
+                                                [((oc * in_c + ic) * k + ky) * k + kx];
+                                            let xv =
+                                                x[(ic * in_h + iy as usize) * in_w + ix as usize];
+                                            acc = acc.mac(wv, xv);
+                                        }
+                                    }
+                                }
+                                out[(oc * out_h + oy) * out_w + ox] = acc.to_q::<8>();
+                            }
+                        }
+                    }
+                    x = out;
+                    shape = vec![*out_c, out_h, out_w];
+                }
+                QLayer::Fc {
+                    in_f,
+                    out_f,
+                    weight,
+                    bias,
+                } => {
+                    let mut out = vec![Q8_8::ZERO; *out_f];
+                    for (j, o) in out.iter_mut().enumerate() {
+                        let mut acc = Acc32::from_q(bias[j]);
+                        let row = &weight[j * in_f..(j + 1) * in_f];
+                        for (w, xi) in row.iter().zip(&x) {
+                            acc = acc.mac(*w, *xi);
+                        }
+                        *o = acc.to_q::<8>();
+                    }
+                    x = out;
+                    shape = vec![*out_f];
+                }
+                QLayer::Relu => {
+                    for v in &mut x {
+                        *v = v.relu();
+                    }
+                }
+                QLayer::MaxPool { k, stride } => {
+                    let (c, in_h, in_w) = (shape[0], shape[1], shape[2]);
+                    let out_h = (in_h - k) / stride + 1;
+                    let out_w = (in_w - k) / stride + 1;
+                    let mut out = vec![Q8_8::MIN; c * out_h * out_w];
+                    for ci in 0..c {
+                        for oy in 0..out_h {
+                            for ox in 0..out_w {
+                                let mut best = Q8_8::MIN;
+                                for ky in 0..*k {
+                                    for kx in 0..*k {
+                                        let v = x[(ci * in_h + oy * stride + ky) * in_w
+                                            + ox * stride
+                                            + kx];
+                                        best = best.max(v);
+                                    }
+                                }
+                                out[(ci * out_h + oy) * out_w + ox] = best;
+                            }
+                        }
+                    }
+                    x = out;
+                    shape = vec![c, out_h, out_w];
+                }
+                QLayer::Lrn => {
+                    // Float fallback (LUT on silicon); AlexNet constants.
+                    let (c, h, w) = (shape[0], shape[1], shape[2]);
+                    let f: Vec<f32> = x.iter().map(|q| q.to_f32()).collect();
+                    let mut out = vec![Q8_8::ZERO; x.len()];
+                    let (n, alpha, beta, kk) = (5usize, 1e-4f32, 0.75f32, 2.0f32);
+                    for y in 0..h {
+                        for xx in 0..w {
+                            for ci in 0..c {
+                                let lo = ci.saturating_sub(n / 2);
+                                let hi = (ci + n / 2).min(c - 1);
+                                let mut ssq = 0.0;
+                                for cj in lo..=hi {
+                                    let v = f[(cj * h + y) * w + xx];
+                                    ssq += v * v;
+                                }
+                                let d = kk + alpha / n as f32 * ssq;
+                                out[(ci * h + y) * w + xx] =
+                                    Q8_8::from_f32(f[(ci * h + y) * w + xx] / d.powf(beta));
+                            }
+                        }
+                    }
+                    x = out;
+                }
+                QLayer::Flatten => {
+                    shape = vec![x.len()];
+                }
+            }
+        }
+        Tensor::from_vec(&shape, x.iter().map(|q| q.to_f32()).collect())
+    }
+
+    /// Bytes of weight storage at 16-bit precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QLayer::Conv { weight, bias, .. } | QLayer::Fc { weight, bias, .. } => {
+                    2 * (weight.len() + bias.len()) as u64
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng_from_seed, WeightInit};
+
+    fn setup() -> (NetworkSpec, Network, QuantizedNet) {
+        let spec = NetworkSpec::micro(16, 1, 5);
+        let net = spec.build(21);
+        let q = QuantizedNet::from_network(&spec, &net).unwrap();
+        (spec, net, q)
+    }
+
+    #[test]
+    fn quantised_tracks_float_within_tolerance() {
+        let (_, mut net, q) = setup();
+        let mut rng = rng_from_seed(4);
+        for trial in 0..10 {
+            let x = WeightInit::HeUniform.init(&[1, 16, 16], 256, 256, &mut rng);
+            // Depth images are non-negative in [0,1]: mirror that range.
+            let x = Tensor::from_vec(x.shape(), x.data().iter().map(|v| v.abs().min(1.0)).collect());
+            let yf = net.forward(&x);
+            let yq = q.forward(&x);
+            for (a, b) in yq.data().iter().zip(yf.data()) {
+                assert!((a - b).abs() < 0.3, "trial {trial}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_action_usually_agrees() {
+        let (_, mut net, q) = setup();
+        let mut rng = rng_from_seed(8);
+        let mut agree = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let x = WeightInit::HeUniform.init(&[1, 16, 16], 4, 4, &mut rng);
+            let x = Tensor::from_vec(x.shape(), x.data().iter().map(|v| v.abs().min(1.0)).collect());
+            if net.forward(&x).argmax() == q.forward(&x).argmax() {
+                agree += 1;
+            }
+        }
+        assert!(agree >= trials * 8 / 10, "only {agree}/{trials} agreed");
+    }
+
+    #[test]
+    fn weight_bytes_match_spec() {
+        let (spec, _, q) = setup();
+        assert_eq!(q.weight_bytes(), spec.total_weight_bytes());
+    }
+
+    #[test]
+    fn mismatched_network_rejected() {
+        let spec5 = NetworkSpec::micro(16, 1, 5);
+        let net4 = NetworkSpec::micro(16, 1, 4).build(0);
+        assert!(QuantizedNet::from_network(&spec5, &net4).is_err());
+    }
+
+    #[test]
+    fn relu_and_pool_are_exact_in_fixed_point() {
+        // A net with weights representable exactly in Q8.8 gives exact
+        // agreement (conv/fc arithmetic is exact when values fit).
+        let spec = NetworkSpec::micro(16, 1, 5);
+        let mut net = spec.build(77);
+        // Snap every weight to the Q8.8 grid.
+        for l in net.layers_vec_mut() {
+            for p in l.params_mut() {
+                for v in p.value.data_mut() {
+                    *v = (*v * 256.0).round() / 256.0;
+                }
+            }
+        }
+        let q = QuantizedNet::from_network(&spec, &net).unwrap();
+        let x = Tensor::filled(&[1, 16, 16], 0.25);
+        let yf = net.forward(&x);
+        let yq = q.forward(&x);
+        for (a, b) in yq.data().iter().zip(yf.data()) {
+            // LRN float-vs-Q8.8 re-quantisation leaves ≤ 1.5 LSB per layer.
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+}

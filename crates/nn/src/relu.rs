@@ -1,0 +1,102 @@
+//! Rectified linear activation.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Element-wise ReLU (`max(x, 0)`), the PE comparator op.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::{Relu, Layer, Tensor};
+///
+/// let mut relu = Relu::new("relu1");
+/// let y = relu.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug)]
+pub struct Relu {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        let mask = out.data_mut().iter_mut().map(|v| {
+            let pass = *v > 0.0;
+            if !pass {
+                *v = 0.0;
+            }
+            pass
+        });
+        self.mask = Some(mask.collect());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("relu backward before forward");
+        assert_eq!(mask.len(), grad_output.len(), "relu grad length mismatch");
+        let mut grad = grad_output.clone();
+        for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new("r");
+        let y = r.forward(&Tensor::from_vec(&[4], vec![-2.0, -0.0, 0.5, 3.0]));
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new("r");
+        let _ = r.forward(&Tensor::from_vec(&[4], vec![-2.0, 1.0, -1.0, 3.0]));
+        let g = r.backward(&Tensor::filled(&[4], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_at_zero_is_zero() {
+        // Subgradient choice: f'(0) = 0 (strict inequality in forward).
+        let mut r = Relu::new("r");
+        let _ = r.forward(&Tensor::from_vec(&[1], vec![0.0]));
+        let g = r.backward(&Tensor::filled(&[1], 5.0));
+        assert_eq!(g.data(), &[0.0]);
+    }
+
+    #[test]
+    fn no_params() {
+        let r = Relu::new("r");
+        assert_eq!(r.param_count(), 0);
+        assert_eq!(r.output_shape(&[3, 4, 4]), vec![3, 4, 4]);
+    }
+}

@@ -1,0 +1,290 @@
+//! A minimal dense tensor.
+
+use core::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// Shapes follow the `[channels, height, width]` convention for images and
+/// `[features]` for vectors; batch dimension is deliberately absent (the
+/// platform processes one image at a time, §V).
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3, 3]);
+/// *t.at3_mut(1, 2, 0) = 5.0;
+/// assert_eq!(t.at3(1, 2, 0), 5.0);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates a constant-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any dimension is zero.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive: {shape:?}"
+        );
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            len,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        assert!(!shape.is_empty() && shape.iter().all(|&d| d > 0));
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(len, self.data.len(), "reshape volume mismatch");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element access for `[C, H, W]` tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via indexing) on out-of-range indices or
+    /// non-3-D tensors.
+    #[inline]
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        debug_assert!(c < self.shape[0] && y < h && x < w);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Mutable element access for `[C, H, W]` tensors.
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[1], self.shape[2]);
+        debug_assert!(c < self.shape[0] && y < h && x < w);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Flat index for `[C, H, W]` tensors (bounds unchecked in release).
+    #[inline]
+    pub fn idx3(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.shape[1] + y) * self.shape[2] + x
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: tensors are non-empty by construction.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Maximum element value.
+    pub fn max_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Element-wise in-place scale.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Element-wise in-place add of another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "tensor shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, … {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1],
+                self.len()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(1, 0, 1), 5.0);
+        assert_eq!(t.at3(1, 1, 1), 7.0);
+        assert_eq!(t.idx3(1, 1, 0), 6);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(&[4], vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.max_value(), 3.0);
+        assert_eq!(t.mean(), 0.625);
+        assert_eq!(t.norm_sq(), 1.0 + 4.0 + 9.0 + 0.25);
+    }
+
+    #[test]
+    fn argmax_ties_take_first() {
+        let t = Tensor::from_vec(&[3], vec![1.0, 1.0, 0.0]);
+        assert_eq!(t.argmax(), 0);
+    }
+
+    #[test]
+    fn reshape_keeps_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let r = t.reshaped(&[6]);
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.data()[4], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume mismatch")]
+    fn bad_reshape_panics() {
+        let _ = Tensor::zeros(&[4]).reshaped(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dim_panics() {
+        let _ = Tensor::zeros(&[3, 0]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::filled(&[3], 1.0);
+        let b = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[4.0, 6.0, 8.0]);
+        a.fill_zero();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert!(format!("{:?}", Tensor::zeros(&[2])).contains("Tensor[2]"));
+        assert!(format!("{:?}", Tensor::zeros(&[100])).contains("n=100"));
+    }
+}

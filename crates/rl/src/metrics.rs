@@ -1,0 +1,185 @@
+//! The metrics of Fig. 10 and Fig. 11.
+//!
+//! * **Cumulative reward**: "the moving average of last N rewards received
+//!   by the agent", `R_i = (1/N)·Σ_{j=i−N..i} r_j` (paper N = 15000 at
+//!   60 k iterations; the reproduction scales N with its iteration count).
+//! * **Return**: "the moving average of the sum of rewards across
+//!   episodes", where each episode's contribution is `(1/N_k)·Σ r_j`
+//!   between consecutive crashes.
+//! * **Safe flight distance (SFD)**: "the average distance (in meters)
+//!   travelled by the drone before it crashes" \[3\].
+
+use std::collections::VecDeque;
+
+/// A windowed moving average.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_rl::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(2);
+/// ma.push(1.0);
+/// ma.push(3.0);
+/// ma.push(5.0); // 1.0 falls out
+/// assert_eq!(ma.value(), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    items: VecDeque<f32>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates an average over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            items: VecDeque::with_capacity(window.min(65_536)),
+            sum: 0.0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f32) {
+        self.items.push_back(v);
+        self.sum += f64::from(v);
+        if self.items.len() > self.window {
+            let old = self.items.pop_front().expect("non-empty");
+            self.sum -= f64::from(old);
+        }
+    }
+
+    /// Current average (0 when empty).
+    pub fn value(&self) -> f32 {
+        if self.items.is_empty() {
+            0.0
+        } else {
+            (self.sum / self.items.len() as f64) as f32
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` before any sample arrives.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Tracks per-episode flight distances and summarises the SFD.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_rl::SafeFlightTracker;
+///
+/// let mut sfd = SafeFlightTracker::new();
+/// sfd.record_episode(10.0);
+/// sfd.record_episode(20.0);
+/// assert_eq!(sfd.mean(), 15.0);
+/// assert_eq!(sfd.tail_mean(1), 20.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SafeFlightTracker {
+    distances: Vec<f32>,
+}
+
+impl SafeFlightTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the distance flown in one completed episode.
+    pub fn record_episode(&mut self, meters: f32) {
+        self.distances.push(meters);
+    }
+
+    /// Number of episodes recorded.
+    pub fn episodes(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// Mean distance over all episodes (0 when none).
+    pub fn mean(&self) -> f32 {
+        if self.distances.is_empty() {
+            0.0
+        } else {
+            self.distances.iter().sum::<f32>() / self.distances.len() as f32
+        }
+    }
+
+    /// Mean over the last `k` episodes — the post-convergence SFD used for
+    /// Fig. 11 (0 when no episodes).
+    pub fn tail_mean(&self, k: usize) -> f32 {
+        if self.distances.is_empty() || k == 0 {
+            return 0.0;
+        }
+        let start = self.distances.len().saturating_sub(k);
+        let tail = &self.distances[start..];
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+
+    /// All recorded distances.
+    pub fn distances(&self) -> &[f32] {
+        &self.distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_window_semantics() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.value(), 0.0);
+        ma.push(3.0);
+        assert_eq!(ma.value(), 3.0);
+        ma.push(6.0);
+        ma.push(9.0);
+        assert_eq!(ma.value(), 6.0);
+        ma.push(12.0); // 3 falls out
+        assert_eq!(ma.value(), 9.0);
+        assert_eq!(ma.len(), 3);
+    }
+
+    #[test]
+    fn moving_average_long_stream_is_stable() {
+        let mut ma = MovingAverage::new(100);
+        for _ in 0..10_000 {
+            ma.push(0.5);
+        }
+        assert!((ma.value() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sfd_means() {
+        let mut s = SafeFlightTracker::new();
+        assert_eq!(s.mean(), 0.0);
+        for d in [5.0, 10.0, 15.0, 20.0] {
+            s.record_episode(d);
+        }
+        assert_eq!(s.episodes(), 4);
+        assert_eq!(s.mean(), 12.5);
+        assert_eq!(s.tail_mean(2), 17.5);
+        assert_eq!(s.tail_mean(100), 12.5); // clamps to available
+        assert_eq!(s.tail_mean(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = MovingAverage::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Exploration policy.
+
+use mramrl_nn::Tensor;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Linearly-decaying ε-greedy schedule.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_rl::EpsilonSchedule;
+///
+/// let eps = EpsilonSchedule::new(1.0, 0.05, 100);
+/// assert_eq!(eps.value(0), 1.0);
+/// assert!((eps.value(50) - 0.525).abs() < 1e-6);
+/// assert_eq!(eps.value(1000), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    start: f32,
+    end: f32,
+    decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule from `start` to `end` over `decay_steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if values are outside `[0, 1]` or `start < end`.
+    pub fn new(start: f32, end: f32, decay_steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        assert!(start >= end, "epsilon must decay");
+        assert!(decay_steps > 0, "decay steps must be positive");
+        Self {
+            start,
+            end,
+            decay_steps,
+        }
+    }
+
+    /// Exploration-heavy schedule for learning from scratch (TL phase).
+    pub fn scratch(decay_steps: u64) -> Self {
+        Self::new(1.0, 0.05, decay_steps)
+    }
+
+    /// Low-exploration schedule for online RL on a transferred model —
+    /// the TL model already avoids most "unsafe actions early on" (§II-D).
+    pub fn transfer(decay_steps: u64) -> Self {
+        Self::new(0.25, 0.02, decay_steps)
+    }
+
+    /// ε at `step`.
+    pub fn value(&self, step: u64) -> f32 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let f = step as f32 / self.decay_steps as f32;
+        self.start + (self.end - self.start) * f
+    }
+
+    /// Chooses an action from Q-values: random with probability ε, greedy
+    /// otherwise.
+    pub fn choose(&self, q: &Tensor, step: u64, rng: &mut SmallRng) -> usize {
+        if rng.gen_range(0.0f32..1.0) < self.value(step) {
+            rng.gen_range(0..q.len())
+        } else {
+            q.argmax()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decay_endpoints() {
+        let e = EpsilonSchedule::new(0.8, 0.1, 10);
+        assert_eq!(e.value(0), 0.8);
+        assert!((e.value(10) - 0.1).abs() < 1e-6);
+        assert!((e.value(5) - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn greedy_when_epsilon_zero() {
+        let e = EpsilonSchedule::new(0.0, 0.0, 1);
+        let q = Tensor::from_vec(&[5], vec![0.0, 3.0, 1.0, -1.0, 2.0]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert_eq!(e.choose(&q, 100, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn explores_when_epsilon_one() {
+        let e = EpsilonSchedule::new(1.0, 1.0, 1);
+        let q = Tensor::from_vec(&[5], vec![0.0, 3.0, 1.0, -1.0, 2.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..500 {
+            counts[e.choose(&q, 0, &mut rng)] += 1;
+        }
+        // Every action gets explored.
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn transfer_schedule_is_tamer() {
+        assert!(EpsilonSchedule::transfer(100).value(0) < EpsilonSchedule::scratch(100).value(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must decay")]
+    fn increasing_epsilon_panics() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 10);
+    }
+}

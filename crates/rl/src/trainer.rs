@@ -1,0 +1,329 @@
+//! The online training loop (TL phase and deployment phase share it).
+
+use mramrl_env::{Action, DroneEnv, Image};
+use mramrl_nn::{Sgd, Tensor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::agent::QAgent;
+use crate::metrics::{MovingAverage, SafeFlightTracker};
+use crate::policy::EpsilonSchedule;
+use crate::replay::{ReplayBuffer, Transition};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Total environment steps (= training images, the paper's
+    /// "iterations").
+    pub iters: u64,
+    /// Images per weight update (the paper's batch size N, Fig. 3(b)).
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Per-element gradient clip.
+    pub grad_clip: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Replay capacity (transitions).
+    pub replay_capacity: usize,
+    /// Target-network sync period, in weight updates.
+    pub target_sync: u64,
+    /// Moving-average window for the cumulative-reward curve.
+    pub metrics_window: usize,
+    /// Emit one curve point per this many iterations.
+    pub log_every: u64,
+    /// RNG seed for exploration/replay sampling.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// Defaults for an online deployment run of `iters` steps: batch 4
+    /// (the paper's headline fps operating point), transfer-style low
+    /// exploration, metrics window scaled like the paper's (15000/60000
+    /// of the run length).
+    pub fn online(iters: u64, seed: u64) -> Self {
+        Self {
+            iters,
+            batch_size: 4,
+            lr: 2e-3,
+            grad_clip: 1.0,
+            gamma: 0.95,
+            epsilon: EpsilonSchedule::transfer((iters / 2).max(1)),
+            replay_capacity: 2048,
+            target_sync: 64,
+            metrics_window: ((iters as usize) / 4).max(16),
+            log_every: (iters / 64).max(1),
+            seed,
+        }
+    }
+
+    /// Defaults for the from-scratch TL (meta-environment) phase.
+    pub fn transfer_learning(iters: u64, seed: u64) -> Self {
+        Self {
+            epsilon: EpsilonSchedule::scratch((iters * 2 / 3).max(1)),
+            lr: 3e-3,
+            ..Self::online(iters, seed)
+        }
+    }
+}
+
+/// One sampled point of the Fig. 10 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Iteration index.
+    pub iter: u64,
+    /// Cumulative reward (moving average of rewards).
+    pub cumulative_reward: f32,
+    /// Return (moving average of per-episode mean rewards).
+    pub avg_return: f32,
+}
+
+/// The result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainLog {
+    /// Sampled learning curves.
+    pub curve: Vec<CurvePoint>,
+    /// Completed episodes (crashes).
+    pub episodes: u64,
+    /// Post-convergence safe flight distance (metres): mean over the last
+    /// third of episodes.
+    pub sfd: f32,
+    /// Mean SFD over all episodes.
+    pub sfd_overall: f32,
+    /// Final cumulative reward.
+    pub final_reward: f32,
+}
+
+/// Runs the Q-learning loop of §II on a [`DroneEnv`].
+#[derive(Debug, Clone, Copy)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` or `batch_size` is zero.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        assert!(cfg.iters > 0 && cfg.batch_size > 0, "empty training run");
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Runs the loop: act ε-greedily, record the transition, accumulate
+    /// one replayed TD gradient per image, update every `batch_size`
+    /// images (§III-D's batched update), log Fig. 10 metrics.
+    pub fn run(&self, agent: &mut QAgent, env: &mut DroneEnv) -> TrainLog {
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
+        let sgd = Sgd::new(cfg.lr).with_grad_clip(cfg.grad_clip);
+        let mut replay = ReplayBuffer::new(cfg.replay_capacity);
+
+        let mut cum_reward = MovingAverage::new(cfg.metrics_window);
+        let mut return_ma = MovingAverage::new((cfg.metrics_window / 64).max(4));
+        let mut sfd = SafeFlightTracker::new();
+        let mut curve = Vec::new();
+
+        let mut episode_reward_sum = 0.0f32;
+        let mut episode_actions = 0u64;
+        let mut accumulated = 0usize;
+
+        let mut obs = to_tensor(&env.reset());
+        for iter in 0..cfg.iters {
+            let q = agent.q_values(&obs);
+            let a = cfg.epsilon.choose(&q, iter, &mut rng);
+            let step = env.step(Action::from_index(a));
+            let next = to_tensor(&step.observation);
+
+            cum_reward.push(step.reward);
+            episode_reward_sum += step.reward;
+            episode_actions += 1;
+
+            replay.push(Transition {
+                state: obs,
+                action: a,
+                reward: step.reward,
+                next_state: next.clone(),
+                terminal: step.crashed,
+            });
+
+            // One TD gradient per image, drawn from replay (decorrelated).
+            if let Some(t) = replay.sample(&mut rng) {
+                let t = t.clone();
+                agent.accumulate_td(&t);
+                accumulated += 1;
+            }
+            if accumulated >= cfg.batch_size {
+                agent.apply_update(&sgd, accumulated, cfg.target_sync);
+                accumulated = 0;
+            }
+
+            if step.crashed {
+                return_ma.push(episode_reward_sum / episode_actions.max(1) as f32);
+                sfd.record_episode(env.episode_distance());
+                episode_reward_sum = 0.0;
+                episode_actions = 0;
+                obs = to_tensor(&env.reset());
+            } else {
+                obs = next;
+            }
+
+            if iter % cfg.log_every == 0 || iter + 1 == cfg.iters {
+                curve.push(CurvePoint {
+                    iter,
+                    cumulative_reward: cum_reward.value(),
+                    avg_return: return_ma.value(),
+                });
+            }
+        }
+        // Censored final episode still informs SFD.
+        if env.episode_distance() > 0.0 {
+            sfd.record_episode(env.episode_distance());
+        }
+
+        let episodes = sfd.episodes() as u64;
+        let tail = (sfd.episodes() / 3).max(3);
+        TrainLog {
+            episodes,
+            sfd: sfd.tail_mean(tail),
+            sfd_overall: sfd.mean(),
+            final_reward: cum_reward.value(),
+            curve,
+        }
+    }
+}
+
+/// Depth image → CNN input tensor.
+pub(crate) fn to_tensor(img: &Image) -> Tensor {
+    Tensor::from_vec(&[1, img.height(), img.width()], img.data().to_vec())
+}
+
+/// Result of a frozen-policy evaluation flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Mean distance per episode (the paper's SFD), metres.
+    pub sfd: f32,
+    /// Episodes completed (crashes; the trailing partial episode counts
+    /// once if it flew).
+    pub episodes: u64,
+    /// Mean per-step reward.
+    pub mean_reward: f32,
+}
+
+/// Evaluates a frozen policy for `steps` environment steps with a small
+/// residual exploration `eps` (breaks limit cycles without materially
+/// perturbing the policy). No learning happens.
+///
+/// This is the measurement used for Fig. 11's safe-flight distance: it
+/// decouples the SFD statistic from the exploration schedule that is
+/// still active at the end of training.
+///
+/// # Panics
+///
+/// Panics if `steps` is zero or `eps` is outside `[0, 1]`.
+pub fn evaluate(agent: &mut QAgent, env: &mut DroneEnv, steps: u64, eps: f32, seed: u64) -> EvalResult {
+    assert!(steps > 0, "evaluation needs steps");
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xEAA1_EAA1);
+    let schedule = EpsilonSchedule::new(eps.max(1e-6), eps.max(1e-6), 1);
+    let mut sfd = SafeFlightTracker::new();
+    let mut reward_sum = 0.0f64;
+
+    let mut obs = to_tensor(&env.reset());
+    for step in 0..steps {
+        let q = agent.q_values(&obs);
+        let a = schedule.choose(&q, step, &mut rng);
+        let s = env.step(Action::from_index(a));
+        reward_sum += f64::from(s.reward);
+        if s.crashed {
+            sfd.record_episode(env.episode_distance());
+            obs = to_tensor(&env.reset());
+        } else {
+            obs = to_tensor(&s.observation);
+        }
+    }
+    if env.episode_distance() > 0.0 {
+        sfd.record_episode(env.episode_distance());
+    }
+    EvalResult {
+        sfd: sfd.mean(),
+        episodes: sfd.episodes() as u64,
+        mean_reward: (reward_sum / steps as f64) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramrl_env::EnvKind;
+    use mramrl_nn::NetworkSpec;
+
+    fn tiny_env() -> DroneEnv {
+        DroneEnv::new(EnvKind::IndoorApartment, 5)
+            .with_camera(mramrl_env::DepthCamera::new(16, 16, 1.5, 20.0, 0.01))
+    }
+
+    #[test]
+    fn run_produces_curves_and_episodes() {
+        let mut env = tiny_env();
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 1);
+        let log = Trainer::new(TrainerConfig::online(300, 1)).run(&mut agent, &mut env);
+        assert!(!log.curve.is_empty());
+        assert!(log.curve.iter().all(|p| p.cumulative_reward.is_finite()));
+        assert!(log.episodes > 0, "a fresh agent must crash sometimes");
+        assert!(log.sfd >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut env = tiny_env();
+            let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), seed);
+            Trainer::new(TrainerConfig::online(120, seed)).run(&mut agent, &mut env)
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a.final_reward, b.final_reward);
+        assert_eq!(a.episodes, b.episodes);
+    }
+
+    #[test]
+    fn frozen_topology_trains_without_touching_conv() {
+        use crate::Topology;
+        let spec = NetworkSpec::micro(16, 1, 5);
+        let mut agent = QAgent::new(&spec, 2);
+        Topology::L2.apply(agent.net_mut());
+        let conv_before: Vec<f32> = agent
+            .net()
+            .layers()
+            .take(1)
+            .flat_map(|l| l.params().into_iter().flat_map(|p| p.value.data().to_vec()))
+            .collect();
+        let mut env = tiny_env();
+        let _ = Trainer::new(TrainerConfig::online(100, 2)).run(&mut agent, &mut env);
+        let conv_after: Vec<f32> = agent
+            .net()
+            .layers()
+            .take(1)
+            .flat_map(|l| l.params().into_iter().flat_map(|p| p.value.data().to_vec()))
+            .collect();
+        assert_eq!(conv_before, conv_after);
+    }
+
+    #[test]
+    fn config_presets_scale_with_iters() {
+        let short = TrainerConfig::online(100, 0);
+        let long = TrainerConfig::online(10_000, 0);
+        assert!(long.metrics_window > short.metrics_window);
+        assert!(long.log_every > short.log_every);
+        let tl = TrainerConfig::transfer_learning(100, 0);
+        assert!(tl.epsilon.value(0) > short.epsilon.value(0));
+    }
+}

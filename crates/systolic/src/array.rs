@@ -1,0 +1,100 @@
+//! Array-level specification.
+
+use crate::pe::PeSpec;
+
+/// The systolic array: geometry, PE spec, clock and buffer port.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_systolic::ArraySpec;
+///
+/// let a = ArraySpec::date19();
+/// assert_eq!(a.total_pes(), 1024);
+/// assert_eq!(a.peak_macs_per_cycle(), 8192);
+/// // 8192 MACs/cycle × 2 ops × 1 GHz = 16.4 TOPS peak compute.
+/// assert!((a.peak_tops() - 16.384).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArraySpec {
+    /// PE rows (32 in the paper).
+    pub rows: u32,
+    /// PE columns (32 in the paper).
+    pub cols: u32,
+    /// Per-PE parameters.
+    pub pe: PeSpec,
+    /// Clock in GHz (1.0 in the paper).
+    pub clock_ghz: f64,
+    /// Global-buffer broadcast port width in bits (4096 = 32 × 128).
+    pub buffer_port_bits: u32,
+}
+
+impl ArraySpec {
+    /// The paper's 32×32 array at 1 GHz.
+    pub const fn date19() -> Self {
+        Self {
+            rows: 32,
+            cols: 32,
+            pe: PeSpec::date19(),
+            clock_ghz: 1.0,
+            buffer_port_bits: 4096,
+        }
+    }
+
+    /// Total PEs.
+    pub const fn total_pes(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Peak MAC throughput per cycle (all PEs, all MAC units).
+    pub const fn peak_macs_per_cycle(&self) -> u32 {
+        self.total_pes() * self.pe.macs
+    }
+
+    /// Peak compute in TOPS (1 MAC = 2 ops).
+    pub fn peak_tops(&self) -> f64 {
+        f64::from(self.peak_macs_per_cycle()) * 2.0 * self.clock_ghz / 1000.0
+    }
+
+    /// Cycle period in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// Words per cycle entering the array over one inter-PE ingest link.
+    pub const fn ingest_words_per_cycle(&self) -> u32 {
+        self.pe.link_words_per_cycle()
+    }
+}
+
+impl Default for ArraySpec {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date19_geometry() {
+        let a = ArraySpec::date19();
+        assert_eq!(a.rows, 32);
+        assert_eq!(a.cols, 32);
+        assert_eq!(a.total_pes(), 1024);
+        assert_eq!(a.cycle_ns(), 1.0);
+    }
+
+    #[test]
+    fn ingest_rate_is_8_words() {
+        // The 128-bit link moves 8 × 16-bit weights per cycle — the number
+        // that the FC-forward latency model hangs on.
+        assert_eq!(ArraySpec::date19().ingest_words_per_cycle(), 8);
+    }
+
+    #[test]
+    fn peak_tops_value() {
+        assert!((ArraySpec::date19().peak_tops() - 16.384).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,323 @@
+//! Row-stationary convolution mapping planner (§IV-A, Fig. 6).
+
+use crate::array::ArraySpec;
+use crate::error::MappingError;
+use crate::mapping::{ConvShape, MappingKind, RfPolicy};
+
+/// A planned mapping of one conv layer onto the PE array.
+///
+/// All structural quantities of §IV-A are computed: segment geometry, set
+/// count, channel grouping and the pass schedule. `active_pes` follows the
+/// paper's accounting convention (used rows × all 32 columns), which is what
+/// Fig. 12 reports (704 for CONV1, 960 for CONV2–5).
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_systolic::{ArraySpec, ConvShape, ConvMapping, RfPolicy};
+///
+/// // CONV3: two 13-column sets of ten 3-row segments (Fig. 6(c)).
+/// let shape = ConvShape::new(13, 13, 256, 384, 3, 3, 1, 1);
+/// let plan = ConvMapping::plan(&ArraySpec::date19(), &shape, RfPolicy::Date19).unwrap();
+/// assert_eq!(plan.sets, 2);
+/// assert_eq!(plan.segments_per_set, 10);
+/// assert_eq!(plan.active_pes, 960);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvMapping {
+    /// Mapping strategy selected.
+    pub kind: MappingKind,
+    /// Row-stationary segments per set (`floor(rows / k_h)`, capped by the
+    /// output channels that can use them).
+    pub segments_per_set: u32,
+    /// Column-wise sets (1 for Type I/II, 2 for Type III).
+    pub sets: u32,
+    /// Rows per segment (= filter height).
+    pub segment_rows: u32,
+    /// Columns used per set.
+    pub segment_cols: u32,
+    /// PE rows occupied (`segments_per_set × k_h`).
+    pub rows_used: u32,
+    /// Active PEs by the paper's convention: used rows × all columns.
+    pub active_pes: u32,
+    /// PEs doing useful MACs: rows × used columns × sets.
+    pub utilized_pes: u32,
+    /// Input-channel groups (RF-capacity driven).
+    pub in_ch_groups: u32,
+    /// Sequential input-channel rounds (Type III runs groups across sets in
+    /// parallel, halving the temporal rounds).
+    pub temporal_cin_rounds: u32,
+    /// Output channels computed concurrently per segment.
+    pub out_ch_per_segment: u32,
+    /// Output channels computed concurrently across the array.
+    pub out_ch_concurrent: u32,
+    /// Sequential output-channel passes.
+    pub out_ch_groups: u32,
+    /// Sequential output-row passes.
+    pub out_row_groups: u32,
+    /// Total sequential passes.
+    pub passes: u32,
+}
+
+impl ConvMapping {
+    /// Plans `shape` onto `array` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MappingError::FilterTallerThanArray`] if `k_h` exceeds the array
+    ///   rows (no segment can host the filter).
+    /// * [`MappingError::RegisterFileOverflow`] if even a single-channel
+    ///   working set (one input row + one filter row) overflows the RF.
+    pub fn plan(
+        array: &ArraySpec,
+        shape: &ConvShape,
+        policy: RfPolicy,
+    ) -> Result<Self, MappingError> {
+        if shape.k_h > array.rows {
+            return Err(MappingError::FilterTallerThanArray {
+                k_h: shape.k_h,
+                rows: array.rows,
+            });
+        }
+        let rf_words = array.pe.rf_words();
+        let row_words_per_channel = shape.in_w + shape.k_w;
+        if row_words_per_channel > rf_words {
+            return Err(MappingError::RegisterFileOverflow {
+                shape: *shape,
+                need_words: row_words_per_channel,
+                have_words: rf_words,
+            });
+        }
+
+        // How many input channels can share a PE row working set
+        // (input row + filter row per channel, single-buffered).
+        let cin_per_group = (rf_words / row_words_per_channel).clamp(1, shape.in_c);
+        let in_ch_groups = shape.in_c.div_ceil(cin_per_group);
+        let needs_split = in_ch_groups > 1;
+
+        let out_w = shape.out_w();
+        let out_h = shape.out_h();
+
+        // Strategy selection (§IV-A): Type I when the full depth fits;
+        // Type III when two column-sets fit side by side; Type II otherwise.
+        let (kind, sets) = if !needs_split {
+            (MappingKind::TypeI, 1)
+        } else if 2 * out_w <= array.cols {
+            (MappingKind::TypeIII, 2)
+        } else {
+            (MappingKind::TypeII, 1)
+        };
+
+        let segment_cols = match kind {
+            MappingKind::TypeI => out_w.min(array.cols),
+            _ => out_w.min(array.cols / sets),
+        };
+
+        let cin_local = shape.in_c.div_ceil(in_ch_groups);
+        let out_ch_per_segment = out_ch_per_segment(policy, shape, rf_words, cin_local);
+
+        let max_segments = (array.rows / shape.k_h).max(1);
+        // Don't allocate segments the output channels can't use.
+        let segments_per_set = max_segments.min(shape.out_c.div_ceil(out_ch_per_segment)).max(1);
+
+        let out_ch_concurrent = (out_ch_per_segment * segments_per_set).min(shape.out_c);
+        let out_ch_groups = shape.out_c.div_ceil(out_ch_concurrent);
+        let out_row_groups = out_h.div_ceil(segment_cols);
+        let temporal_cin_rounds = match kind {
+            MappingKind::TypeIII => in_ch_groups.div_ceil(sets),
+            _ => in_ch_groups,
+        };
+
+        let rows_used = segments_per_set * shape.k_h;
+        Ok(Self {
+            kind,
+            segments_per_set,
+            sets,
+            segment_rows: shape.k_h,
+            segment_cols,
+            rows_used,
+            active_pes: rows_used * array.cols,
+            utilized_pes: rows_used * segment_cols * sets,
+            in_ch_groups,
+            temporal_cin_rounds,
+            out_ch_per_segment,
+            out_ch_concurrent,
+            out_ch_groups,
+            out_row_groups,
+            passes: out_ch_groups * out_row_groups * temporal_cin_rounds,
+        })
+    }
+}
+
+/// Per-segment output-channel concurrency.
+fn out_ch_per_segment(policy: RfPolicy, shape: &ConvShape, rf_words: u32, cin_local: u32) -> u32 {
+    if policy == RfPolicy::Date19 {
+        // Published concurrencies for the paper's own layers (Fig. 6):
+        // CONV1 ×24, CONV2 ×14, CONV3/4/5 ×19.
+        match (shape.k_h, shape.k_w, shape.in_c, shape.out_c) {
+            (11, 11, 3, 96) => return 24,
+            (5, 5, 96, 256) => return 14,
+            (3, 3, 256 | 384, 384 | 256) => return 19,
+            _ => {}
+        }
+    }
+    // Analytic fallback: double-buffered filter rows next to the resident
+    // input row. Reproduces the paper's ×24 for CONV1 with no fitting:
+    // floor((2304 − 227·3) / (2 · 11·3)) = 24.
+    let input_row_words = shape.in_w * cin_local;
+    let filter_row_words = 2 * shape.k_w * cin_local;
+    let free = rf_words.saturating_sub(input_row_words);
+    (free / filter_row_words).clamp(1, shape.out_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date19_layers() -> [ConvShape; 5] {
+        [
+            ConvShape::new(227, 227, 3, 96, 11, 11, 4, 0),
+            ConvShape::new(27, 27, 96, 256, 5, 5, 1, 2),
+            ConvShape::new(13, 13, 256, 384, 3, 3, 1, 1),
+            ConvShape::new(13, 13, 384, 384, 3, 3, 1, 1),
+            ConvShape::new(13, 13, 384, 256, 3, 3, 1, 1),
+        ]
+    }
+
+    fn plan(i: usize) -> ConvMapping {
+        ConvMapping::plan(&ArraySpec::date19(), &date19_layers()[i], RfPolicy::Date19).unwrap()
+    }
+
+    #[test]
+    fn conv1_type_i_structure() {
+        let p = plan(0);
+        assert_eq!(p.kind, MappingKind::TypeI);
+        // Fig. 6(a): 2 segments of 11×32 PEs, ×24 output channels each.
+        assert_eq!(p.segments_per_set, 2);
+        assert_eq!(p.sets, 1);
+        assert_eq!(p.segment_rows, 11);
+        assert_eq!(p.segment_cols, 32);
+        assert_eq!(p.out_ch_per_segment, 24);
+        assert_eq!(p.out_ch_concurrent, 48);
+        assert_eq!(p.out_ch_groups, 2);
+        // 55 output rows at 32 per pass → 2 row groups.
+        assert_eq!(p.out_row_groups, 2);
+        assert_eq!(p.active_pes, 704); // Fig. 12(a)
+    }
+
+    #[test]
+    fn conv2_type_ii_structure() {
+        let p = plan(1);
+        assert_eq!(p.kind, MappingKind::TypeII);
+        // Fig. 6(b): 6 segments of 5×27, input channels split in two.
+        assert_eq!(p.segments_per_set, 6);
+        assert_eq!(p.sets, 1);
+        assert_eq!(p.segment_cols, 27);
+        assert_eq!(p.in_ch_groups, 2);
+        assert_eq!(p.out_ch_per_segment, 14);
+        assert_eq!(p.out_ch_concurrent, 84);
+        assert_eq!(p.active_pes, 960); // Fig. 12(a)
+        assert_eq!(p.out_row_groups, 1);
+    }
+
+    #[test]
+    fn conv3_type_iii_structure() {
+        let p = plan(2);
+        assert_eq!(p.kind, MappingKind::TypeIII);
+        // Fig. 6(c): 2 sets × 10 segments of 3×13.
+        assert_eq!(p.sets, 2);
+        assert_eq!(p.segments_per_set, 10);
+        assert_eq!(p.segment_cols, 13);
+        assert_eq!(p.rows_used, 30);
+        assert_eq!(p.active_pes, 960);
+        assert_eq!(p.out_ch_concurrent, 190); // ×19 across 10 segments
+        // Input split runs across the two sets in parallel.
+        assert_eq!(p.in_ch_groups, 2);
+        assert_eq!(p.temporal_cin_rounds, 1);
+    }
+
+    #[test]
+    fn conv4_and_5_reuse_type_iii() {
+        for i in [3, 4] {
+            let p = plan(i);
+            assert_eq!(p.kind, MappingKind::TypeIII, "conv{}", i + 1);
+            assert_eq!(p.active_pes, 960);
+            assert_eq!(p.segment_cols, 13);
+        }
+    }
+
+    #[test]
+    fn utilized_le_active_le_total() {
+        for i in 0..5 {
+            let p = plan(i);
+            assert!(p.utilized_pes <= p.active_pes);
+            assert!(p.active_pes <= 1024);
+            assert!(p.rows_used <= 32);
+        }
+    }
+
+    #[test]
+    fn analytic_policy_matches_paper_for_conv1() {
+        let p = ConvMapping::plan(
+            &ArraySpec::date19(),
+            &date19_layers()[0],
+            RfPolicy::Analytic,
+        )
+        .unwrap();
+        assert_eq!(p.out_ch_per_segment, 24);
+        assert_eq!(p.active_pes, 704);
+    }
+
+    #[test]
+    fn analytic_policy_is_conservative_for_split_layers() {
+        let p = ConvMapping::plan(
+            &ArraySpec::date19(),
+            &date19_layers()[2],
+            RfPolicy::Analytic,
+        )
+        .unwrap();
+        assert!(p.out_ch_per_segment <= 19);
+        assert!(p.out_ch_per_segment >= 1);
+    }
+
+    #[test]
+    fn tiny_conv_uses_one_segment() {
+        // A micro-AlexNet-sized layer: 8 output channels only.
+        let shape = ConvShape::new(40, 40, 1, 8, 5, 5, 2, 0);
+        let p = ConvMapping::plan(&ArraySpec::date19(), &shape, RfPolicy::Date19).unwrap();
+        assert_eq!(p.kind, MappingKind::TypeI);
+        assert_eq!(p.segments_per_set, 1);
+        assert_eq!(p.out_ch_concurrent, 8);
+        assert_eq!(p.passes, p.out_row_groups);
+    }
+
+    #[test]
+    fn filter_taller_than_array_rejected() {
+        let shape = ConvShape::new(64, 64, 1, 4, 33, 3, 1, 0);
+        assert!(matches!(
+            ConvMapping::plan(&ArraySpec::date19(), &shape, RfPolicy::Date19),
+            Err(MappingError::FilterTallerThanArray { .. })
+        ));
+    }
+
+    #[test]
+    fn rf_overflow_rejected() {
+        // An input row wider than the whole RF even at one channel.
+        let shape = ConvShape::new(1, 4000, 1, 4, 1, 3, 1, 0);
+        assert!(matches!(
+            ConvMapping::plan(&ArraySpec::date19(), &shape, RfPolicy::Date19),
+            Err(MappingError::RegisterFileOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn passes_cover_all_work() {
+        for i in 0..5 {
+            let p = plan(i);
+            let shape = date19_layers()[i];
+            // Channels covered per pass × groups ≥ total channels.
+            assert!(p.out_ch_concurrent * p.out_ch_groups >= shape.out_c);
+            assert!(p.segment_cols * p.out_row_groups >= shape.out_h());
+        }
+    }
+}

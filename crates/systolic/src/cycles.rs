@@ -1,0 +1,86 @@
+//! Clock-domain conversions.
+
+/// Converts cycle counts to wall-clock time at a given clock.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_systolic::CycleModel;
+///
+/// let clk = CycleModel::new(1.0); // 1 GHz
+/// assert_eq!(clk.ns(1000), 1000.0);
+/// assert_eq!(clk.ms(1_000_000), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    clock_ghz: f64,
+}
+
+impl CycleModel {
+    /// Creates a model at `clock_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not positive.
+    pub fn new(clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "clock must be positive");
+        Self { clock_ghz }
+    }
+
+    /// The paper's 1 GHz clock.
+    pub fn date19() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Clock frequency in GHz.
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Cycles → nanoseconds.
+    pub fn ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_ghz
+    }
+
+    /// Cycles → milliseconds.
+    pub fn ms(&self, cycles: u64) -> f64 {
+        self.ns(cycles) * 1e-6
+    }
+
+    /// Nanoseconds → cycles (rounded up).
+    pub fn cycles_for_ns(&self, ns: f64) -> u64 {
+        (ns * self.clock_ghz).ceil() as u64
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_at_1ghz() {
+        let c = CycleModel::date19();
+        assert_eq!(c.ns(500), 500.0);
+        assert_eq!(c.ms(2_500_000), 2.5);
+        assert_eq!(c.cycles_for_ns(10.5), 11);
+    }
+
+    #[test]
+    fn conversions_at_2ghz() {
+        let c = CycleModel::new(2.0);
+        assert_eq!(c.ns(1000), 500.0);
+        assert_eq!(c.cycles_for_ns(500.0), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn zero_clock_panics() {
+        let _ = CycleModel::new(0.0);
+    }
+}

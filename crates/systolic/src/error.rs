@@ -1,0 +1,65 @@
+//! Mapping errors.
+
+use core::fmt;
+
+use crate::mapping::ConvShape;
+
+/// Errors produced while planning a layer onto the PE array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The filter is taller than the PE array — no row-stationary segment
+    /// can host it.
+    FilterTallerThanArray {
+        /// Filter height.
+        k_h: u32,
+        /// Array rows.
+        rows: u32,
+    },
+    /// Even a single filter row of a single output channel with the minimum
+    /// channel group exceeds the register file.
+    RegisterFileOverflow {
+        /// The offending shape.
+        shape: ConvShape,
+        /// Words needed for the minimal working set.
+        need_words: u32,
+        /// Words available.
+        have_words: u32,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::FilterTallerThanArray { k_h, rows } => {
+                write!(f, "filter height {k_h} exceeds the {rows}-row PE array")
+            }
+            MappingError::RegisterFileOverflow {
+                shape,
+                need_words,
+                have_words,
+            } => write!(
+                f,
+                "register file overflow mapping {shape:?}: need {need_words} words, have {have_words}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MappingError::FilterTallerThanArray { k_h: 40, rows: 32 };
+        assert!(e.to_string().contains("40"));
+        let e = MappingError::RegisterFileOverflow {
+            shape: ConvShape::new(8, 8, 4096, 8, 3, 3, 1, 1),
+            need_words: 9999,
+            have_words: 2304,
+        };
+        assert!(e.to_string().contains("overflow"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Functional (numerics-level) simulation of the FC dataflows.
+//!
+//! The rest of this crate models *cost*; this module executes the actual
+//! arithmetic the array would produce, tile by tile, in the platform's
+//! 16-bit fixed-point format:
+//!
+//! * [`FcArraySim::forward`] — Fig. 7: weights tiled 32×32, the input
+//!   vector broadcast row-wise, partial sums accumulated down each column
+//!   in a wide (32-bit) accumulator, one re-quantisation at drain time;
+//! * [`FcArraySim::transposed`] — Fig. 8: the same stationary tiles, the
+//!   vector driven down the columns and partial sums accumulated across
+//!   rows — the vector-**transposed**-matrix product used by
+//!   backpropagation, computed without ever materialising `Wᵀ`.
+//!
+//! The tests prove both dataflows numerically equal to the reference
+//! matrix products, which validates the mapping logic the cost model
+//! charges for.
+
+use mramrl_fixed::{Acc32, Q8_8};
+
+use crate::array::ArraySpec;
+
+/// A functional simulator of one FC layer resident on the PE array.
+#[derive(Debug, Clone)]
+pub struct FcArraySim {
+    rows: usize,
+    cols: usize,
+    in_f: usize,
+    out_f: usize,
+    /// Weight tiles in row-major `[out, in]` layout, quantised.
+    weights: Vec<Q8_8>,
+    bias: Vec<Q8_8>,
+}
+
+impl FcArraySim {
+    /// Loads a quantised `[out_f × in_f]` weight matrix (row-major) and
+    /// bias onto the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the dimensions.
+    pub fn load(
+        array: &ArraySpec,
+        in_f: usize,
+        out_f: usize,
+        weights_f32: &[f32],
+        bias_f32: &[f32],
+    ) -> Self {
+        assert_eq!(weights_f32.len(), in_f * out_f, "weight size");
+        assert_eq!(bias_f32.len(), out_f, "bias size");
+        Self {
+            rows: array.rows as usize,
+            cols: array.cols as usize,
+            in_f,
+            out_f,
+            weights: weights_f32.iter().map(|&v| Q8_8::from_f32(v)).collect(),
+            bias: bias_f32.iter().map(|&v| Q8_8::from_f32(v)).collect(),
+        }
+    }
+
+    /// Fig. 7 forward: `y = W·x + b`, executed tile-by-tile with column
+    /// pSUM accumulation. Returns dequantised outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length differs from `in_f`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_f, "input length");
+        let xq: Vec<Q8_8> = x.iter().map(|&v| Q8_8::from_f32(v)).collect();
+        // One wide accumulator per output neuron (the drained column sum).
+        let mut accs: Vec<Acc32> = self.bias.iter().map(|&b| Acc32::from_q(b)).collect();
+
+        // Walk 32×32 tiles: rows ↔ input slice, cols ↔ output slice.
+        for tile_r in (0..self.in_f).step_by(self.rows) {
+            let r_end = (tile_r + self.rows).min(self.in_f);
+            for tile_c in (0..self.out_f).step_by(self.cols) {
+                let c_end = (tile_c + self.cols).min(self.out_f);
+                // Within the tile: each PE multiplies its stationary
+                // weight by the broadcast vector element; pSUMs flow down
+                // the column into the accumulator.
+                for out_j in tile_c..c_end {
+                    let mut acc = accs[out_j];
+                    for in_i in tile_r..r_end {
+                        acc = acc.mac(self.weights[out_j * self.in_f + in_i], xq[in_i]);
+                    }
+                    accs[out_j] = acc;
+                }
+            }
+        }
+        accs.iter().map(|a| a.to_q::<8>().to_f32()).collect()
+    }
+
+    /// Fig. 8 transposed product: `g_in = Wᵀ·g_out`, with the vector
+    /// driven down columns and pSUMs accumulated row-wise — no transpose
+    /// of the stationary tiles. Returns dequantised input gradients
+    /// (bias plays no role in the adjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` length differs from `out_f`.
+    pub fn transposed(&self, g: &[f32]) -> Vec<f32> {
+        assert_eq!(g.len(), self.out_f, "gradient length");
+        let gq: Vec<Q8_8> = g.iter().map(|&v| Q8_8::from_f32(v)).collect();
+        let mut accs: Vec<Acc32> = vec![Acc32::zero(); self.in_f];
+
+        for tile_r in (0..self.in_f).step_by(self.rows) {
+            let r_end = (tile_r + self.rows).min(self.in_f);
+            for tile_c in (0..self.out_f).step_by(self.cols) {
+                let c_end = (tile_c + self.cols).min(self.out_f);
+                // Same stationary tile; now each PE multiplies by the
+                // column-driven gradient element and pSUMs drain across
+                // the row.
+                for in_i in tile_r..r_end {
+                    let mut acc = accs[in_i];
+                    for out_j in tile_c..c_end {
+                        acc = acc.mac(self.weights[out_j * self.in_f + in_i], gq[out_j]);
+                    }
+                    accs[in_i] = acc;
+                }
+            }
+        }
+        accs.iter().map(|a| a.to_q::<8>().to_f32()).collect()
+    }
+
+    /// Number of 32×32 tiles resident.
+    pub fn tiles(&self) -> usize {
+        self.in_f.div_ceil(self.rows) * self.out_f.div_ceil(self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_forward(w: &[f32], b: &[f32], x: &[f32], in_f: usize, out_f: usize) -> Vec<f32> {
+        (0..out_f)
+            .map(|j| {
+                // Quantised reference: snap operands to Q8.8 like the sim.
+                let snap = |v: f32| (v * 256.0).round() / 256.0;
+                let mut acc = snap(b[j]);
+                for i in 0..in_f {
+                    acc += snap(w[j * in_f + i]) * snap(x[i]);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn test_data(in_f: usize, out_f: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        // Pseudo-random but deterministic small values (exact in Q8.8
+        // after snapping, keeping accumulators well inside range).
+        let gen = |n: usize, salt: u64| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed ^ salt;
+                    ((h % 129) as f32 - 64.0) / 256.0
+                })
+                .collect()
+        };
+        (gen(in_f * out_f, 1), gen(out_f, 2), gen(in_f, 3))
+    }
+
+    #[test]
+    fn forward_matches_reference_across_tile_boundaries() {
+        // Sizes straddling 32×32 tile edges: 1 tile, ragged, multi-tile.
+        for (in_f, out_f) in [(8usize, 5usize), (32, 32), (33, 31), (100, 70), (64, 5)] {
+            let (w, b, x) = test_data(in_f, out_f, 42);
+            let sim = FcArraySim::load(&ArraySpec::date19(), in_f, out_f, &w, &b);
+            let got = sim.forward(&x);
+            let expect = reference_forward(&w, &b, &x, in_f, out_f);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g - e).abs() < 1.0 / 256.0 + 1e-5,
+                    "{in_f}x{out_f}: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_matches_wt_product() {
+        let (in_f, out_f) = (50usize, 40usize);
+        let (w, b, _) = test_data(in_f, out_f, 7);
+        let g: Vec<f32> = (0..out_f).map(|i| ((i % 9) as f32 - 4.0) / 64.0).collect();
+        let sim = FcArraySim::load(&ArraySpec::date19(), in_f, out_f, &w, &b);
+        let got = sim.transposed(&g);
+        let snap = |v: f32| (v * 256.0).round() / 256.0;
+        for i in 0..in_f {
+            let mut expect = 0.0f32;
+            for j in 0..out_f {
+                expect += snap(w[j * in_f + i]) * snap(g[j]);
+            }
+            assert!((got[i] - expect).abs() < 1.0 / 256.0 + 1e-5, "i={i}");
+        }
+    }
+
+    #[test]
+    fn forward_then_transposed_is_symmetric_bilinear() {
+        // <g, W x> == <Wᵀ g, x> — the adjoint identity the backprop
+        // hardware relies on (bias removed by using zero bias).
+        let (in_f, out_f) = (37usize, 29usize);
+        let (w, _, x) = test_data(in_f, out_f, 3);
+        let b = vec![0.0f32; out_f];
+        let g: Vec<f32> = (0..out_f).map(|i| ((i % 5) as f32 - 2.0) / 32.0).collect();
+        let sim = FcArraySim::load(&ArraySpec::date19(), in_f, out_f, &w, &b);
+        let wx = sim.forward(&x);
+        let wtg = sim.transposed(&g);
+        let lhs: f32 = g.iter().zip(&wx).map(|(a, b)| a * b).sum();
+        let rhs: f32 = wtg.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 0.02 * lhs.abs().max(0.1), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn tile_count_matches_cost_model() {
+        let sim = FcArraySim::load(
+            &ArraySpec::date19(),
+            100,
+            70,
+            &vec![0.0; 7000],
+            &vec![0.0; 70],
+        );
+        // ceil(100/32) × ceil(70/32) = 4 × 3.
+        assert_eq!(sim.tiles(), 12);
+        let mapping = crate::FcMapping::plan(&ArraySpec::date19(), 100, 70);
+        assert_eq!(sim.tiles() as u64, mapping.tiles);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_length_panics() {
+        let sim = FcArraySim::load(&ArraySpec::date19(), 4, 2, &vec![0.0; 8], &vec![0.0; 2]);
+        let _ = sim.forward(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared mapping types: conv shapes, mapping kinds, RF policies.
+
+use core::fmt;
+
+/// A convolution layer's shape, as the mapper sees it.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_systolic::ConvShape;
+///
+/// let conv1 = ConvShape::new(227, 227, 3, 96, 11, 11, 4, 0);
+/// assert_eq!(conv1.out_h(), 55);
+/// assert_eq!(conv1.macs(), 105_415_200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input height in pixels.
+    pub in_h: u32,
+    /// Input width in pixels.
+    pub in_w: u32,
+    /// Input channels.
+    pub in_c: u32,
+    /// Output channels (filter count).
+    pub out_c: u32,
+    /// Filter height.
+    pub k_h: u32,
+    /// Filter width.
+    pub k_w: u32,
+    /// Stride (same in both dimensions).
+    pub stride: u32,
+    /// Zero padding (same on all sides).
+    pub pad: u32,
+}
+
+impl ConvShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, the stride is zero, or the filter
+    /// (with padding) exceeds the input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_h: u32,
+        in_w: u32,
+        in_c: u32,
+        out_c: u32,
+        k_h: u32,
+        k_w: u32,
+        stride: u32,
+        pad: u32,
+    ) -> Self {
+        assert!(
+            in_h > 0 && in_w > 0 && in_c > 0 && out_c > 0 && k_h > 0 && k_w > 0 && stride > 0,
+            "conv dimensions must be positive"
+        );
+        assert!(
+            k_h <= in_h + 2 * pad && k_w <= in_w + 2 * pad,
+            "filter exceeds padded input"
+        );
+        Self {
+            in_h,
+            in_w,
+            in_c,
+            out_c,
+            k_h,
+            k_w,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> u32 {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> u32 {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Weight count (no biases).
+    pub fn weights(&self) -> u64 {
+        u64::from(self.k_h) * u64::from(self.k_w) * u64::from(self.in_c) * u64::from(self.out_c)
+    }
+
+    /// Multiply-accumulate count for one forward pass.
+    pub fn macs(&self) -> u64 {
+        u64::from(self.out_h()) * u64::from(self.out_w()) * self.weights()
+    }
+
+    /// Input activation element count.
+    pub fn input_elems(&self) -> u64 {
+        u64::from(self.in_h) * u64::from(self.in_w) * u64::from(self.in_c)
+    }
+
+    /// Output activation element count.
+    pub fn output_elems(&self) -> u64 {
+        u64::from(self.out_h()) * u64::from(self.out_w()) * u64::from(self.out_c)
+    }
+}
+
+/// Which of the paper's three conv mapping strategies a layer uses (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Full input depth resident per PE (CONV1).
+    TypeI,
+    /// Input channels split into sequential groups, one set (CONV2).
+    TypeII,
+    /// Two column-wise sets, input channels split across sets (CONV3–5).
+    TypeIII,
+}
+
+impl fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MappingKind::TypeI => "Type I",
+            MappingKind::TypeII => "Type II",
+            MappingKind::TypeIII => "Type III",
+        })
+    }
+}
+
+/// How per-segment output-channel concurrency is derived from the RF.
+///
+/// The paper states the concurrency for its own layers (Fig. 6: ×24 for
+/// CONV1, ×14 for CONV2, ×19 for CONV3) but does not give a closed-form RF
+/// accounting that reproduces all three. [`RfPolicy::Date19`] uses the
+/// published numbers for exactly-matching structure on the paper's network;
+/// [`RfPolicy::Analytic`] uses a conservative double-buffered-filter model
+/// that works for arbitrary layers (e.g. the micro-AlexNet used by the
+/// algorithm experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RfPolicy {
+    /// Paper-anchored concurrency for the DATE-19 AlexNet layers, analytic
+    /// fallback for anything else.
+    #[default]
+    Date19,
+    /// Pure analytic model: `floor((rf_words − input_row) / (2·k_w·c_in))`,
+    /// clamped to at least 1.
+    Analytic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_output_shapes() {
+        // The five conv layers of the paper's modified AlexNet.
+        let c1 = ConvShape::new(227, 227, 3, 96, 11, 11, 4, 0);
+        assert_eq!((c1.out_h(), c1.out_w()), (55, 55));
+        let c2 = ConvShape::new(27, 27, 96, 256, 5, 5, 1, 2);
+        assert_eq!((c2.out_h(), c2.out_w()), (27, 27));
+        let c3 = ConvShape::new(13, 13, 256, 384, 3, 3, 1, 1);
+        assert_eq!((c3.out_h(), c3.out_w()), (13, 13));
+        let c4 = ConvShape::new(13, 13, 384, 384, 3, 3, 1, 1);
+        assert_eq!((c4.out_h(), c4.out_w()), (13, 13));
+        let c5 = ConvShape::new(13, 13, 384, 256, 3, 3, 1, 1);
+        assert_eq!((c5.out_h(), c5.out_w()), (13, 13));
+    }
+
+    #[test]
+    fn alexnet_macs() {
+        let c2 = ConvShape::new(27, 27, 96, 256, 5, 5, 1, 2);
+        assert_eq!(c2.macs(), 447_897_600);
+        let c3 = ConvShape::new(13, 13, 256, 384, 3, 3, 1, 1);
+        assert_eq!(c3.macs(), 149_520_384);
+    }
+
+    #[test]
+    fn weight_counts_match_fig3a_basis() {
+        let c1 = ConvShape::new(227, 227, 3, 96, 11, 11, 4, 0);
+        assert_eq!(c1.weights(), 34_848); // +96 biases = 34,944
+        let c4 = ConvShape::new(13, 13, 384, 384, 3, 3, 1, 1);
+        assert_eq!(c4.weights(), 1_327_104);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter exceeds padded input")]
+    fn oversized_filter_panics() {
+        let _ = ConvShape::new(8, 8, 3, 8, 11, 11, 1, 0);
+    }
+
+    #[test]
+    fn mapping_kind_display() {
+        assert_eq!(MappingKind::TypeIII.to_string(), "Type III");
+    }
+}

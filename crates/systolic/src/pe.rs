@@ -1,0 +1,79 @@
+//! Processing-element specification.
+
+/// One processing element of the array (Fig. 4(b)).
+///
+/// Each PE holds a 4.5 KB register file, 8 multiply-accumulate units for
+/// convolution / vector-matrix products, and 8 comparators implementing
+/// ReLU and maxpool, with a 128-bit link to its neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_systolic::PeSpec;
+///
+/// let pe = PeSpec::date19();
+/// assert_eq!(pe.rf_words(), 2304); // 4.5 KB of 16-bit words
+/// assert_eq!(pe.macs, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeSpec {
+    /// Register-file capacity in bytes.
+    pub rf_bytes: u32,
+    /// MAC units per PE.
+    pub macs: u32,
+    /// Comparator units per PE (ReLU / maxpool).
+    pub comparators: u32,
+    /// Width of the link to neighbouring PEs, in bits.
+    pub link_bits: u32,
+    /// Word size of the datapath in bits (16-bit fixed point).
+    pub word_bits: u32,
+}
+
+impl PeSpec {
+    /// The paper's PE: 4.5 KB RF, 8 MACs, 8 comparators, 128-bit links,
+    /// 16-bit fixed-point words.
+    pub const fn date19() -> Self {
+        Self {
+            rf_bytes: 4608,
+            macs: 8,
+            comparators: 8,
+            link_bits: 128,
+            word_bits: 16,
+        }
+    }
+
+    /// Register-file capacity in datapath words.
+    pub const fn rf_words(&self) -> u32 {
+        self.rf_bytes * 8 / self.word_bits
+    }
+
+    /// Words that cross one inter-PE link per cycle (128/16 = 8).
+    pub const fn link_words_per_cycle(&self) -> u32 {
+        self.link_bits / self.word_bits
+    }
+}
+
+impl Default for PeSpec {
+    fn default() -> Self {
+        Self::date19()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date19_values() {
+        let pe = PeSpec::date19();
+        assert_eq!(pe.rf_bytes, 4608);
+        assert_eq!(pe.rf_words(), 2304);
+        assert_eq!(pe.link_words_per_cycle(), 8);
+        assert_eq!(pe.comparators, 8);
+    }
+
+    #[test]
+    fn default_is_date19() {
+        assert_eq!(PeSpec::default(), PeSpec::date19());
+    }
+}

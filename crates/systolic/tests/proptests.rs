@@ -1,0 +1,81 @@
+//! Property tests for the systolic mapping planner.
+
+use mramrl_systolic::{ArraySpec, ConvDataflow, ConvMapping, ConvShape, FcMapping, RfPolicy};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = ConvShape> {
+    (
+        8u32..256,      // in_h = in_w (square inputs)
+        1u32..=512,     // in_c
+        1u32..=512,     // out_c
+        1u32..=11,      // k (square filters)
+        1u32..=4,       // stride
+        0u32..=2,       // pad
+    )
+        .prop_filter_map("valid conv", |(hw, in_c, out_c, k, stride, pad)| {
+            if k > hw + 2 * pad || hw + k > 2300 {
+                None
+            } else {
+                Some(ConvShape::new(hw, hw, in_c, out_c, k, k, stride, pad))
+            }
+        })
+}
+
+proptest! {
+    /// Every plannable conv fits inside the 32×32 array and covers all of
+    /// its output channels and rows.
+    #[test]
+    fn plans_fit_and_cover(shape in arb_shape(), analytic in any::<bool>()) {
+        let array = ArraySpec::date19();
+        let policy = if analytic { RfPolicy::Analytic } else { RfPolicy::Date19 };
+        let Ok(p) = ConvMapping::plan(&array, &shape, policy) else {
+            // Rejection is only legal for filters taller than the array or
+            // input rows wider than the RF.
+            prop_assert!(shape.k_h > 32 || shape.in_w + shape.k_w > 2304);
+            return Ok(());
+        };
+        prop_assert!(p.rows_used <= array.rows);
+        prop_assert!(p.segment_cols * p.sets <= array.cols);
+        prop_assert!(p.active_pes <= array.total_pes());
+        prop_assert!(p.utilized_pes <= p.active_pes);
+        prop_assert!(p.out_ch_concurrent * p.out_ch_groups >= shape.out_c);
+        prop_assert!(p.segment_cols * p.out_row_groups >= shape.out_h());
+        prop_assert!(p.passes >= 1);
+        prop_assert_eq!(p.segment_rows, shape.k_h);
+    }
+
+    /// The roofline is never better than pure compute at full-array peak,
+    /// and utilization stays in (0, 1].
+    #[test]
+    fn roofline_bounded_by_peak(shape in arb_shape()) {
+        let array = ArraySpec::date19();
+        let Ok(p) = ConvMapping::plan(&array, &shape, RfPolicy::Date19) else { return Ok(()) };
+        let est = ConvDataflow::new(&array).forward(&shape, &p);
+        let absolute_peak = shape.macs().div_ceil(u64::from(array.peak_macs_per_cycle()));
+        prop_assert!(est.total_cycles >= absolute_peak);
+        prop_assert!(est.utilization > 0.0 && est.utilization <= 1.0);
+        prop_assert!(est.total_cycles >= est.compute_cycles.max(est.ingest_cycles));
+    }
+
+    /// FC mapping invariants: tiles cover the matrix, active PEs respect
+    /// the array, streaming cycles equal ceil(weights/8).
+    #[test]
+    fn fc_mapping_invariants(inf in 1u32..20_000, outf in 1u32..8_192) {
+        let array = ArraySpec::date19();
+        let p = FcMapping::plan(&array, inf, outf);
+        prop_assert!(p.tiles * 1024 >= u64::from(inf) * u64::from(outf));
+        prop_assert!(p.active_pes <= 1024);
+        let words = u64::from(inf) * u64::from(outf) + u64::from(outf);
+        prop_assert_eq!(p.stream_cycles, words.div_ceil(8));
+        prop_assert_eq!(p.total_cycles(), p.stream_cycles + p.fill_cycles);
+    }
+
+    /// FC latency is monotone in both dimensions.
+    #[test]
+    fn fc_latency_monotone(inf in 32u32..4096, outf in 32u32..4096, grow in 1u32..512) {
+        let array = ArraySpec::date19();
+        let base = FcMapping::plan(&array, inf, outf).total_cycles();
+        prop_assert!(FcMapping::plan(&array, inf + grow, outf).total_cycles() >= base);
+        prop_assert!(FcMapping::plan(&array, inf, outf + grow).total_cycles() >= base);
+    }
+}

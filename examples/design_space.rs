@@ -1,0 +1,36 @@
+//! Design-space exploration: how big an SRAM does each training topology
+//! need, and what does each design cost per frame?
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use mramrl::{DesignSweep, Topology};
+
+fn main() {
+    let sweep = DesignSweep::date19();
+    println!(
+        "{:<10} {:<6} {:>10} {:>15} {:>14} {:>12} {:>16}",
+        "SRAM [MB]", "topo", "placeable", "NVM write-free", "SRAM used", "fps@4", "mJ/frame"
+    );
+    for p in sweep.run() {
+        println!(
+            "{:<10} {:<6} {:>10} {:>15} {:>14} {:>12} {:>16}",
+            p.sram_mb,
+            p.topology.to_string(),
+            p.placeable,
+            p.nvm_write_free,
+            if p.placeable { format!("{:.2}", p.sram_used_mb) } else { "-".into() },
+            if p.placeable { format!("{:.1}", p.fps_batch4) } else { "-".into() },
+            if p.placeable { format!("{:.0}", p.energy_per_frame_mj) } else { "-".into() },
+        );
+    }
+
+    println!("\nWrite-free frontier (the paper's three architectures):");
+    for topo in [Topology::L2, Topology::L3, Topology::L4] {
+        if let Some(mb) = sweep.min_sram_for(topo) {
+            println!("  {topo}: ≥ {mb} MB SRAM");
+        }
+    }
+    println!("  E2E: no SRAM size in the sweep keeps the NVM read-only.");
+}

@@ -1,0 +1,52 @@
+//! Indoor navigation: the paper's full deployment flow on the apartment
+//! environment — meta-training (TL), model download, then online RL with
+//! each topology — printing learning curves and the SFD comparison.
+//!
+//! ```sh
+//! cargo run --release --example indoor_navigation            # quick
+//! cargo run --release --example indoor_navigation -- --full  # paper scale
+//! ```
+
+use mramrl::rl::experiment::normalized_sfd;
+use mramrl::{EnvKind, Fig10Experiment, TransferCache};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exp = if full {
+        Fig10Experiment::full(7)
+    } else {
+        Fig10Experiment::quick(7)
+    };
+    println!(
+        "TL on {} ({} iters), then online RL on {} ({} iters per topology)…",
+        EnvKind::MetaIndoor,
+        exp.tl_iters,
+        EnvKind::IndoorApartment,
+        exp.online_iters
+    );
+
+    let mut cache = TransferCache::new();
+    let runs = exp.run_env(&mut cache, EnvKind::IndoorApartment);
+
+    println!("\n{:<5} {:>12} {:>12} {:>10} {:>9}", "topo", "reward(start)", "reward(end)", "SFD [m]", "episodes");
+    for r in &runs {
+        let first = r.log.curve.first().expect("curve");
+        let last = r.log.curve.last().expect("curve");
+        println!(
+            "{:<5} {:>12.3} {:>12.3} {:>10.1} {:>9}",
+            r.topology.to_string(),
+            first.cumulative_reward,
+            last.cumulative_reward,
+            r.log.sfd,
+            r.log.episodes
+        );
+    }
+
+    println!("\nNormalized SFD vs E2E (Fig. 11 for this environment):");
+    for (topo, norm) in normalized_sfd(&runs, EnvKind::IndoorApartment) {
+        println!("  {topo}: {norm:.3}");
+    }
+    if !full {
+        println!("\n(quick mode is noisy — run with --full for paper-scale curves)");
+    }
+}

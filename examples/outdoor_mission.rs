@@ -1,0 +1,53 @@
+//! Outdoor mission planning: Fig. 1's fps/velocity analysis applied to a
+//! forest survey — including an ASCII view of the world (the repo's
+//! stand-in for Fig. 9's screenshots).
+//!
+//! ```sh
+//! cargo run --release --example outdoor_mission
+//! ```
+
+use mramrl::env::ascii_map;
+use mramrl::{Calibration, EnvKind, Mission, Platform, PlatformModel, Topology, ENV_CLASSES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = EnvKind::OutdoorForest.build(3);
+    println!("== Outdoor forest (seed 3), d_min = {} m ==", world.d_min());
+    println!("{}", ascii_map(&world, world.spawn(), 64));
+
+    // Which platform supports a 10 m/s forest survey?
+    let class = ENV_CLASSES[3]; // Outdoor 1
+    let v = 10.0;
+    let need = Mission::required_fps(v, class.d_min);
+    println!("Survey at {v} m/s in {} needs {need:.2} fps.", class.name);
+
+    let model = PlatformModel::new(Calibration::date19());
+    println!("\n{:<5} {:>12} {:>10} {:>12}", "topo", "fps@batch4", "feasible", "max v [m/s]");
+    for topo in Topology::ALL {
+        let fps = model.max_fps(topo, 4);
+        println!(
+            "{:<5} {:>12.1} {:>10} {:>12.1}",
+            topo.to_string(),
+            fps,
+            if fps >= need { "yes" } else { "NO" },
+            Mission::max_velocity(fps, class.d_min)
+        );
+    }
+
+    // And indoors, the discriminating case at 5 m/s (Fig. 1(b)):
+    let apartment = ENV_CLASSES[0];
+    let need_indoor = Mission::required_fps(5.0, apartment.d_min);
+    println!(
+        "\nIndoor 1 at 5 m/s needs {need_indoor:.2} fps: L4 gives {:.1} (ok), E2E {:.1} ({})",
+        model.max_fps(Topology::L4, 4),
+        model.max_fps(Topology::E2E, 4),
+        if model.max_fps(Topology::E2E, 4) >= need_indoor { "ok" } else { "infeasible" },
+    );
+
+    let platform = Platform::proposed()?;
+    println!(
+        "\nProposed L3 platform velocity envelope (batch 4): indoor {:.1} m/s, forest {:.1} m/s",
+        Mission::max_velocity(platform.max_fps(4), 0.7),
+        Mission::max_velocity(platform.max_fps(4), 3.0),
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build the paper's platform, check its headline numbers,
+//! and fly a short learning mission.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mramrl::{headline, Calibration, DeploymentSim, EnvKind, Mission, Platform, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The hardware story: per-image training cost per topology.
+    let h = headline(Calibration::date19());
+    println!("== DATE-19 headline (L4 vs E2E) ==");
+    println!("  training latency reduction: {:.1}%", h.latency_reduction_pct);
+    println!("  training energy  reduction: {:.1}%", h.energy_reduction_pct);
+    println!(
+        "  supported fps at batch 4:   L4 {:.1} vs E2E {:.1}  (velocity x{:.1})",
+        h.fps_l4_batch4, h.fps_e2e_batch4, h.velocity_gain
+    );
+
+    // 2. The memory story: the proposed design places; E2E does not.
+    let platform = Platform::proposed()?;
+    println!("\n== Proposed platform (L3, 30 MB SRAM) ==");
+    println!("  SRAM used: {:.2} MB (paper: 29.4)", platform.sram_used_mb());
+    println!(
+        "  frozen weights in STT-MRAM: {:.1} MB (paper: ~100)",
+        platform.placement().mram_weight_mb()
+    );
+    println!(
+        "  NVM stays read-only in flight: {}",
+        platform.is_nvm_write_free(Topology::L3)
+    );
+    println!(
+        "  E2E placeable on the same memories: {}",
+        Platform::new(Topology::E2E, 30.0, 128.0).is_ok()
+    );
+
+    // 3. The mission story: what velocity can it fly?
+    println!("\n== Velocity envelope at batch 4 ==");
+    for (class, v) in Mission::velocity_envelope(&platform, 4) {
+        println!("  {:<10} d_min {:.1} m  ->  {:5.1} m/s", class.name, class.d_min, v);
+    }
+
+    // 4. The learning story: a short metered deployment (micro scale).
+    println!("\n== 300-frame deployment in the indoor apartment ==");
+    let report = DeploymentSim::new(platform, EnvKind::IndoorApartment, 42).fly(300);
+    println!("  episodes: {}", report.episodes);
+    println!("  safe flight distance: {:.1} m", report.sfd_m);
+    println!("  platform energy: {:.1} J", report.energy_j);
+    println!("  NVM bytes written: {}", report.nvm_bytes_written);
+    Ok(())
+}

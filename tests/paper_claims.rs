@@ -1,0 +1,121 @@
+//! Integration tests pinning every quantitative claim the paper makes to
+//! the reproduction's outputs (the executable EXPERIMENTS.md).
+
+use mramrl::accel::{paper, PlatformModel};
+use mramrl::{headline, Calibration, Mission, NetworkSpec, Platform, Topology};
+
+#[test]
+fn claim_fig1_fps_equals_v_over_dmin() {
+    for (v, name, fps) in paper::FIG1_SPOT_CHECKS {
+        let class = mramrl::ENV_CLASSES.iter().find(|c| c.name == name).unwrap();
+        assert!((Mission::required_fps(v, class.d_min) - fps).abs() < 0.005);
+    }
+}
+
+#[test]
+fn claim_fig3a_weight_census_exact() {
+    let spec = NetworkSpec::date19_alexnet();
+    assert_eq!(spec.total_weights(), 56_190_341);
+    let census = spec.weight_census();
+    let fc_sum: u64 = census
+        .iter()
+        .filter(|c| c.name.starts_with("FC"))
+        .map(|c| c.weights)
+        .sum();
+    assert_eq!(fc_sum, 52_443_141); // the paper's "sum" row
+}
+
+#[test]
+fn claim_4_11_26_percent_topologies() {
+    let spec = NetworkSpec::date19_alexnet();
+    let pct = |k| spec.trainable_fraction_for_tail(k) * 100.0;
+    assert!((pct(2) - 3.743).abs() < 0.01); // "4%"
+    assert!((pct(3) - 11.21).abs() < 0.01); // "11%"
+    assert!((pct(4) - 26.14).abs() < 0.01); // "26%"
+}
+
+#[test]
+fn claim_fig5_memory_footprints() {
+    let p = Platform::proposed().unwrap();
+    assert!((p.sram_used_mb() - 29.4).abs() < 0.05);
+    assert!((p.placement().mram_weight_mb() - 99.8).abs() < 0.5);
+}
+
+#[test]
+fn claim_fig12_tables_within_tolerance() {
+    let m = PlatformModel::new(Calibration::date19());
+    let fwd_ms: f64 = m.forward_table().iter().map(|c| c.latency_ms).sum();
+    assert!((fwd_ms - paper::FWD_TOTAL_MS).abs() / paper::FWD_TOTAL_MS < 0.03);
+    let bwd_ms: f64 = m.backward_table().iter().map(|c| c.latency_ms).sum();
+    assert!((bwd_ms - paper::BWD_TOTAL_MS).abs() / paper::BWD_TOTAL_MS < 0.02);
+    // Every derived FC row within 8 % of Fig. 12.
+    for (ours, p) in m.forward_table()[5..9].iter().zip(&paper::FWD[5..9]) {
+        assert!((ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08, "{}", p.name);
+    }
+    for (ours, p) in m.backward_table()[5..9].iter().zip(&paper::BWD[5..9]) {
+        assert!((ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08, "{}", p.name);
+    }
+}
+
+#[test]
+fn claim_headline_reductions_and_fps() {
+    let h = headline(Calibration::date19());
+    // "79.4% (83.45%) decrease in latency (energy)" — per Fig. 12 the
+    // roles are swapped; both numbers appear, each within a small band.
+    assert!((h.latency_reduction_pct - 83.5).abs() < 1.5);
+    assert!((h.energy_reduction_pct - 79.4).abs() < 4.0);
+    // "for a batch-size of 4, we can support 15fps for L4".
+    assert!((h.fps_l4_batch4 - 15.0).abs() < 1.0);
+    // "compared to just 3fps for E2E" — ours is ~6 (documented); the
+    // infeasibility conclusion (below indoor requirements at speed) holds.
+    assert!(h.fps_e2e_batch4 < Mission::required_fps(5.0, 0.7));
+    // "more than 3X increase in the velocity of the drone" — we reproduce
+    // ≥2× against our (more favourable) E2E model.
+    assert!(h.velocity_gain > 2.0);
+}
+
+#[test]
+fn claim_e2e_not_feasible_on_nvm_platform() {
+    // §II-C / §VI: E2E cannot even place on the proposed memories…
+    assert!(Platform::new(Topology::E2E, 30.0, 128.0).is_err());
+    // …and on an oversized stack it still writes the NVM in flight.
+    let p = Platform::new(Topology::E2E, 30.0, 256.0).unwrap();
+    assert!(!p.is_nvm_write_free(Topology::E2E));
+    // While all L topologies are write-free on their architectures.
+    for (t, sram) in [(Topology::L2, 12.7), (Topology::L3, 30.0), (Topology::L4, 63.0)] {
+        assert!(Platform::new(t, sram, 128.0).unwrap().is_nvm_write_free(t), "{t}");
+    }
+}
+
+#[test]
+fn claim_table1_drives_the_write_wall() {
+    // The FC1 backward RMW (the number that kills E2E) follows from
+    // Table 1 alone: 75.5 MB / (1024 bit / 30 ns) ≈ 17.7 ms per image.
+    let m = PlatformModel::new(Calibration::date19());
+    let fc1 = m
+        .backward_table()
+        .iter()
+        .find(|c| c.name == "FC1")
+        .unwrap();
+    assert!(fc1.latency_ms > 25.0, "{}", fc1.latency_ms);
+    let fc2 = m
+        .backward_table()
+        .iter()
+        .find(|c| c.name == "FC2")
+        .unwrap();
+    assert!(fc1.latency_ms > 7.0 * fc2.latency_ms);
+}
+
+#[test]
+fn claim_orderings_hold_without_anchoring() {
+    // Everything the paper *concludes* must survive the ideal (fully
+    // derived, zero-anchored) profile.
+    let m = PlatformModel::new(Calibration::ideal());
+    let per = |t| m.per_image(t).total_ms();
+    assert!(per(Topology::L2) < per(Topology::L3));
+    assert!(per(Topology::L3) < per(Topology::L4));
+    assert!(per(Topology::L4) < per(Topology::E2E) / 3.0);
+    let h = headline(Calibration::ideal());
+    assert!(h.latency_reduction_pct > 50.0);
+    assert!(h.energy_reduction_pct > 50.0);
+}
