@@ -66,20 +66,23 @@ pub(crate) fn backward_costs(
                     passes += 1.0;
                 }
                 if spilled {
-                    let write_ms =
-                        grad_bytes as f64 / params.mram_write_gbytes_per_s() / 1.0e6;
+                    let write_ms = grad_bytes as f64 / params.mram_write_gbytes_per_s() / 1.0e6;
                     let read_ms = grad_bytes as f64 / params.mram_read_gbytes_per_s() / 1.0e6;
                     latency_ms += write_ms + read_ms;
                 }
                 let stream_bits = (mapping.weight_words * 16) as f64 * passes
-                    + if spilled { grad_bytes as f64 * 16.0 } else { 0.0 };
+                    + if spilled {
+                        grad_bytes as f64 * 16.0
+                    } else {
+                        0.0
+                    };
                 let stream = stream_bits / (latency_ms * 1e-3) / 1.0e9;
                 let power_mw = power.power_mw(mapping.active_pes, stream);
                 let mut energy_mj = power_mw * latency_ms * 1e-3;
                 if spilled {
                     // Explicit NVM write energy (Table 1: 4.5 pJ/bit).
-                    energy_mj += grad_bytes as f64 * 8.0 * params.mram.write_energy_pj_per_bit
-                        * 1e-9;
+                    energy_mj +=
+                        grad_bytes as f64 * 8.0 * params.mram.write_energy_pj_per_bit * 1e-9;
                 }
                 out.push(LayerCost {
                     name: name.clone(),
@@ -98,13 +101,13 @@ pub(crate) fn backward_costs(
                 let fwd_ms = match &calib.conv_fwd_ms_override {
                     Some(ms) if conv_idx < ms.len() => ms[conv_idx],
                     _ => {
-                        let flow = mramrl_systolic::ConvDataflow::new(array)
-                            .forward(shape, &mapping);
+                        let flow =
+                            mramrl_systolic::ConvDataflow::new(array).forward(shape, &mapping);
                         flow.total_cycles as f64 / array.clock_ghz * 1e-6
                     }
                 };
-                let dx_ratio = f64::from(shape.in_h * shape.in_w)
-                    / f64::from(shape.out_h() * shape.out_w());
+                let dx_ratio =
+                    f64::from(shape.in_h * shape.in_w) / f64::from(shape.out_h() * shape.out_w());
                 let derived_ms = fwd_ms * (1.0 + dx_ratio) * calib.gemm_expansion;
                 let (latency_ms, provenance) = match &calib.conv_bwd_ms_override {
                     Some(ms) if conv_idx < ms.len() => (ms[conv_idx], Provenance::Anchored),
@@ -142,7 +145,11 @@ mod tests {
     use crate::paper;
 
     fn table(calib: Calibration) -> Vec<LayerCost> {
-        backward_costs(&NetworkSpec::date19_alexnet(), &SystemParams::date19(), &calib)
+        backward_costs(
+            &NetworkSpec::date19_alexnet(),
+            &SystemParams::date19(),
+            &calib,
+        )
     }
 
     #[test]
@@ -189,7 +196,10 @@ mod tests {
 
     #[test]
     fn total_latency_within_2pct_of_fig12b() {
-        let total: f64 = table(Calibration::date19()).iter().map(|c| c.latency_ms).sum();
+        let total: f64 = table(Calibration::date19())
+            .iter()
+            .map(|c| c.latency_ms)
+            .sum();
         assert!(
             (total - paper::BWD_TOTAL_MS).abs() / paper::BWD_TOTAL_MS < 0.02,
             "{total} vs {}",
@@ -199,7 +209,10 @@ mod tests {
 
     #[test]
     fn total_energy_within_20pct_of_fig12b() {
-        let total: f64 = table(Calibration::date19()).iter().map(|c| c.energy_mj).sum();
+        let total: f64 = table(Calibration::date19())
+            .iter()
+            .map(|c| c.energy_mj)
+            .sum();
         assert!(
             (total - paper::BWD_TOTAL_MJ).abs() / paper::BWD_TOTAL_MJ < 0.20,
             "{total} vs {}",
@@ -215,7 +228,12 @@ mod tests {
         // relative to each other (CONV2..CONV5 paper: 4.6–5.6 ms).
         for c in &t[1..5] {
             assert_eq!(c.provenance, Provenance::Derived);
-            assert!(c.latency_ms > 0.3 && c.latency_ms < 6.0, "{}: {}", c.name, c.latency_ms);
+            assert!(
+                c.latency_ms > 0.3 && c.latency_ms < 6.0,
+                "{}: {}",
+                c.name,
+                c.latency_ms
+            );
         }
     }
 
@@ -223,7 +241,10 @@ mod tests {
     fn backward_dominates_forward() {
         // §V: training cost is backward-dominated — the premise for
         // truncating backprop at all.
-        let bwd: f64 = table(Calibration::date19()).iter().map(|c| c.latency_ms).sum();
+        let bwd: f64 = table(Calibration::date19())
+            .iter()
+            .map(|c| c.latency_ms)
+            .sum();
         assert!(bwd > 5.0 * paper::FWD_TOTAL_MS);
     }
 

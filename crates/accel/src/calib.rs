@@ -50,9 +50,9 @@ pub struct Calibration {
     /// Fig. 12(b) shows ≈3× the forward stream instead of 2×).
     pub mram_resident_extra_pass: bool,
     /// How many tail FC layers the deployed buffer plan keeps in SRAM
-    /// (Fig. 5: the last **three** — 12.6 MB weights + 12.6 MB gradients
-    /// + 4.2 MB scratch = 29.4 MB). Everything earlier is MRAM-resident
-    /// in the E2E baseline's accounting.
+    /// (Fig. 5: the last **three** — 12.6 MB weights plus 12.6 MB
+    /// gradients plus 4.2 MB scratch = 29.4 MB). Everything earlier is
+    /// MRAM-resident in the E2E baseline's accounting.
     pub sram_weight_tail: usize,
     /// Power model fit.
     pub power: PowerFit,

@@ -176,7 +176,13 @@ mod tests {
         for (ours, paper) in t[5..9].iter().zip(&paper::FWD[5..9]) {
             assert_eq!(ours.provenance, Provenance::Derived);
             let err = (ours.latency_ms - paper.latency_ms).abs() / paper.latency_ms;
-            assert!(err < 0.06, "{}: {} vs {}", ours.name, ours.latency_ms, paper.latency_ms);
+            assert!(
+                err < 0.06,
+                "{}: {} vs {}",
+                ours.name,
+                ours.latency_ms,
+                paper.latency_ms
+            );
         }
     }
 
@@ -206,13 +212,22 @@ mod tests {
 
     #[test]
     fn total_latency_close_to_paper() {
-        let total: f64 = table(Calibration::date19()).iter().map(|c| c.latency_ms).sum();
-        assert!((total - paper::FWD_TOTAL_MS).abs() / paper::FWD_TOTAL_MS < 0.03, "{total}");
+        let total: f64 = table(Calibration::date19())
+            .iter()
+            .map(|c| c.latency_ms)
+            .sum();
+        assert!(
+            (total - paper::FWD_TOTAL_MS).abs() / paper::FWD_TOTAL_MS < 0.03,
+            "{total}"
+        );
     }
 
     #[test]
     fn total_energy_within_ten_percent() {
-        let total: f64 = table(Calibration::date19()).iter().map(|c| c.energy_mj).sum();
+        let total: f64 = table(Calibration::date19())
+            .iter()
+            .map(|c| c.energy_mj)
+            .sum();
         assert!(
             (total - paper::FWD_TOTAL_MJ).abs() / paper::FWD_TOTAL_MJ < 0.10,
             "{total} vs {}",

@@ -22,16 +22,76 @@ pub struct PaperLayerRow {
 
 /// Fig. 12(a): forward propagation, in network order.
 pub const FWD: [PaperLayerRow; 10] = [
-    PaperLayerRow { name: "CONV1", latency_ms: 0.245, active_pes: 704, power_mw: 4134.0, energy_mj: 1.012 },
-    PaperLayerRow { name: "CONV2", latency_ms: 1.087, active_pes: 960, power_mw: 5571.0, energy_mj: 6.056 },
-    PaperLayerRow { name: "CONV3", latency_ms: 0.804, active_pes: 960, power_mw: 5674.0, energy_mj: 4.564 },
-    PaperLayerRow { name: "CONV4", latency_ms: 1.28, active_pes: 960, power_mw: 5692.0, energy_mj: 7.289 },
-    PaperLayerRow { name: "CONV5", latency_ms: 1.116, active_pes: 960, power_mw: 5672.0, energy_mj: 6.33 },
-    PaperLayerRow { name: "FC1", latency_ms: 5.365, active_pes: 1024, power_mw: 6799.0, energy_mj: 36.48 },
-    PaperLayerRow { name: "FC2", latency_ms: 1.189, active_pes: 1024, power_mw: 6800.0, energy_mj: 8.091 },
-    PaperLayerRow { name: "FC3", latency_ms: 0.562, active_pes: 1024, power_mw: 6408.0, energy_mj: 3.603 },
-    PaperLayerRow { name: "FC4", latency_ms: 0.28, active_pes: 1024, power_mw: 6410.0, energy_mj: 1.8 },
-    PaperLayerRow { name: "FC5", latency_ms: 0.0005, active_pes: 160, power_mw: 1910.0, energy_mj: 0.0009 },
+    PaperLayerRow {
+        name: "CONV1",
+        latency_ms: 0.245,
+        active_pes: 704,
+        power_mw: 4134.0,
+        energy_mj: 1.012,
+    },
+    PaperLayerRow {
+        name: "CONV2",
+        latency_ms: 1.087,
+        active_pes: 960,
+        power_mw: 5571.0,
+        energy_mj: 6.056,
+    },
+    PaperLayerRow {
+        name: "CONV3",
+        latency_ms: 0.804,
+        active_pes: 960,
+        power_mw: 5674.0,
+        energy_mj: 4.564,
+    },
+    PaperLayerRow {
+        name: "CONV4",
+        latency_ms: 1.28,
+        active_pes: 960,
+        power_mw: 5692.0,
+        energy_mj: 7.289,
+    },
+    PaperLayerRow {
+        name: "CONV5",
+        latency_ms: 1.116,
+        active_pes: 960,
+        power_mw: 5672.0,
+        energy_mj: 6.33,
+    },
+    PaperLayerRow {
+        name: "FC1",
+        latency_ms: 5.365,
+        active_pes: 1024,
+        power_mw: 6799.0,
+        energy_mj: 36.48,
+    },
+    PaperLayerRow {
+        name: "FC2",
+        latency_ms: 1.189,
+        active_pes: 1024,
+        power_mw: 6800.0,
+        energy_mj: 8.091,
+    },
+    PaperLayerRow {
+        name: "FC3",
+        latency_ms: 0.562,
+        active_pes: 1024,
+        power_mw: 6408.0,
+        energy_mj: 3.603,
+    },
+    PaperLayerRow {
+        name: "FC4",
+        latency_ms: 0.28,
+        active_pes: 1024,
+        power_mw: 6410.0,
+        energy_mj: 1.8,
+    },
+    PaperLayerRow {
+        name: "FC5",
+        latency_ms: 0.0005,
+        active_pes: 160,
+        power_mw: 1910.0,
+        energy_mj: 0.0009,
+    },
 ];
 
 /// Fig. 12(a) totals row.
@@ -43,16 +103,76 @@ pub const FWD_TOTAL_MJ: f64 = 75.2259;
 /// (The paper lists it output-first; stored here input-first for
 /// consistency with [`FWD`].)
 pub const BWD: [PaperLayerRow; 10] = [
-    PaperLayerRow { name: "CONV1", latency_ms: 38.95, active_pes: 1024, power_mw: 5390.0, energy_mj: 209.9 },
-    PaperLayerRow { name: "CONV2", latency_ms: 5.518, active_pes: 432, power_mw: 2850.0, energy_mj: 15.73 },
-    PaperLayerRow { name: "CONV3", latency_ms: 4.71, active_pes: 260, power_mw: 2112.0, energy_mj: 9.947 },
-    PaperLayerRow { name: "CONV4", latency_ms: 5.579, active_pes: 260, power_mw: 2112.0, energy_mj: 11.78 },
-    PaperLayerRow { name: "CONV5", latency_ms: 4.661, active_pes: 208, power_mw: 1888.0, energy_mj: 8.804 },
-    PaperLayerRow { name: "FC1", latency_ms: 29.19, active_pes: 1024, power_mw: 5390.0, energy_mj: 157.3 },
-    PaperLayerRow { name: "FC2", latency_ms: 3.839, active_pes: 1024, power_mw: 5390.0, energy_mj: 20.69 },
-    PaperLayerRow { name: "FC3", latency_ms: 1.182, active_pes: 1024, power_mw: 6162.0, energy_mj: 7.284 },
-    PaperLayerRow { name: "FC4", latency_ms: 0.594, active_pes: 1024, power_mw: 6548.0, energy_mj: 3.89 },
-    PaperLayerRow { name: "FC5", latency_ms: 0.0027, active_pes: 160, power_mw: 2094.0, energy_mj: 0.006 },
+    PaperLayerRow {
+        name: "CONV1",
+        latency_ms: 38.95,
+        active_pes: 1024,
+        power_mw: 5390.0,
+        energy_mj: 209.9,
+    },
+    PaperLayerRow {
+        name: "CONV2",
+        latency_ms: 5.518,
+        active_pes: 432,
+        power_mw: 2850.0,
+        energy_mj: 15.73,
+    },
+    PaperLayerRow {
+        name: "CONV3",
+        latency_ms: 4.71,
+        active_pes: 260,
+        power_mw: 2112.0,
+        energy_mj: 9.947,
+    },
+    PaperLayerRow {
+        name: "CONV4",
+        latency_ms: 5.579,
+        active_pes: 260,
+        power_mw: 2112.0,
+        energy_mj: 11.78,
+    },
+    PaperLayerRow {
+        name: "CONV5",
+        latency_ms: 4.661,
+        active_pes: 208,
+        power_mw: 1888.0,
+        energy_mj: 8.804,
+    },
+    PaperLayerRow {
+        name: "FC1",
+        latency_ms: 29.19,
+        active_pes: 1024,
+        power_mw: 5390.0,
+        energy_mj: 157.3,
+    },
+    PaperLayerRow {
+        name: "FC2",
+        latency_ms: 3.839,
+        active_pes: 1024,
+        power_mw: 5390.0,
+        energy_mj: 20.69,
+    },
+    PaperLayerRow {
+        name: "FC3",
+        latency_ms: 1.182,
+        active_pes: 1024,
+        power_mw: 6162.0,
+        energy_mj: 7.284,
+    },
+    PaperLayerRow {
+        name: "FC4",
+        latency_ms: 0.594,
+        active_pes: 1024,
+        power_mw: 6548.0,
+        energy_mj: 3.89,
+    },
+    PaperLayerRow {
+        name: "FC5",
+        latency_ms: 0.0027,
+        active_pes: 160,
+        power_mw: 2094.0,
+        energy_mj: 0.006,
+    },
 ];
 
 /// Fig. 12(b) totals row.

@@ -101,10 +101,7 @@ impl SystemParams {
                 format!("{:.1}KB", f64::from(self.array.pe.rf_bytes) / 1024.0),
             ),
             ("Operation voltage".into(), format!("{}V", self.voltage)),
-            (
-                "Clock speed".into(),
-                format!("{}Ghz", self.array.clock_ghz),
-            ),
+            ("Clock speed".into(), format!("{}Ghz", self.array.clock_ghz)),
             (
                 "Peak throughput".into(),
                 format!("{}TOPS/W", self.peak_tops_per_watt),
@@ -119,10 +116,7 @@ impl SystemParams {
             ),
             (
                 "STT-MRAM stack I/O".into(),
-                format!(
-                    "{} pins x {} Gb/s",
-                    self.stack_io_bits, self.stack_io_gbps
-                ),
+                format!("{} pins x {} Gb/s", self.stack_io_bits, self.stack_io_gbps),
             ),
         ]
     }
@@ -159,7 +153,9 @@ mod tests {
     fn table_covers_fig4b_rows() {
         let t = SystemParams::date19().table();
         assert!(t.len() >= 9);
-        assert!(t.iter().any(|(k, v)| k == "Number of PEs" && v.contains("1024")));
+        assert!(t
+            .iter()
+            .any(|(k, v)| k == "Number of PEs" && v.contains("1024")));
         assert!(t.iter().any(|(_, v)| v.contains("16 bit fixed-point")));
     }
 

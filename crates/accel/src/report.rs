@@ -73,7 +73,12 @@ mod tests {
         // Derived FC rows: small error.
         for row in &cmp[5..9] {
             assert_eq!(row.provenance, "derived");
-            assert!(row.latency_err_pct.abs() < 6.0, "{}: {}", row.name, row.latency_err_pct);
+            assert!(
+                row.latency_err_pct.abs() < 6.0,
+                "{}: {}",
+                row.name,
+                row.latency_err_pct
+            );
         }
     }
 

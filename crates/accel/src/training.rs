@@ -160,9 +160,12 @@ impl PlatformModel {
     pub fn iteration(&self, topo: Topology, n: usize) -> IterationCost {
         assert!(n > 0, "batch must be positive");
         let img = self.per_image(topo);
-        let infer = if self.calib.inference_per_frame { 1.0 } else { 0.0 };
-        let per_frame_ms =
-            infer * self.forward_ms() + img.total_ms() + self.calib.frame_load_ms;
+        let infer = if self.calib.inference_per_frame {
+            1.0
+        } else {
+            0.0
+        };
+        let per_frame_ms = infer * self.forward_ms() + img.total_ms() + self.calib.frame_load_ms;
         let per_frame_mj = infer * self.forward_mj() + img.total_mj();
         let (update_ms, update_mj) = self.update_cost(topo);
         let fixed_ms = update_ms + self.calib.iteration_overhead_ms;
@@ -239,8 +242,14 @@ mod tests {
     #[test]
     fn headline_reductions() {
         let (lat, en) = model().reduction_vs_e2e(Topology::L4);
-        assert!((lat - paper::LATENCY_REDUCTION_PCT).abs() < 1.5, "lat {lat}");
-        assert!((en - paper::ENERGY_REDUCTION_PCT).abs() < 4.0, "energy {en}");
+        assert!(
+            (lat - paper::LATENCY_REDUCTION_PCT).abs() < 1.5,
+            "lat {lat}"
+        );
+        assert!(
+            (en - paper::ENERGY_REDUCTION_PCT).abs() < 4.0,
+            "energy {en}"
+        );
     }
 
     #[test]
@@ -271,7 +280,10 @@ mod tests {
         let m = model();
         for n in [4usize, 8, 16] {
             let f: Vec<f64> = Topology::ALL.iter().map(|&t| m.max_fps(t, n)).collect();
-            assert!(f[0] > f[1] && f[1] > f[2] && f[2] > f[3], "batch {n}: {f:?}");
+            assert!(
+                f[0] > f[1] && f[1] > f[2] && f[2] > f[3],
+                "batch {n}: {f:?}"
+            );
         }
     }
 

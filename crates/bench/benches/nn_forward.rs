@@ -8,7 +8,9 @@ fn bench_nn(c: &mut Criterion) {
     let spec = NetworkSpec::micro(40, 1, 5);
     let mut net = spec.build(1);
     let x = Tensor::filled(&[1, 40, 40], 0.4);
-    c.bench_function("micro_forward_40px", |b| b.iter(|| net.forward(black_box(&x))));
+    c.bench_function("micro_forward_40px", |b| {
+        b.iter(|| net.forward(black_box(&x)))
+    });
 
     let mut net2 = spec.build(2);
     let y = net2.forward(&x);
@@ -24,7 +26,9 @@ fn bench_nn(c: &mut Criterion) {
     let net3 = qspec.build(3);
     let qnet = mramrl_nn::quant::QuantizedNet::from_network(&qspec, &net3).unwrap();
     let x16 = Tensor::filled(&[1, 16, 16], 0.4);
-    c.bench_function("quantized_forward_16px", |b| b.iter(|| qnet.forward(black_box(&x16))));
+    c.bench_function("quantized_forward_16px", |b| {
+        b.iter(|| qnet.forward(black_box(&x16)))
+    });
 }
 
 criterion_group!(benches, bench_nn);

@@ -25,9 +25,21 @@ fn main() {
             p.topology.to_string(),
             if p.placeable { "yes" } else { "no" }.into(),
             if p.nvm_write_free { "yes" } else { "no" }.into(),
-            if p.placeable { fmt(p.sram_used_mb, 2) } else { "-".into() },
-            if p.placeable { fmt(p.fps_batch4, 1) } else { "-".into() },
-            if p.placeable { fmt(p.energy_per_frame_mj, 0) } else { "-".into() },
+            if p.placeable {
+                fmt(p.sram_used_mb, 2)
+            } else {
+                "-".into()
+            },
+            if p.placeable {
+                fmt(p.fps_batch4, 1)
+            } else {
+                "-".into()
+            },
+            if p.placeable {
+                fmt(p.energy_per_frame_mj, 0)
+            } else {
+                "-".into()
+            },
         ]);
     }
     t.print();

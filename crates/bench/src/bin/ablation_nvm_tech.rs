@@ -23,7 +23,11 @@ fn main() {
             "E2E lifetime @336 MB/s",
         ],
     );
-    for tech in [TechParams::stt_mram(), TechParams::rram(), TechParams::pcm()] {
+    for tech in [
+        TechParams::stt_mram(),
+        TechParams::rram(),
+        TechParams::pcm(),
+    ] {
         // Write bandwidth with the same 1024-bit interface.
         let bw = 1024.0 / tech.write_latency_ns / 8.0; // GB/s
         let rmw_ms = fc1_grad_bytes as f64 / bw / 1.0e6;

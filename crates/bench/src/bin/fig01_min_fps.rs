@@ -20,10 +20,7 @@ fn main() {
     let mut headers: Vec<String> = vec!["v_drone [m/s]".into()];
     headers.extend(ENV_CLASSES.iter().map(|c| c.name.to_string()));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut fps = Table::new(
-        "Fig. 1(b) — image frames per second required",
-        &headers_ref,
-    );
+    let mut fps = Table::new("Fig. 1(b) — image frames per second required", &headers_ref);
     for (v, row) in Mission::fig1_table(&velocities) {
         let mut cells = vec![fmt(v, 1)];
         cells.extend(row.iter().map(|(_, f)| fmt(*f, 3)));

@@ -10,7 +10,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 3(a) — FC layer census (modified AlexNet)",
-        &["Layers", "# neurons", "# weights", "% total weights", "% cumulative weights"],
+        &[
+            "Layers",
+            "# neurons",
+            "# weights",
+            "% total weights",
+            "% cumulative weights",
+        ],
     );
     let mut fc_sum = 0u64;
     for c in census.iter().filter(|c| c.name.starts_with("FC")) {

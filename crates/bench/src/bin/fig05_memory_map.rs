@@ -9,7 +9,13 @@ fn main() {
     let platform = Platform::proposed().expect("proposed design places");
     let mut t = Table::new(
         "Fig. 5 — weight placement, proposed design (L3, 30 MB SRAM)",
-        &["Layer", "Weight bytes", "Weights in", "Gradients in", "Trainable"],
+        &[
+            "Layer",
+            "Weight bytes",
+            "Weights in",
+            "Gradients in",
+            "Trainable",
+        ],
     );
     for p in platform.placement().placements() {
         t.row_owned(vec![
@@ -33,7 +39,13 @@ fn main() {
     // The three architectures of §II-D.
     let mut a = Table::new(
         "§II-D — the three embedded architectures (+ E2E baseline)",
-        &["Topology", "SRAM [MB]", "SRAM used [MB]", "NVM write-free", "Placeable"],
+        &[
+            "Topology",
+            "SRAM [MB]",
+            "SRAM used [MB]",
+            "NVM write-free",
+            "Placeable",
+        ],
     );
     for (topo, sram) in [
         (Topology::L2, 12.7),

@@ -35,10 +35,7 @@ fn main() {
             headers.push(format!("{}_return", r.topology));
         }
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut t = Table::new(
-            format!("Fig. 10 — learning curves, {env}"),
-            &headers_ref,
-        );
+        let mut t = Table::new(format!("Fig. 10 — learning curves, {env}"), &headers_ref);
         let points = runs[0].log.curve.len();
         for i in 0..points {
             let mut cells = vec![runs[0].log.curve[i].iter.to_string()];
@@ -54,7 +51,13 @@ fn main() {
         // Console summary: start/end of each curve + convergence check.
         let mut s = Table::new(
             format!("Fig. 10 summary — {env}"),
-            &["Topology", "cum reward start", "cum reward end", "return end", "episodes"],
+            &[
+                "Topology",
+                "cum reward start",
+                "cum reward end",
+                "return end",
+                "episodes",
+            ],
         );
         for r in &runs {
             let first = r.log.curve.first().expect("non-empty curve");

@@ -33,7 +33,15 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 11 — normalized safe flight distance (seed-averaged)",
-        &["Environment", "L2", "L3", "L4", "E2E", "SFD(E2E) [m]", "worst degradation"],
+        &[
+            "Environment",
+            "L2",
+            "L3",
+            "L4",
+            "E2E",
+            "SFD(E2E) [m]",
+            "worst degradation",
+        ],
     );
     for env in EnvKind::TESTS {
         let mut acc = [0.0f32; 4]; // L2, L3, L4, E2E

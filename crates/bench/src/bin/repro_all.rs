@@ -2,7 +2,28 @@
 //! `results/`. Learning-curve experiments run at quick scale unless
 //! `--full` is passed (budget minutes for `--full`).
 
+use std::path::Path;
 use std::process::Command;
+
+/// `cargo run --bin repro_all` builds only this binary, so on a cold
+/// target dir the siblings may not exist yet — build them before
+/// dispatching rather than failing one by one.
+fn ensure_siblings(dir: &Path, bins: &[&str]) {
+    if bins.iter().all(|b| dir.join(b).exists()) {
+        return;
+    }
+    eprintln!("repro_all: sibling binaries missing; running `cargo build -p mramrl_bench --bins`");
+    let mut cmd = Command::new("cargo");
+    cmd.args(["build", "-p", "mramrl_bench", "--bins"]);
+    if dir.file_name().is_some_and(|n| n == "release") {
+        cmd.arg("--release");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("repro_all: cargo build exited with {s}; continuing anyway"),
+        Err(e) => eprintln!("repro_all: cannot invoke cargo ({e}); continuing anyway"),
+    }
+}
 
 fn run(bin: &str, extra: &[String]) -> bool {
     println!("\n===================================================================");
@@ -10,9 +31,7 @@ fn run(bin: &str, extra: &[String]) -> bool {
     println!("===================================================================");
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    let status = Command::new(dir.join(bin))
-        .args(extra)
-        .status();
+    let status = Command::new(dir.join(bin)).args(extra).status();
     match status {
         Ok(s) if s.success() => true,
         Ok(s) => {
@@ -44,6 +63,8 @@ fn main() {
         "ablation_meta_richness",
         "make_report",
     ];
+    let exe = std::env::current_exe().expect("own path");
+    ensure_siblings(exe.parent().expect("bin dir"), &bins);
     let mut failed = Vec::new();
     for bin in bins {
         if !run(bin, &extra) {
@@ -52,7 +73,10 @@ fn main() {
     }
     println!("\n===================================================================");
     if failed.is_empty() {
-        println!("repro_all: all {} experiments completed; CSVs in results/", bins.len());
+        println!(
+            "repro_all: all {} experiments completed; CSVs in results/",
+            bins.len()
+        );
     } else {
         println!("repro_all: FAILED: {failed:?}");
         std::process::exit(1);

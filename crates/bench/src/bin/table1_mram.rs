@@ -7,7 +7,12 @@ use mramrl_mem::tech::TechParams;
 fn main() {
     let mut t = Table::new(
         "Table 1 — STT-MRAM parameters used in the system",
-        &["Write latency", "Read latency", "Write energy", "Read energy"],
+        &[
+            "Write latency",
+            "Read latency",
+            "Write energy",
+            "Read energy",
+        ],
     );
     let m = TechParams::stt_mram();
     t.row_owned(vec![
@@ -30,7 +35,11 @@ fn main() {
             "Endurance [cycles]",
         ],
     );
-    for tech in [TechParams::stt_mram(), TechParams::rram(), TechParams::pcm()] {
+    for tech in [
+        TechParams::stt_mram(),
+        TechParams::rram(),
+        TechParams::pcm(),
+    ] {
         cmp.row_owned(vec![
             tech.kind.to_string(),
             fmt(tech.read_latency_ns, 0),

@@ -53,7 +53,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -136,7 +137,9 @@ pub fn results_dir() -> PathBuf {
 /// `true` if `--full` (or `MRAMRL_FULL=1`) was requested.
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
-        || std::env::var("MRAMRL_FULL").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("MRAMRL_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Parses `--name value` from argv, with a default.

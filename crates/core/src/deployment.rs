@@ -167,7 +167,11 @@ mod tests {
         let sim = DeploymentSim::new(platform, EnvKind::IndoorApartment, 7);
         let report = sim.fly(120);
         // 30 iterations × ~108 MB weights + 120 frames × 75.5 MB spill.
-        assert!(report.nvm_bytes_written > 10_000_000_000, "{}", report.nvm_bytes_written);
+        assert!(
+            report.nvm_bytes_written > 10_000_000_000,
+            "{}",
+            report.nvm_bytes_written
+        );
         assert!(report.nvm_wear_fraction > 0.0);
     }
 
@@ -180,7 +184,12 @@ mod tests {
             7,
         )
         .fly(120);
-        assert!(e2e.energy_j > 2.0 * l3.energy_j, "{} vs {}", e2e.energy_j, l3.energy_j);
+        assert!(
+            e2e.energy_j > 2.0 * l3.energy_j,
+            "{} vs {}",
+            e2e.energy_j,
+            l3.energy_j
+        );
         assert!(e2e.compute_s > 2.0 * l3.compute_s);
     }
 

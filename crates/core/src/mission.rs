@@ -13,12 +13,30 @@ pub struct EnvClass {
 
 /// The six classes of Fig. 1(c).
 pub const ENV_CLASSES: [EnvClass; 6] = [
-    EnvClass { name: "Indoor 1", d_min: 0.7 },
-    EnvClass { name: "Indoor 2", d_min: 1.0 },
-    EnvClass { name: "Indoor 3", d_min: 1.3 },
-    EnvClass { name: "Outdoor 1", d_min: 3.0 },
-    EnvClass { name: "Outdoor 2", d_min: 4.0 },
-    EnvClass { name: "Outdoor 3", d_min: 5.0 },
+    EnvClass {
+        name: "Indoor 1",
+        d_min: 0.7,
+    },
+    EnvClass {
+        name: "Indoor 2",
+        d_min: 1.0,
+    },
+    EnvClass {
+        name: "Indoor 3",
+        d_min: 1.3,
+    },
+    EnvClass {
+        name: "Outdoor 1",
+        d_min: 3.0,
+    },
+    EnvClass {
+        name: "Outdoor 2",
+        d_min: 4.0,
+    },
+    EnvClass {
+        name: "Outdoor 3",
+        d_min: 5.0,
+    },
 ];
 
 /// Mission-level feasibility analysis.

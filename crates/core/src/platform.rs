@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn proposed_matches_fig5() {
         let p = Platform::proposed().unwrap();
-        assert!((p.sram_used_mb() - 29.4).abs() < 0.05, "{}", p.sram_used_mb());
+        assert!(
+            (p.sram_used_mb() - 29.4).abs() < 0.05,
+            "{}",
+            p.sram_used_mb()
+        );
         assert!((p.placement().mram_weight_mb() - 99.8).abs() < 0.5);
         assert!(p.is_nvm_write_free(Topology::L3));
     }

@@ -53,8 +53,16 @@ mod tests {
     #[test]
     fn date19_headline_bands() {
         let h = headline(Calibration::date19());
-        assert!((h.latency_reduction_pct - 83.5).abs() < 1.5, "{}", h.latency_reduction_pct);
-        assert!((h.energy_reduction_pct - 79.4).abs() < 4.0, "{}", h.energy_reduction_pct);
+        assert!(
+            (h.latency_reduction_pct - 83.5).abs() < 1.5,
+            "{}",
+            h.latency_reduction_pct
+        );
+        assert!(
+            (h.energy_reduction_pct - 79.4).abs() < 4.0,
+            "{}",
+            h.energy_reduction_pct
+        );
         assert!((h.fps_l4_batch4 - 15.0).abs() < 1.0, "{}", h.fps_l4_batch4);
         assert!(h.fps_e2e_batch4 < 8.0);
         assert!(h.velocity_gain > 2.0);

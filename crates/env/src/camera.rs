@@ -54,7 +54,10 @@ impl DepthCamera {
     pub fn new(width: usize, height: usize, h_fov: f32, max_depth: f32, noise_frac: f32) -> Self {
         assert!(width > 0 && height > 0, "camera needs pixels");
         assert!(h_fov > 0.0 && max_depth > 0.0, "bad camera optics");
-        assert!((0.0..0.5).contains(&noise_frac), "noise fraction in [0,0.5)");
+        assert!(
+            (0.0..0.5).contains(&noise_frac),
+            "noise fraction in [0,0.5)"
+        );
         Self {
             width,
             height,
@@ -192,7 +195,10 @@ mod tests {
         // Count non-background rows in the centre column.
         let col = 20;
         let filled = (0..40).filter(|&r| img.at(r, col) < 0.9).count();
-        assert!(filled > 20, "near obstacle should dominate the column: {filled}");
+        assert!(
+            filled > 20,
+            "near obstacle should dominate the column: {filled}"
+        );
 
         let mut w2 = empty_world();
         w2.add(Obstacle::Circle(Circle::new(Vec2::new(35.0, 20.0), 0.8)));
@@ -205,8 +211,18 @@ mod tests {
     fn rendering_is_deterministic_per_seed() {
         let cam = DepthCamera::date19();
         let w = empty_world();
-        let a = cam.render(&w, Vec2::new(20.0, 20.0), 0.3, &mut DepthCamera::noise_rng(5));
-        let b = cam.render(&w, Vec2::new(20.0, 20.0), 0.3, &mut DepthCamera::noise_rng(5));
+        let a = cam.render(
+            &w,
+            Vec2::new(20.0, 20.0),
+            0.3,
+            &mut DepthCamera::noise_rng(5),
+        );
+        let b = cam.render(
+            &w,
+            Vec2::new(20.0, 20.0),
+            0.3,
+            &mut DepthCamera::noise_rng(5),
+        );
         assert_eq!(a, b);
     }
 
@@ -223,9 +239,7 @@ mod tests {
         )));
         let img = cam.render(&w, Vec2::new(20.0, 20.0), 0.0, &mut rng);
         // Left of image = positive angle offsets = low column index.
-        let left_min = (0..20)
-            .map(|c| img.at(20, c))
-            .fold(f32::INFINITY, f32::min);
+        let left_min = (0..20).map(|c| img.at(20, c)).fold(f32::INFINITY, f32::min);
         let right_min = (20..40)
             .map(|c| img.at(20, c))
             .fold(f32::INFINITY, f32::min);

@@ -192,7 +192,10 @@ mod tests {
                 break;
             }
         }
-        assert!(crashed, "straight-line flight must eventually crash indoors");
+        assert!(
+            crashed,
+            "straight-line flight must eventually crash indoors"
+        );
         assert_eq!(env.episodes(), 1);
     }
 
@@ -217,7 +220,11 @@ mod tests {
         // A cautious circler should survive a while outdoors.
         let mut survived = 0;
         for i in 0..60 {
-            let a = if i % 3 == 0 { Action::Left25 } else { Action::Forward };
+            let a = if i % 3 == 0 {
+                Action::Left25
+            } else {
+                Action::Forward
+            };
             if env.step(a).crashed {
                 break;
             }

@@ -107,19 +107,19 @@ impl Aabb {
 
     /// Ray → box entry distance (slab method), `None` if missed or behind.
     pub fn ray_hit(&self, origin: Vec2, dir: Vec2) -> Option<f32> {
-        let inv = |d: f32| if d.abs() < 1e-12 { f32::INFINITY } else { 1.0 / d };
+        let inv = |d: f32| {
+            if d.abs() < 1e-12 {
+                f32::INFINITY
+            } else {
+                1.0 / d
+            }
+        };
         let (ix, iy) = (inv(dir.x), inv(dir.y));
-        let (mut t1, mut t2) = (
-            (self.min.x - origin.x) * ix,
-            (self.max.x - origin.x) * ix,
-        );
+        let (mut t1, mut t2) = ((self.min.x - origin.x) * ix, (self.max.x - origin.x) * ix);
         if t1 > t2 {
             core::mem::swap(&mut t1, &mut t2);
         }
-        let (mut t3, mut t4) = (
-            (self.min.y - origin.y) * iy,
-            (self.max.y - origin.y) * iy,
-        );
+        let (mut t3, mut t4) = ((self.min.y - origin.y) * iy, (self.max.y - origin.y) * iy);
         if t3 > t4 {
             core::mem::swap(&mut t3, &mut t4);
         }
@@ -135,7 +135,13 @@ impl Aabb {
     /// Ray → *inner* wall exit distance: how far a ray travels inside the
     /// box before hitting its boundary. Used for the world's outer walls.
     pub fn ray_exit(&self, origin: Vec2, dir: Vec2) -> f32 {
-        let inv = |d: f32| if d.abs() < 1e-12 { f32::INFINITY } else { 1.0 / d };
+        let inv = |d: f32| {
+            if d.abs() < 1e-12 {
+                f32::INFINITY
+            } else {
+                1.0 / d
+            }
+        };
         let (ix, iy) = (inv(dir.x), inv(dir.y));
         let tx = ((self.min.x - origin.x) * ix).max((self.max.x - origin.x) * ix);
         let ty = ((self.min.y - origin.y) * iy).max((self.max.y - origin.y) * iy);
@@ -231,7 +237,9 @@ mod tests {
         let t = b.ray_hit(Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)).unwrap();
         assert!((t - 2.0).abs() < EPS);
         // Pointing away: no hit.
-        assert!(b.ray_hit(Vec2::new(0.0, 0.0), Vec2::new(-1.0, 0.0)).is_none());
+        assert!(b
+            .ray_hit(Vec2::new(0.0, 0.0), Vec2::new(-1.0, 0.0))
+            .is_none());
         // Parallel miss.
         assert!(b
             .ray_hit(Vec2::new(0.0, 5.0), Vec2::new(1.0, 0.0))
@@ -243,7 +251,10 @@ mod tests {
         let b = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0));
         let t = b.ray_exit(Vec2::new(5.0, 5.0), Vec2::new(1.0, 0.0));
         assert!((t - 5.0).abs() < EPS);
-        let t = b.ray_exit(Vec2::new(5.0, 5.0), Vec2::from_angle(0.7853982)); // 45°
+        let t = b.ray_exit(
+            Vec2::new(5.0, 5.0),
+            Vec2::from_angle(std::f32::consts::FRAC_PI_4),
+        ); // 45°
         assert!((t - 5.0 * 2.0f32.sqrt()).abs() < 1e-3);
     }
 
@@ -257,7 +268,10 @@ mod tests {
             .ray_hit(Vec2::new(0.0, 2.0), Vec2::new(1.0, 0.0))
             .is_none());
         // Origin inside → 0.
-        assert_eq!(c.ray_hit(Vec2::new(5.0, 0.0), Vec2::new(1.0, 0.0)), Some(0.0));
+        assert_eq!(
+            c.ray_hit(Vec2::new(5.0, 0.0), Vec2::new(1.0, 0.0)),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ impl Image {
     ///
     /// Panics if `frac` is not in `(0, 1]`.
     pub fn center_mean(&self, frac: f32) -> f32 {
-        assert!(frac > 0.0 && frac <= 1.0, "window fraction must be in (0,1]");
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "window fraction must be in (0,1]"
+        );
         let wh = ((self.height as f32 * frac).round() as usize).max(1);
         let ww = ((self.width as f32 * frac).round() as usize).max(1);
         let y0 = (self.height - wh) / 2;

@@ -36,8 +36,7 @@ pub fn ascii_map(world: &World, drone_pos: Vec2, cols: usize) -> String {
             let p = Vec2::new(x, y);
             let half_x = w_m / cols as f32 / 2.0;
             let half_y = h_m / rows as f32 / 2.0;
-            let drone_here =
-                (drone_pos.x - x).abs() <= half_x && (drone_pos.y - y).abs() <= half_y;
+            let drone_here = (drone_pos.x - x).abs() <= half_x && (drone_pos.y - y).abs() <= half_y;
             let ch = if drone_here {
                 'D'
             } else if world.obstacles().iter().any(|o| o.distance_to(p) < half_x) {

@@ -42,7 +42,11 @@ pub fn indoor(seed: u64) -> World {
 pub fn outdoor(seed: u64, rich: bool) -> World {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(6));
     let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(90.0, 90.0));
-    let name = if rich { "meta-outdoor-rich" } else { "meta-outdoor" };
+    let name = if rich {
+        "meta-outdoor-rich"
+    } else {
+        "meta-outdoor"
+    };
     let mut w = World::new(name, bounds, 3.5);
     let spawn = Vec2::new(45.0, 45.0);
 
@@ -55,8 +59,8 @@ pub fn outdoor(seed: u64, rich: bool) -> World {
                 if rng.gen_bool(0.2) {
                     continue;
                 }
-                let cx = 62.0 + bi as f32 * 9.0 + rng.gen_range(-0.5..0.5);
-                let cy = 62.0 + bj as f32 * 9.0 + rng.gen_range(-0.5..0.5);
+                let cx = 62.0 + bi as f32 * 9.0 + rng.gen_range(-0.5f32..0.5);
+                let cy = 62.0 + bj as f32 * 9.0 + rng.gen_range(-0.5f32..0.5);
                 let hw = rng.gen_range(2.0..3.2);
                 let hh = rng.gen_range(2.0..3.2);
                 if Vec2::new(cx, cy).distance(spawn) < 6.0 {
@@ -74,7 +78,11 @@ pub fn outdoor(seed: u64, rich: bool) -> World {
                 continue;
             }
             if w.obstacles().iter().all(|o| o.distance_to(c) > 2.0) {
-                let (hw, hh) = if rng.gen_bool(0.5) { (1.0, 0.5) } else { (0.5, 1.0) };
+                let (hw, hh) = if rng.gen_bool(0.5) {
+                    (1.0, 0.5)
+                } else {
+                    (0.5, 1.0)
+                };
                 w.add(Obstacle::Rect(Aabb::centered(c, hw, hh)));
                 placed += 1;
             }

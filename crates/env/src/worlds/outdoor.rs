@@ -35,8 +35,8 @@ pub fn town(seed: u64) -> World {
             if rng.gen_bool(0.15) {
                 continue; // vacant lot
             }
-            let cx = 7.0 + bi as f32 * 14.0 + rng.gen_range(-0.8..0.8);
-            let cy = 7.0 + bj as f32 * 14.0 + rng.gen_range(-0.8..0.8);
+            let cx = 7.0 + bi as f32 * 14.0 + rng.gen_range(-0.8f32..0.8);
+            let cy = 7.0 + bj as f32 * 14.0 + rng.gen_range(-0.8f32..0.8);
             let hw = rng.gen_range(3.0..4.5);
             let hh = rng.gen_range(3.0..4.5);
             w.add(Obstacle::Rect(Aabb::centered(Vec2::new(cx, cy), hw, hh)));
@@ -52,7 +52,11 @@ pub fn town(seed: u64) -> World {
         if c.distance(spawn) < 4.0 {
             continue;
         }
-        let (hw, hh) = if rng.gen_bool(0.5) { (1.0, 0.5) } else { (0.5, 1.0) };
+        let (hw, hh) = if rng.gen_bool(0.5) {
+            (1.0, 0.5)
+        } else {
+            (0.5, 1.0)
+        };
         let clear = w.obstacles().iter().all(|o| o.distance_to(c) > 2.0);
         if clear {
             w.add(Obstacle::Rect(Aabb::centered(c, hw, hh)));

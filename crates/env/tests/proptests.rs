@@ -1,6 +1,8 @@
 //! Property tests for the environment substrate.
 
-use mramrl_env::{Aabb, Action, Circle, DepthCamera, Drone, DroneEnv, EnvKind, Obstacle, Vec2, World};
+use mramrl_env::{
+    Aabb, Action, Circle, DepthCamera, Drone, DroneEnv, EnvKind, Obstacle, Vec2, World,
+};
 use proptest::prelude::*;
 
 fn arb_point(lo: f32, hi: f32) -> impl Strategy<Value = Vec2> {
@@ -11,7 +13,7 @@ proptest! {
     /// Raycast distance is never negative and never exceeds the arena
     /// diagonal.
     #[test]
-    fn raycast_bounded(origin in arb_point(1.0, 39.0), angle in 0.0f32..6.28318) {
+    fn raycast_bounded(origin in arb_point(1.0, 39.0), angle in 0.0f32..std::f32::consts::TAU) {
         let mut w = World::new("t", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0)), 1.0);
         w.add(Obstacle::Circle(Circle::new(Vec2::new(20.0, 20.0), 2.0)));
         let d = w.raycast(origin, Vec2::from_angle(angle));
@@ -21,7 +23,7 @@ proptest! {
 
     /// Adding an obstacle can only shorten (or keep) every ray.
     #[test]
-    fn obstacles_shorten_rays(origin in arb_point(2.0, 38.0), angle in 0.0f32..6.28318,
+    fn obstacles_shorten_rays(origin in arb_point(2.0, 38.0), angle in 0.0f32..std::f32::consts::TAU,
                               ox in 5.0f32..35.0, oy in 5.0f32..35.0, r in 0.3f32..2.0) {
         let empty = World::new("e", Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0)), 1.0);
         let mut full = empty.clone();
@@ -69,7 +71,7 @@ proptest! {
 
     /// Depth images are always within [0, 1] and deterministic per seed.
     #[test]
-    fn depth_image_range(seed in 0u64..200, heading in 0.0f32..6.28) {
+    fn depth_image_range(seed in 0u64..200, heading in 0.0f32..std::f32::consts::TAU) {
         let w = EnvKind::OutdoorForest.build(seed % 5);
         let cam = DepthCamera::date19();
         let img = cam.render(&w, w.spawn(), heading, &mut DepthCamera::noise_rng(seed));

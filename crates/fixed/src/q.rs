@@ -42,11 +42,7 @@ impl<const FRAC: u32> Q<FRAC> {
 
     /// The multiplicative identity (saturates to `MAX` if `FRAC == 15`).
     pub const ONE: Self = Self {
-        raw: if FRAC >= 15 {
-            i16::MAX
-        } else {
-            1i16 << FRAC
-        },
+        raw: if FRAC >= 15 { i16::MAX } else { 1i16 << FRAC },
     };
 
     /// Largest representable value.

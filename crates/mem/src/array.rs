@@ -158,7 +158,8 @@ impl MemoryArray {
 
     /// Standby power of this array in milliwatts.
     pub fn standby_power_mw(&self) -> f64 {
-        self.tech.standby_power_mw(self.capacity_bytes as f64 / crate::MB)
+        self.tech
+            .standby_power_mw(self.capacity_bytes as f64 / crate::MB)
     }
 
     fn check(&self, bytes: u64) -> Result<(), MemError> {
@@ -181,13 +182,7 @@ mod tests {
     use super::*;
 
     fn stack() -> MemoryArray {
-        MemoryArray::new(
-            "stt-stack",
-            TechParams::stt_mram(),
-            128_000_000,
-            1024,
-            2.0,
-        )
+        MemoryArray::new("stt-stack", TechParams::stt_mram(), 128_000_000, 1024, 2.0)
     }
 
     #[test]
@@ -226,7 +221,11 @@ mod tests {
         let mut s = stack();
         let a = s.write(112_000_000).unwrap();
         // ≈ 112 MB / 4.267 GB/s ≈ 26.25 ms.
-        assert!(a.latency_ns > 25.0e6 && a.latency_ns < 28.0e6, "{}", a.latency_ns);
+        assert!(
+            a.latency_ns > 25.0e6 && a.latency_ns < 28.0e6,
+            "{}",
+            a.latency_ns
+        );
     }
 
     #[test]

@@ -350,9 +350,17 @@ mod tests {
         // The paper's headline design: last 3 FC layers in a 30 MB buffer.
         let plan = solve(3, 30.0);
         // 12.6 MB weights + 12.6 MB gradients + 4.2 MB scratch = 29.4 MB.
-        assert!((plan.sram_used_mb() - 29.4).abs() < 0.05, "{}", plan.sram_used_mb());
+        assert!(
+            (plan.sram_used_mb() - 29.4).abs() < 0.05,
+            "{}",
+            plan.sram_used_mb()
+        );
         // "The rest ... add up to 100 MB" in MRAM.
-        assert!((plan.mram_weight_mb() - 100.0).abs() < 1.0, "{}", plan.mram_weight_mb());
+        assert!(
+            (plan.mram_weight_mb() - 100.0).abs() < 1.0,
+            "{}",
+            plan.mram_weight_mb()
+        );
         assert!(plan.is_write_free_nvm());
         assert!(plan.spilled_layers().is_empty());
     }
@@ -361,7 +369,11 @@ mod tests {
     fn l2_needs_only_12_6_mb_sram() {
         let plan = solve(2, 30.0);
         // FC4+FC5 = 4.2 MB ×2 + 4.2 scratch ≈ 12.6 MB.
-        assert!((plan.sram_used_mb() - 12.6).abs() < 0.05, "{}", plan.sram_used_mb());
+        assert!(
+            (plan.sram_used_mb() - 12.6).abs() < 0.05,
+            "{}",
+            plan.sram_used_mb()
+        );
         assert!(plan.is_write_free_nvm());
     }
 
@@ -373,7 +385,11 @@ mod tests {
         assert_eq!(tight.mram_resident_trainable().len(), 1); // FC2 stays in MRAM
         let roomy = solve(4, 63.0);
         assert!(roomy.is_write_free_nvm());
-        assert!((roomy.sram_used_mb() - 62.96).abs() < 0.2, "{}", roomy.sram_used_mb());
+        assert!(
+            (roomy.sram_used_mb() - 62.96).abs() < 0.2,
+            "{}",
+            roomy.sram_used_mb()
+        );
     }
 
     #[test]
@@ -418,6 +434,9 @@ mod tests {
     fn frozen_layers_have_no_gradients() {
         let plan = solve(3, 30.0);
         assert_eq!(plan.layer("CONV3").unwrap().gradients_in, None);
-        assert_eq!(plan.layer("FC5").unwrap().gradients_in, Some(StorageClass::Sram));
+        assert_eq!(
+            plan.layer("FC5").unwrap().gradients_in,
+            Some(StorageClass::Sram)
+        );
     }
 }

@@ -138,7 +138,11 @@ impl HbmStack {
                     continue;
                 }
             }
-            let a = if is_read { ch.read(share)? } else { ch.write(share)? };
+            let a = if is_read {
+                ch.read(share)?
+            } else {
+                ch.write(share)?
+            };
             worst_ns = worst_ns.max(a.latency_ns);
             energy += a.energy_pj;
         }
@@ -164,7 +168,10 @@ impl HbmStack {
 
     /// Total standby power in milliwatts.
     pub fn standby_power_mw(&self) -> f64 {
-        self.channels.iter().map(MemoryArray::standby_power_mw).sum()
+        self.channels
+            .iter()
+            .map(MemoryArray::standby_power_mw)
+            .sum()
     }
 }
 

@@ -213,8 +213,16 @@ mod tests {
         // read/write latency".
         let stt = TechParams::stt_mram();
         for other in [TechParams::rram(), TechParams::pcm()] {
-            assert!(stt.read_latency_ns < other.read_latency_ns, "{}", other.kind);
-            assert!(stt.write_latency_ns < other.write_latency_ns, "{}", other.kind);
+            assert!(
+                stt.read_latency_ns < other.read_latency_ns,
+                "{}",
+                other.kind
+            );
+            assert!(
+                stt.write_latency_ns < other.write_latency_ns,
+                "{}",
+                other.kind
+            );
             assert!(stt.write_energy_pj_per_bit < other.write_energy_pj_per_bit);
             assert!(
                 stt.endurance_writes.unwrap() > other.endurance_writes.unwrap(),

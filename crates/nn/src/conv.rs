@@ -49,7 +49,10 @@ impl Conv2d {
         pad: usize,
         seed: u64,
     ) -> Self {
-        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "bad conv dims");
+        assert!(
+            in_c > 0 && out_c > 0 && k > 0 && stride > 0,
+            "bad conv dims"
+        );
         let mut rng = crate::init::rng_from_seed(seed);
         Self::with_rng(name, in_c, out_c, k, stride, pad, &mut rng)
     }
@@ -64,7 +67,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut SmallRng,
     ) -> Self {
-        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "bad conv dims");
+        assert!(
+            in_c > 0 && out_c > 0 && k > 0 && stride > 0,
+            "bad conv dims"
+        );
         let fan_in = in_c * k * k;
         let weight = ParamTensor::new(WeightInit::HeUniform.init(
             &[out_c, in_c, k, k],
@@ -151,12 +157,12 @@ impl Layer for Conv2d {
                             }
                             let row = &x_ic[iy as usize * in_w..(iy as usize + 1) * in_w];
                             let w_row = &w_ic[ky * self.k..(ky + 1) * self.k];
-                            for kx in 0..self.k {
+                            for (kx, &wv) in w_row.iter().enumerate() {
                                 let ix = base_x + kx as isize;
                                 if ix < 0 || ix >= in_w as isize {
                                     continue;
                                 }
-                                acc += w_row[kx] * row[ix as usize];
+                                acc += wv * row[ix as usize];
                             }
                         }
                     }

@@ -40,10 +40,14 @@ impl Linear {
     }
 
     /// Creates a linear layer drawing weights from an existing RNG.
-    pub fn with_rng(name: impl Into<String>, in_f: usize, out_f: usize, rng: &mut SmallRng) -> Self {
+    pub fn with_rng(
+        name: impl Into<String>,
+        in_f: usize,
+        out_f: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert!(in_f > 0 && out_f > 0, "bad linear dims");
-        let weight =
-            ParamTensor::new(WeightInit::HeUniform.init(&[out_f, in_f], in_f, out_f, rng));
+        let weight = ParamTensor::new(WeightInit::HeUniform.init(&[out_f, in_f], in_f, out_f, rng));
         let bias = ParamTensor::new(Tensor::zeros(&[out_f]));
         Self {
             name: name.into(),
@@ -175,9 +179,7 @@ mod tests {
         let y = fc.forward(&x);
         // Loss: weighted sum so gradients differ per output.
         let gvec: Vec<f32> = (0..4).map(|i| 0.5 + i as f32).collect();
-        let loss = |out: &Tensor| -> f32 {
-            out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum()
-        };
+        let loss = |out: &Tensor| -> f32 { out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum() };
         let _ = loss(&y);
         let grad_in = fc.backward(&Tensor::from_vec(&[4], gvec.clone()));
 

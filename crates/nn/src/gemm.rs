@@ -294,8 +294,8 @@ mod tests {
         let (m, rows, cols) = im2col(&x, 1, 1, 0);
         assert_eq!((rows, cols), (4, 2));
         // Row = position, col = channel.
-        assert_eq!(m[0 * 2], 0.0); // (0,0) ch0
-        assert_eq!(m[0 * 2 + 1], 4.0); // (0,0) ch1
+        assert_eq!(m[0], 0.0); // (0,0) ch0
+        assert_eq!(m[1], 4.0); // (0,0) ch1
         assert_eq!(m[3 * 2 + 1], 7.0); // (1,1) ch1
     }
 
@@ -309,21 +309,29 @@ mod tests {
         let lhs: f32 = ix.iter().zip(m.data()).map(|(a, b)| a * b).sum();
         let back = col2im(m.data(), 2, 5, 5, 3, 2, 1);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
     fn gemm_forward_equals_direct_conv() {
-        for (in_c, out_c, k, stride, pad, hw) in
-            [(1usize, 4usize, 3usize, 1usize, 0usize, 7usize), (2, 3, 3, 2, 1, 9), (3, 8, 5, 2, 0, 11)]
-        {
+        for (in_c, out_c, k, stride, pad, hw) in [
+            (1usize, 4usize, 3usize, 1usize, 0usize, 7usize),
+            (2, 3, 3, 2, 1, 9),
+            (3, 8, 5, 2, 0, 11),
+        ] {
             let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 7);
             let x = rand_tensor(&[in_c, hw, hw], 8);
             let direct = conv.forward(&x);
             let gemm = conv2d_gemm(&x, conv.weight(), conv.bias(), stride, pad);
             assert_eq!(direct.shape(), gemm.shape());
             for (d, g) in direct.data().iter().zip(gemm.data()) {
-                assert!((d - g).abs() < 1e-4, "{d} vs {g} (k={k},s={stride},p={pad})");
+                assert!(
+                    (d - g).abs() < 1e-4,
+                    "{d} vs {g} (k={k},s={stride},p={pad})"
+                );
             }
         }
     }

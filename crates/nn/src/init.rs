@@ -25,7 +25,13 @@ pub enum WeightInit {
 
 impl WeightInit {
     /// Fills a tensor of `shape` given the layer fan.
-    pub fn init(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> Tensor {
+    pub fn init(
+        self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SmallRng,
+    ) -> Tensor {
         match self {
             WeightInit::Zeros => Tensor::zeros(shape),
             WeightInit::HeUniform => {

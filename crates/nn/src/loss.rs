@@ -7,9 +7,10 @@
 //! penalty) and is exposed for the training-stability knobs.
 
 /// A pointwise regression loss on one Q-value.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Loss {
     /// `L = ½(q − y)²` — gradient `q − y`.
+    #[default]
     SquaredError,
     /// Huber with threshold `delta`: quadratic near zero, linear beyond —
     /// gradient clamped to `±delta`.
@@ -42,12 +43,6 @@ impl Loss {
             Loss::SquaredError => e,
             Loss::Huber { delta } => e.clamp(-*delta, *delta),
         }
-    }
-}
-
-impl Default for Loss {
-    fn default() -> Self {
-        Loss::SquaredError
     }
 }
 

@@ -101,7 +101,11 @@ impl Layer for Lrn {
             .as_ref()
             .expect("lrn backward before forward");
         let denom = self.cached_denom.as_ref().unwrap();
-        assert_eq!(grad_output.shape(), input.shape(), "lrn grad shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            input.shape(),
+            "lrn grad shape mismatch"
+        );
         let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let scale = self.alpha / self.n as f32;
         let mut grad_in = Tensor::zeros(input.shape());
@@ -181,9 +185,7 @@ mod tests {
         let x = WeightInit::HeUniform.init(&[4, 2, 2], 2, 2, &mut rng);
         let y = lrn.forward(&x);
         let gvec: Vec<f32> = (0..y.len()).map(|i| 0.1 * (i as f32 + 1.0)).collect();
-        let loss = |out: &Tensor| -> f32 {
-            out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum()
-        };
+        let loss = |out: &Tensor| -> f32 { out.data().iter().zip(&gvec).map(|(o, g)| o * g).sum() };
         let _ = loss(&y);
         let grad_in = lrn.backward(&Tensor::from_vec(y.shape(), gvec.clone()));
 

@@ -162,7 +162,11 @@ impl Network {
     /// frozen layers *between* trainable ones still propagate (but a frozen
     /// prefix is skipped entirely, as on the platform).
     pub fn backward(&mut self, grad_output: &Tensor) {
-        let stop = self.trainable.iter().position(|&t| t).unwrap_or(self.layers.len());
+        let stop = self
+            .trainable
+            .iter()
+            .position(|&t| t)
+            .unwrap_or(self.layers.len());
         let mut grad = grad_output.clone();
         for i in (stop..self.layers.len()).rev() {
             grad = self.layers[i].backward(&grad);
@@ -381,7 +385,11 @@ mod tests {
         let first = grad_after(&xs[..1]);
         let second = grad_after(&xs[1..]);
         for ((b, f), s) in both.iter().zip(&first).zip(&second) {
-            assert!((b - (f + s)).abs() < 1e-4 * (1.0 + (f + s).abs()), "{b} vs {}", f + s);
+            assert!(
+                (b - (f + s)).abs() < 1e-4 * (1.0 + (f + s).abs()),
+                "{b} vs {}",
+                f + s
+            );
         }
     }
 

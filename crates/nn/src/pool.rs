@@ -46,7 +46,10 @@ impl MaxPool2d {
     }
 
     fn out_hw(&self, in_h: usize, in_w: usize) -> (usize, usize) {
-        ((in_h - self.k) / self.stride + 1, (in_w - self.k) / self.stride + 1)
+        (
+            (in_h - self.k) / self.stride + 1,
+            (in_w - self.k) / self.stride + 1,
+        )
     }
 }
 
@@ -58,7 +61,10 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 3, "pool expects [C,H,W]");
         let (c, in_h, in_w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        assert!(in_h >= self.k && in_w >= self.k, "pool window exceeds input");
+        assert!(
+            in_h >= self.k && in_w >= self.k,
+            "pool window exceeds input"
+        );
         let (out_h, out_w) = self.out_hw(in_h, in_w);
         let mut out = Tensor::zeros(&[c, out_h, out_w]);
         let mut argmax = vec![0usize; c * out_h * out_w];

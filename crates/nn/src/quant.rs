@@ -195,8 +195,7 @@ impl QuantizedNet {
                                             if ix < 0 || ix >= in_w as isize {
                                                 continue;
                                             }
-                                            let wv = weight
-                                                [((oc * in_c + ic) * k + ky) * k + kx];
+                                            let wv = weight[((oc * in_c + ic) * k + ky) * k + kx];
                                             let xv =
                                                 x[(ic * in_h + iy as usize) * in_w + ix as usize];
                                             acc = acc.mac(wv, xv);
@@ -322,7 +321,10 @@ mod tests {
         for trial in 0..10 {
             let x = WeightInit::HeUniform.init(&[1, 16, 16], 256, 256, &mut rng);
             // Depth images are non-negative in [0,1]: mirror that range.
-            let x = Tensor::from_vec(x.shape(), x.data().iter().map(|v| v.abs().min(1.0)).collect());
+            let x = Tensor::from_vec(
+                x.shape(),
+                x.data().iter().map(|v| v.abs().min(1.0)).collect(),
+            );
             let yf = net.forward(&x);
             let yq = q.forward(&x);
             for (a, b) in yq.data().iter().zip(yf.data()) {
@@ -339,7 +341,10 @@ mod tests {
         let trials = 20;
         for _ in 0..trials {
             let x = WeightInit::HeUniform.init(&[1, 16, 16], 4, 4, &mut rng);
-            let x = Tensor::from_vec(x.shape(), x.data().iter().map(|v| v.abs().min(1.0)).collect());
+            let x = Tensor::from_vec(
+                x.shape(),
+                x.data().iter().map(|v| v.abs().min(1.0)).collect(),
+            );
             if net.forward(&x).argmax() == q.forward(&x).argmax() {
                 agree += 1;
             }

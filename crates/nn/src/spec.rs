@@ -87,12 +87,10 @@ impl LayerSpec {
     /// Weight count including biases (0 for param-free layers).
     pub fn weights(&self) -> u64 {
         match self {
-            LayerSpec::Conv {
-                in_c, out_c, k, ..
-            } => (*in_c as u64) * (*out_c as u64) * (*k as u64) * (*k as u64) + *out_c as u64,
-            LayerSpec::Fc { in_f, out_f, .. } => {
-                (*in_f as u64) * (*out_f as u64) + *out_f as u64
+            LayerSpec::Conv { in_c, out_c, k, .. } => {
+                (*in_c as u64) * (*out_c as u64) * (*k as u64) * (*k as u64) + *out_c as u64
             }
+            LayerSpec::Fc { in_f, out_f, .. } => (*in_f as u64) * (*out_f as u64) + *out_f as u64,
             _ => 0,
         }
     }
@@ -143,31 +141,122 @@ impl NetworkSpec {
     pub fn date19_alexnet() -> Self {
         use LayerSpec::*;
         let layers = vec![
-            Conv { name: "CONV1".into(), in_c: 3, out_c: 96, k: 11, stride: 4, pad: 0 },
-            Relu { name: "relu1".into() },
-            Lrn { name: "norm1".into() },
-            MaxPool { name: "pool1".into(), k: 3, stride: 2 },
-            Conv { name: "CONV2".into(), in_c: 96, out_c: 256, k: 5, stride: 1, pad: 2 },
-            Relu { name: "relu2".into() },
-            Lrn { name: "norm2".into() },
-            MaxPool { name: "pool2".into(), k: 3, stride: 2 },
-            Conv { name: "CONV3".into(), in_c: 256, out_c: 384, k: 3, stride: 1, pad: 1 },
-            Relu { name: "relu3".into() },
-            Conv { name: "CONV4".into(), in_c: 384, out_c: 384, k: 3, stride: 1, pad: 1 },
-            Relu { name: "relu4".into() },
-            Conv { name: "CONV5".into(), in_c: 384, out_c: 256, k: 3, stride: 1, pad: 1 },
-            Relu { name: "relu5".into() },
-            MaxPool { name: "pool5".into(), k: 3, stride: 2 },
-            Flatten { name: "flatten".into() },
-            Fc { name: "FC1".into(), in_f: 9216, out_f: 4096 },
-            Relu { name: "relu6".into() },
-            Fc { name: "FC2".into(), in_f: 4096, out_f: 2048 },
-            Relu { name: "relu7".into() },
-            Fc { name: "FC3".into(), in_f: 2048, out_f: 2048 },
-            Relu { name: "relu8".into() },
-            Fc { name: "FC4".into(), in_f: 2048, out_f: 1024 },
-            Relu { name: "relu9".into() },
-            Fc { name: "FC5".into(), in_f: 1024, out_f: 5 },
+            Conv {
+                name: "CONV1".into(),
+                in_c: 3,
+                out_c: 96,
+                k: 11,
+                stride: 4,
+                pad: 0,
+            },
+            Relu {
+                name: "relu1".into(),
+            },
+            Lrn {
+                name: "norm1".into(),
+            },
+            MaxPool {
+                name: "pool1".into(),
+                k: 3,
+                stride: 2,
+            },
+            Conv {
+                name: "CONV2".into(),
+                in_c: 96,
+                out_c: 256,
+                k: 5,
+                stride: 1,
+                pad: 2,
+            },
+            Relu {
+                name: "relu2".into(),
+            },
+            Lrn {
+                name: "norm2".into(),
+            },
+            MaxPool {
+                name: "pool2".into(),
+                k: 3,
+                stride: 2,
+            },
+            Conv {
+                name: "CONV3".into(),
+                in_c: 256,
+                out_c: 384,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Relu {
+                name: "relu3".into(),
+            },
+            Conv {
+                name: "CONV4".into(),
+                in_c: 384,
+                out_c: 384,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Relu {
+                name: "relu4".into(),
+            },
+            Conv {
+                name: "CONV5".into(),
+                in_c: 384,
+                out_c: 256,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Relu {
+                name: "relu5".into(),
+            },
+            MaxPool {
+                name: "pool5".into(),
+                k: 3,
+                stride: 2,
+            },
+            Flatten {
+                name: "flatten".into(),
+            },
+            Fc {
+                name: "FC1".into(),
+                in_f: 9216,
+                out_f: 4096,
+            },
+            Relu {
+                name: "relu6".into(),
+            },
+            Fc {
+                name: "FC2".into(),
+                in_f: 4096,
+                out_f: 2048,
+            },
+            Relu {
+                name: "relu7".into(),
+            },
+            Fc {
+                name: "FC3".into(),
+                in_f: 2048,
+                out_f: 2048,
+            },
+            Relu {
+                name: "relu8".into(),
+            },
+            Fc {
+                name: "FC4".into(),
+                in_f: 2048,
+                out_f: 1024,
+            },
+            Relu {
+                name: "relu9".into(),
+            },
+            Fc {
+                name: "FC5".into(),
+                in_f: 1024,
+                out_f: 5,
+            },
         ];
         Self {
             input_shape: [3, 227, 227],

@@ -77,7 +77,7 @@ impl fmt::Display for Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     #[test]
     fn tails() {
         assert_eq!(Topology::L2.tail(), Some(2));

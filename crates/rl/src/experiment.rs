@@ -38,13 +38,8 @@ impl TransferCache {
         if let Some(w) = self.weights.get(&meta) {
             return w.clone();
         }
-        let cam = mramrl_env::DepthCamera::new(
-            camera_px,
-            camera_px,
-            90.0f32.to_radians(),
-            20.0,
-            0.02,
-        );
+        let cam =
+            mramrl_env::DepthCamera::new(camera_px, camera_px, 90.0f32.to_radians(), 20.0, 0.02);
         let mut env = DroneEnv::new(meta, seed).with_camera(cam);
         let mut agent = QAgent::new(spec, seed);
         Topology::E2E.apply(agent.net_mut());
@@ -260,8 +255,6 @@ mod tests {
         let mut cache = TransferCache::new();
         let _ = exp.run_env_with_meta(&mut cache, EnvKind::OutdoorTown, EnvKind::MetaOutdoorRich);
         assert_eq!(cache.len(), 1);
-        assert!(cache
-            .weights
-            .contains_key(&EnvKind::MetaOutdoorRich));
+        assert!(cache.weights.contains_key(&EnvKind::MetaOutdoorRich));
     }
 }

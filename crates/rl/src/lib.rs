@@ -41,9 +41,9 @@ mod trainer;
 pub use agent::QAgent;
 pub use experiment::{EnvRun, Fig10Experiment, TransferCache};
 pub use metrics::{MovingAverage, SafeFlightTracker};
+pub use mramrl_nn::Topology;
 pub use policy::EpsilonSchedule;
 pub use replay::{ReplayBuffer, Transition};
-pub use mramrl_nn::Topology;
 pub use trainer::{evaluate, EvalResult, TrainLog, Trainer, TrainerConfig};
 
 #[cfg(test)]

@@ -229,7 +229,13 @@ pub struct EvalResult {
 /// # Panics
 ///
 /// Panics if `steps` is zero or `eps` is outside `[0, 1]`.
-pub fn evaluate(agent: &mut QAgent, env: &mut DroneEnv, steps: u64, eps: f32, seed: u64) -> EvalResult {
+pub fn evaluate(
+    agent: &mut QAgent,
+    env: &mut DroneEnv,
+    steps: u64,
+    eps: f32,
+    seed: u64,
+) -> EvalResult {
     assert!(steps > 0, "evaluation needs steps");
     assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xEAA1_EAA1);

@@ -1,7 +1,9 @@
 //! Property tests for the RL stack.
 
 use mramrl_nn::{NetworkSpec, Tensor, Topology};
-use mramrl_rl::{EpsilonSchedule, MovingAverage, QAgent, ReplayBuffer, SafeFlightTracker, Transition};
+use mramrl_rl::{
+    EpsilonSchedule, MovingAverage, QAgent, ReplayBuffer, SafeFlightTracker, Transition,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -118,7 +118,9 @@ impl ConvMapping {
 
         let max_segments = (array.rows / shape.k_h).max(1);
         // Don't allocate segments the output channels can't use.
-        let segments_per_set = max_segments.min(shape.out_c.div_ceil(out_ch_per_segment)).max(1);
+        let segments_per_set = max_segments
+            .min(shape.out_c.div_ceil(out_ch_per_segment))
+            .max(1);
 
         let out_ch_concurrent = (out_ch_per_segment * segments_per_set).min(shape.out_c);
         let out_ch_groups = shape.out_c.div_ceil(out_ch_concurrent);
@@ -231,7 +233,7 @@ mod tests {
         assert_eq!(p.rows_used, 30);
         assert_eq!(p.active_pes, 960);
         assert_eq!(p.out_ch_concurrent, 190); // ×19 across 10 segments
-        // Input split runs across the two sets in parallel.
+                                              // Input split runs across the two sets in parallel.
         assert_eq!(p.in_ch_groups, 2);
         assert_eq!(p.temporal_cin_rounds, 1);
     }

@@ -151,7 +151,10 @@ mod tests {
     fn fc3_fc4_within_six_percent() {
         for (inf, outf, paper_ms) in [(2048u32, 2048u32, 0.562), (2048, 1024, 0.280)] {
             let ms = FcMapping::plan(&A, inf, outf).latency_ms(1.0);
-            assert!((ms - paper_ms).abs() / paper_ms < 0.06, "{inf}x{outf}: {ms}");
+            assert!(
+                (ms - paper_ms).abs() / paper_ms < 0.06,
+                "{inf}x{outf}: {ms}"
+            );
         }
     }
 

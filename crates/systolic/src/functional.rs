@@ -64,6 +64,8 @@ impl FcArraySim {
     /// # Panics
     ///
     /// Panics if `x` length differs from `in_f`.
+    // Indexed loops keep the row/column symmetry with `transposed` visible.
+    #[allow(clippy::needless_range_loop)]
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.in_f, "input length");
         let xq: Vec<Q8_8> = x.iter().map(|&v| Q8_8::from_f32(v)).collect();
@@ -98,6 +100,8 @@ impl FcArraySim {
     /// # Panics
     ///
     /// Panics if `g` length differs from `out_f`.
+    // Indexed loops keep the row/column symmetry with `forward` visible.
+    #[allow(clippy::needless_range_loop)]
     pub fn transposed(&self, g: &[f32]) -> Vec<f32> {
         assert_eq!(g.len(), self.out_f, "gradient length");
         let gq: Vec<Q8_8> = g.iter().map(|&v| Q8_8::from_f32(v)).collect();
@@ -207,7 +211,10 @@ mod tests {
         let wtg = sim.transposed(&g);
         let lhs: f32 = g.iter().zip(&wx).map(|(a, b)| a * b).sum();
         let rhs: f32 = wtg.iter().zip(&x).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 0.02 * lhs.abs().max(0.1), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 0.02 * lhs.abs().max(0.1),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -228,7 +235,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "input length")]
     fn wrong_input_length_panics() {
-        let sim = FcArraySim::load(&ArraySpec::date19(), 4, 2, &vec![0.0; 8], &vec![0.0; 2]);
+        let sim = FcArraySim::load(&ArraySpec::date19(), 4, 2, &[0.0; 8], &[0.0; 2]);
         let _ = sim.forward(&[0.0; 3]);
     }
 }

@@ -5,12 +5,12 @@ use proptest::prelude::*;
 
 fn arb_shape() -> impl Strategy<Value = ConvShape> {
     (
-        8u32..256,      // in_h = in_w (square inputs)
-        1u32..=512,     // in_c
-        1u32..=512,     // out_c
-        1u32..=11,      // k (square filters)
-        1u32..=4,       // stride
-        0u32..=2,       // pad
+        8u32..256,  // in_h = in_w (square inputs)
+        1u32..=512, // in_c
+        1u32..=512, // out_c
+        1u32..=11,  // k (square filters)
+        1u32..=4,   // stride
+        0u32..=2,   // pad
     )
         .prop_filter_map("valid conv", |(hw, in_c, out_c, k, stride, pad)| {
             if k > hw + 2 * pad || hw + k > 2300 {

@@ -20,9 +20,21 @@ fn main() {
             p.topology.to_string(),
             p.placeable,
             p.nvm_write_free,
-            if p.placeable { format!("{:.2}", p.sram_used_mb) } else { "-".into() },
-            if p.placeable { format!("{:.1}", p.fps_batch4) } else { "-".into() },
-            if p.placeable { format!("{:.0}", p.energy_per_frame_mj) } else { "-".into() },
+            if p.placeable {
+                format!("{:.2}", p.sram_used_mb)
+            } else {
+                "-".into()
+            },
+            if p.placeable {
+                format!("{:.1}", p.fps_batch4)
+            } else {
+                "-".into()
+            },
+            if p.placeable {
+                format!("{:.0}", p.energy_per_frame_mj)
+            } else {
+                "-".into()
+            },
         );
     }
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut agree = 0usize;
     let trials = 30usize;
-    println!("\n{:>5} {:>10} {:>10} {:>8} {:>8} {:>7}", "step", "q_f32[a]", "q_q8.8[a]", "a_f32", "a_q8.8", "match");
+    println!(
+        "\n{:>5} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "step", "q_f32[a]", "q_q8.8[a]", "a_f32", "a_q8.8", "match"
+    );
     for step in 0..trials {
         let x = Tensor::from_vec(&[1, px, px], obs.data().to_vec());
         let qf = net.forward(&x);
@@ -46,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         let s = env.step(mramrl::env::Action::from_index(af));
-        obs = if s.crashed { env.reset() } else { s.observation };
+        obs = if s.crashed {
+            env.reset()
+        } else {
+            s.observation
+        };
     }
     println!(
         "\nGreedy-action agreement over {trials} live frames: {agree}/{trials} \

@@ -28,7 +28,10 @@ fn main() {
     let mut cache = TransferCache::new();
     let runs = exp.run_env(&mut cache, EnvKind::IndoorApartment);
 
-    println!("\n{:<5} {:>12} {:>12} {:>10} {:>9}", "topo", "reward(start)", "reward(end)", "SFD [m]", "episodes");
+    println!(
+        "\n{:<5} {:>12} {:>12} {:>10} {:>9}",
+        "topo", "reward(start)", "reward(end)", "SFD [m]", "episodes"
+    );
     for r in &runs {
         let first = r.log.curve.first().expect("curve");
         let last = r.log.curve.last().expect("curve");

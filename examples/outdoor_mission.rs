@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Survey at {v} m/s in {} needs {need:.2} fps.", class.name);
 
     let model = PlatformModel::new(Calibration::date19());
-    println!("\n{:<5} {:>12} {:>10} {:>12}", "topo", "fps@batch4", "feasible", "max v [m/s]");
+    println!(
+        "\n{:<5} {:>12} {:>10} {:>12}",
+        "topo", "fps@batch4", "feasible", "max v [m/s]"
+    );
     for topo in Topology::ALL {
         let fps = model.max_fps(topo, 4);
         println!(
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nIndoor 1 at 5 m/s needs {need_indoor:.2} fps: L4 gives {:.1} (ok), E2E {:.1} ({})",
         model.max_fps(Topology::L4, 4),
         model.max_fps(Topology::E2E, 4),
-        if model.max_fps(Topology::E2E, 4) >= need_indoor { "ok" } else { "infeasible" },
+        if model.max_fps(Topology::E2E, 4) >= need_indoor {
+            "ok"
+        } else {
+            "infeasible"
+        },
     );
 
     let platform = Platform::proposed()?;

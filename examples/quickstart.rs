@@ -11,8 +11,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The hardware story: per-image training cost per topology.
     let h = headline(Calibration::date19());
     println!("== DATE-19 headline (L4 vs E2E) ==");
-    println!("  training latency reduction: {:.1}%", h.latency_reduction_pct);
-    println!("  training energy  reduction: {:.1}%", h.energy_reduction_pct);
+    println!(
+        "  training latency reduction: {:.1}%",
+        h.latency_reduction_pct
+    );
+    println!(
+        "  training energy  reduction: {:.1}%",
+        h.energy_reduction_pct
+    );
     println!(
         "  supported fps at batch 4:   L4 {:.1} vs E2E {:.1}  (velocity x{:.1})",
         h.fps_l4_batch4, h.fps_e2e_batch4, h.velocity_gain
@@ -21,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The memory story: the proposed design places; E2E does not.
     let platform = Platform::proposed()?;
     println!("\n== Proposed platform (L3, 30 MB SRAM) ==");
-    println!("  SRAM used: {:.2} MB (paper: 29.4)", platform.sram_used_mb());
+    println!(
+        "  SRAM used: {:.2} MB (paper: 29.4)",
+        platform.sram_used_mb()
+    );
     println!(
         "  frozen weights in STT-MRAM: {:.1} MB (paper: ~100)",
         platform.placement().mram_weight_mb()
@@ -38,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The mission story: what velocity can it fly?
     println!("\n== Velocity envelope at batch 4 ==");
     for (class, v) in Mission::velocity_envelope(&platform, 4) {
-        println!("  {:<10} d_min {:.1} m  ->  {:5.1} m/s", class.name, class.d_min, v);
+        println!(
+            "  {:<10} d_min {:.1} m  ->  {:5.1} m/s",
+            class.name, class.d_min, v
+        );
     }
 
     // 4. The learning story: a short metered deployment (micro scale).

@@ -50,10 +50,18 @@ fn claim_fig12_tables_within_tolerance() {
     assert!((bwd_ms - paper::BWD_TOTAL_MS).abs() / paper::BWD_TOTAL_MS < 0.02);
     // Every derived FC row within 8 % of Fig. 12.
     for (ours, p) in m.forward_table()[5..9].iter().zip(&paper::FWD[5..9]) {
-        assert!((ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08, "{}", p.name);
+        assert!(
+            (ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08,
+            "{}",
+            p.name
+        );
     }
     for (ours, p) in m.backward_table()[5..9].iter().zip(&paper::BWD[5..9]) {
-        assert!((ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08, "{}", p.name);
+        assert!(
+            (ours.latency_ms - p.latency_ms).abs() / p.latency_ms < 0.08,
+            "{}",
+            p.name
+        );
     }
 }
 
@@ -82,8 +90,15 @@ fn claim_e2e_not_feasible_on_nvm_platform() {
     let p = Platform::new(Topology::E2E, 30.0, 256.0).unwrap();
     assert!(!p.is_nvm_write_free(Topology::E2E));
     // While all L topologies are write-free on their architectures.
-    for (t, sram) in [(Topology::L2, 12.7), (Topology::L3, 30.0), (Topology::L4, 63.0)] {
-        assert!(Platform::new(t, sram, 128.0).unwrap().is_nvm_write_free(t), "{t}");
+    for (t, sram) in [
+        (Topology::L2, 12.7),
+        (Topology::L3, 30.0),
+        (Topology::L4, 63.0),
+    ] {
+        assert!(
+            Platform::new(t, sram, 128.0).unwrap().is_nvm_write_free(t),
+            "{t}"
+        );
     }
 }
 
@@ -92,17 +107,9 @@ fn claim_table1_drives_the_write_wall() {
     // The FC1 backward RMW (the number that kills E2E) follows from
     // Table 1 alone: 75.5 MB / (1024 bit / 30 ns) ≈ 17.7 ms per image.
     let m = PlatformModel::new(Calibration::date19());
-    let fc1 = m
-        .backward_table()
-        .iter()
-        .find(|c| c.name == "FC1")
-        .unwrap();
+    let fc1 = m.backward_table().iter().find(|c| c.name == "FC1").unwrap();
     assert!(fc1.latency_ms > 25.0, "{}", fc1.latency_ms);
-    let fc2 = m
-        .backward_table()
-        .iter()
-        .find(|c| c.name == "FC2")
-        .unwrap();
+    let fc2 = m.backward_table().iter().find(|c| c.name == "FC2").unwrap();
     assert!(fc1.latency_ms > 7.0 * fc2.latency_ms);
 }
 

@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API that the
+//! `mramrl` benches use: [`black_box`], [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple — a warm-up burst, then timed
+//! batches for a fixed wall-clock budget, reporting mean ns/iter to
+//! stdout. No statistics, HTML reports or baselines. The point is that
+//! `cargo bench` runs and prints comparable numbers in seconds, and that
+//! swapping the registry crate back in requires no source changes.
+//!
+//! Env knobs: `CRITERION_BUDGET_MS` (per-benchmark measuring time,
+//! default 300), `CRITERION_QUICK=1` (single batch — used by smoke tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        let ms = if std::env::var_os("CRITERION_QUICK").is_some() {
+            1
+        } else {
+            ms
+        };
+        Self {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        let ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{id:<40} {ns:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timer handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly until the measuring budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up & batch-size calibration: aim for batches of ~1 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test --benches` pass harness flags
+            // (e.g. `--bench`, `--test`); none need parsing here, but
+            // `--test` means "run as tests" — keep that cheap.
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("CRITERION_QUICK", "1");
+            }
+            $($group();)+
+        }
+    };
+}
