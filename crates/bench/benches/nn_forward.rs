@@ -2,15 +2,22 @@
 //! of every RL experiment).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mramrl_nn::{NetworkSpec, Tensor};
+use mramrl_nn::{GemmBackend, NetworkSpec, Tensor};
 
 fn bench_nn(c: &mut Criterion) {
     let spec = NetworkSpec::micro(40, 1, 5);
-    let mut net = spec.build(1);
     let x = Tensor::filled(&[1, 40, 40], 0.4);
-    c.bench_function("micro_forward_40px", |b| {
-        b.iter(|| net.forward(black_box(&x)))
-    });
+    // One forward entry per GEMM backend (end-to-end effect of the
+    // kernel choice; see benches/gemm.rs for the raw kernels). The old
+    // unlabeled `micro_forward_40px` series continues as `_blocked`,
+    // the default backend.
+    for be in GemmBackend::ALL {
+        let mut net_be = spec.build(1);
+        net_be.set_gemm_backend(be);
+        c.bench_function(&format!("micro_forward_40px_{be}"), |b| {
+            b.iter(|| net_be.forward(black_box(&x)))
+        });
+    }
 
     let mut net2 = spec.build(2);
     let y = net2.forward(&x);

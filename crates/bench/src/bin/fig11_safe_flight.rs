@@ -12,6 +12,7 @@ use mramrl_rl::experiment::normalized_sfd;
 use mramrl_rl::{Fig10Experiment, Topology, TransferCache};
 
 fn main() {
+    mramrl_bench::init_gemm_backend();
     let base_seed = arg_u64("seed", 42);
     let seeds = arg_u64("seeds", if full_mode() { 1 } else { 2 });
     let make = |seed: u64| {

@@ -1,6 +1,10 @@
 //! Runs the whole reproduction suite in order, writing every CSV into
 //! `results/`. Learning-curve experiments run at quick scale unless
 //! `--full` is passed (budget minutes for `--full`).
+//!
+//! Every flag is forwarded verbatim to each child binary, so
+//! `repro_all -- --backend threaded` runs the NN-heavy experiments on the
+//! multi-threaded GEMM backend (see `docs/gemm_backends.md`).
 
 use std::path::Path;
 use std::process::Command;

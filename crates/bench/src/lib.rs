@@ -153,6 +153,42 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Resolves the GEMM backend for a figure binary: `--backend <name>` or
+/// `--backend=<name>` (`naive|blocked|threaded`) wins, else the
+/// `NN_GEMM_BACKEND` env knob (default `blocked`). The choice is
+/// exported back into `NN_GEMM_BACKEND` so every network built later in
+/// the process — and any child process — picks it up; call this
+/// **first** in `main`, before any layer is constructed. An unknown or
+/// missing **flag** value aborts with a usage message (a bad *env*
+/// value, by contrast, warns and falls back to `blocked` — the env knob
+/// is a lenient default, the flag an explicit request).
+///
+/// `repro_all` forwards its argv to every child binary, so
+/// `repro_all -- --backend threaded` switches the whole suite.
+pub fn init_gemm_backend() -> mramrl_nn::GemmBackend {
+    let args: Vec<String> = std::env::args().collect();
+    let chosen: Option<String> = args.iter().position(|a| *a == "--backend").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --backend needs a value (naive|blocked|threaded)");
+            std::process::exit(2);
+        })
+    });
+    let chosen = chosen.or_else(|| {
+        args.iter()
+            .find_map(|a| Some(a.strip_prefix("--backend=")?.into()))
+    });
+    let backend = match chosen {
+        None => mramrl_nn::backend::default_backend(),
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    };
+    std::env::set_var("NN_GEMM_BACKEND", backend.name());
+    eprintln!("gemm backend: {backend}");
+    backend
+}
+
 /// Formats a float with `digits` decimals, trimming to a compact cell.
 pub fn fmt(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")

@@ -1,0 +1,477 @@
+//! Pluggable GEMM backends for the NN hot path.
+//!
+//! Every conv and FC pass in this reproduction bottoms out in a dense
+//! matrix product (the software mirror of the paper's GEMM-based
+//! accelerator path, §V-B). This module makes the kernel that computes
+//! those products *selectable*:
+//!
+//! | Backend    | Kernel                                         | Use |
+//! |------------|------------------------------------------------|-----|
+//! | [`GemmBackend::Naive`]    | reference triple loops ([`crate::gemm::matmul`]) | correctness oracle |
+//! | [`GemmBackend::Blocked`]  | k-panel packed, `MR×NR` register-tiled kernel   | default |
+//! | [`GemmBackend::Threaded`] | row-band `std::thread::scope` over the blocked kernel | large shapes |
+//!
+//! # Summation-order contract (exactness policy)
+//!
+//! All three backends compute every output element with a **single
+//! accumulator** and add contributions in **ascending order of the
+//! contraction index** (`k` for `A·B`, the shared row index `i` for
+//! `Aᵀ·B`). Rust never re-associates float arithmetic and no FMA
+//! contraction is emitted from safe code here, so the three backends are
+//! **bit-for-bit identical** — signed zeros included, and with `NaN`s in
+//! exactly the same positions. The single carve-out: `NaN` *payload*
+//! bits are unspecified by IEEE-754 (LLVM may commute float operands),
+//! so only `NaN`-ness, not the payload, is guaranteed. The equivalence
+//! proptests in `crates/nn/tests/gemm_backends.rs` assert this with
+//! payload-canonicalised `f32::to_bits`. See `docs/gemm_backends.md`
+//! for the full blocking/packing writeup.
+//!
+//! # Environment knobs
+//!
+//! * `NN_GEMM_BACKEND` — `naive` | `blocked` | `threaded`; the
+//!   process-wide default returned by [`default_backend`] (default:
+//!   `blocked`).
+//! * `NN_GEMM_THREADS` — worker count for [`GemmBackend::Threaded`]
+//!   (default: [`std::thread::available_parallelism`]).
+//!
+//! Both are read once and cached for the life of the process.
+//!
+//! # Examples
+//!
+//! ```
+//! use mramrl_nn::backend::GemmBackend;
+//!
+//! let a = [1.0, 2.0, 3.0, 4.0]; // 2×2
+//! let b = [5.0, 6.0, 7.0, 8.0]; // 2×2
+//! let naive = GemmBackend::Naive.matmul(&a, &b, 2, 2, 2);
+//! let blocked = GemmBackend::Blocked.matmul(&a, &b, 2, 2, 2);
+//! assert_eq!(naive, vec![19.0, 22.0, 43.0, 50.0]);
+//! assert_eq!(naive, blocked); // bitwise, by the summation-order contract
+//! ```
+
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Micro-tile height: output rows whose accumulators live in registers
+/// together — 8 independent accumulation chains hide the float-add
+/// latency.
+const MR: usize = 8;
+
+/// Micro-tile width: one SIMD vector of output columns per row (8 f32 =
+/// one AVX2 register); `MR×NR` accumulators = 8 vector registers.
+const NR: usize = 8;
+
+/// Output-column tile width (multiple of `NR`): bounds the packed
+/// `k×NC` B panel so it stays cache-resident while every row band
+/// sweeps it.
+const NC: usize = 512;
+
+/// Below this many multiply-accumulates a threaded launch costs more than
+/// it saves; [`GemmBackend::Threaded`] falls back to the blocked kernel.
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Which GEMM kernel the NN layers use for their matrix products.
+///
+/// Selection is threaded through [`crate::Conv2d`], [`crate::Linear`],
+/// [`crate::Network::set_gemm_backend`] and the `mramrl_rl` trainer; the
+/// process-wide default comes from [`default_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GemmBackend {
+    /// Reference triple-loop kernels — the correctness oracle every other
+    /// backend is proven against.
+    Naive,
+    /// Cache-blocked, k-panel-packed, `MR×NR` register-tiled kernel.
+    #[default]
+    Blocked,
+    /// Row-band multi-threading (scoped `std::thread`) over the blocked
+    /// kernel; thread count from `NN_GEMM_THREADS`.
+    Threaded,
+}
+
+impl GemmBackend {
+    /// All backends, oracle first — handy for benches and equivalence
+    /// tests.
+    pub const ALL: [GemmBackend; 3] = [
+        GemmBackend::Naive,
+        GemmBackend::Blocked,
+        GemmBackend::Threaded,
+    ];
+
+    /// Stable lowercase name (the `NN_GEMM_BACKEND` / `--backend` token).
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmBackend::Naive => "naive",
+            GemmBackend::Blocked => "blocked",
+            GemmBackend::Threaded => "threaded",
+        }
+    }
+
+    /// Reads `NN_GEMM_BACKEND`, falling back to [`GemmBackend::Blocked`]
+    /// (unknown values warn on stderr and fall back too).
+    pub fn from_env() -> Self {
+        match std::env::var("NN_GEMM_BACKEND") {
+            Ok(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "warning: NN_GEMM_BACKEND={v:?} not recognised \
+                     (naive|blocked|threaded); using blocked"
+                );
+                GemmBackend::Blocked
+            }),
+            Err(_) => GemmBackend::Blocked,
+        }
+    }
+
+    /// Dense row-major `C[m×n] = A[m×k] · B[k×n]` with this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the dimensions.
+    pub fn matmul(self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        assert_eq!(a.len(), m * k, "A dimensions");
+        assert_eq!(b.len(), k * n, "B dimensions");
+        match self {
+            GemmBackend::Naive => crate::gemm::matmul(a, b, m, k, n),
+            GemmBackend::Blocked => matmul_blocked(a, b, m, k, n),
+            GemmBackend::Threaded => matmul_threaded(a, b, m, k, n),
+        }
+    }
+
+    /// `C[k×n] = A[m×k]ᵀ · B[m×n]` without materialising the transpose
+    /// (the systolic array's Fig. 8 dataflow, in software).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the dimensions.
+    pub fn matmul_at_b(self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        assert_eq!(a.len(), m * k, "A dimensions");
+        assert_eq!(b.len(), m * n, "B dimensions");
+        match self {
+            GemmBackend::Naive => crate::gemm::matmul_at_b(a, b, m, k, n),
+            GemmBackend::Blocked => {
+                let mut c = vec![0.0f32; k * n];
+                at_b_band(&mut c, a, b, m, k, n, 0, k);
+                c
+            }
+            GemmBackend::Threaded => matmul_at_b_threaded(a, b, m, k, n),
+        }
+    }
+}
+
+impl FromStr for GemmBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" => Ok(GemmBackend::Naive),
+            "blocked" => Ok(GemmBackend::Blocked),
+            "threaded" => Ok(GemmBackend::Threaded),
+            other => Err(format!(
+                "unknown GEMM backend {other:?} (expected naive|blocked|threaded)"
+            )),
+        }
+    }
+}
+
+impl core::fmt::Display for GemmBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The process-wide default backend: `NN_GEMM_BACKEND` (resolved once,
+/// then cached). Freshly-constructed layers pick this up.
+pub fn default_backend() -> GemmBackend {
+    static DEFAULT: OnceLock<GemmBackend> = OnceLock::new();
+    *DEFAULT.get_or_init(GemmBackend::from_env)
+}
+
+/// Worker count for [`GemmBackend::Threaded`]: `NN_GEMM_THREADS`, or the
+/// machine's available parallelism (resolved once, then cached; ≥ 1).
+pub fn thread_count() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("NN_GEMM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Blocked `A·B` over the whole output (single thread).
+fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    // Mat-vec and skinny products gain nothing from packing; the reference
+    // loops have the identical summation order, so this is invisible.
+    if n < 8 {
+        return crate::gemm::matmul(a, b, m, k, n);
+    }
+    let mut c = vec![0.0f32; m * n];
+    matmul_band(&mut c, a, b, m, k, n);
+    c
+}
+
+/// Blocked `A·B` into a row band: `c` and `a` hold `rows` consecutive
+/// rows of the output and of `A` respectively.
+///
+/// Loop structure (GotoBLAS-style, register-accumulating micro-kernel):
+///
+/// * outer: column tiles of `NC` — the `k×nc` B panel is **packed once**
+///   into contiguous rows and then swept by every row band;
+/// * middle: `MR = 8` output rows at a time, with the matching `MR×k`
+///   A-panel packed k-major (`apanel[kk·MR + r]` — the k-panel packing),
+///   so the micro-kernel reads both operands as forward streams;
+/// * inner: an `MR×NR` register tile — 64 scalar accumulators (8 SIMD
+///   vectors) are swept over the whole contraction, then stored to `C`
+///   once. ~12 loads feed 64 multiply-adds per `kk` step, so the kernel
+///   is compute-bound instead of store-bound.
+///
+/// Bitwise contract: `c` must arrive **zeroed** (callers allocate it);
+/// every output element is produced by one register accumulator that
+/// starts at `0.0` and adds contributions in ascending-`k` order — the
+/// identical float-op sequence to the naive loops, hence bit-identical
+/// results (Rust neither re-associates nor auto-fuses into FMA).
+fn matmul_band(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
+    let mut apanel = vec![0.0f32; MR * k.max(1)];
+    let mut bpanel = vec![0.0f32; NC.min(n) * k.max(1)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        // Pack the B column block [k × nc] into contiguous rows.
+        for kk in 0..k {
+            bpanel[kk * nc..(kk + 1) * nc].copy_from_slice(&b[kk * n + jc..kk * n + jc + nc]);
+        }
+        let mut i = 0;
+        while i + MR <= rows {
+            // k-panel packing of A: k-major so the micro-kernel streams it.
+            for r in 0..MR {
+                for (kk, &v) in a[(i + r) * k..(i + 1 + r) * k].iter().enumerate() {
+                    apanel[kk * MR + r] = v;
+                }
+            }
+            let mut jt = 0;
+            while jt + NR <= nc {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let bt = &bpanel[kk * nc + jt..kk * nc + jt + NR];
+                    let ap = &apanel[kk * MR..(kk + 1) * MR];
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let ar = ap[r];
+                        for (av, &bv) in acc_r.iter_mut().zip(bt) {
+                            *av += ar * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let dst = &mut c[(i + r) * n + jc + jt..(i + r) * n + jc + jt + NR];
+                    dst.copy_from_slice(acc_r);
+                }
+                jt += NR;
+            }
+            // Column tail (nc % NR): scalar dots, same ascending-k order.
+            for j in jt..nc {
+                for r in 0..MR {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += apanel[kk * MR + r] * bpanel[kk * nc + j];
+                    }
+                    c[(i + r) * n + jc + j] = acc;
+                }
+            }
+            i += MR;
+        }
+        // Row tail (rows % MR): scalar dots, same ascending-k order.
+        while i < rows {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..nc {
+                let mut acc = 0.0f32;
+                for (kk, &av) in arow.iter().enumerate() {
+                    acc += av * bpanel[kk * nc + j];
+                }
+                c[i * n + jc + j] = acc;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Threaded `A·B`: contiguous row bands of `C` across scoped threads,
+/// each running the blocked kernel on its band.
+fn matmul_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let threads = thread_count().min(m.max(1));
+    if threads <= 1 || m * k * n < PAR_MIN_MACS || n < 8 {
+        return matmul_blocked(a, b, m, k, n);
+    }
+    let mut c = vec![0.0f32; m * n];
+    let band_rows = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, cband) in c.chunks_mut(band_rows * n).enumerate() {
+            let rows = cband.len() / n;
+            let aband = &a[t * band_rows * k..(t * band_rows + rows) * k];
+            s.spawn(move || matmul_band(cband, aband, b, rows, k, n));
+        }
+    });
+    c
+}
+
+/// Rows of `A`/`B` consumed together by one `Aᵀ·B` sweep: the output is
+/// re-streamed once per group, so 8 rows cut output traffic 8×.
+const MR_ATB: usize = 8;
+
+/// Blocked `Aᵀ·B` over the output rows `[kk0, kk0 + kks)`, written into
+/// the zero-initialised band `c` (length `kks·n`).
+///
+/// The contraction runs over the *shared row index* `i`, so the natural
+/// kernel is a sequence of rank-1 updates; grouping `MR_ATB = 8` input
+/// rows per sweep streams the `k×n` output once per group instead of
+/// once per row. The eight products are added left-to-right inside one
+/// expression — still ascending-`i` order per output element, hence
+/// bitwise identical to the naive loop.
+#[allow(clippy::too_many_arguments)]
+fn at_b_band(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kk0: usize,
+    kks: usize,
+) {
+    let mut i = 0;
+    while i + MR_ATB <= m {
+        let ar = |r: usize| &a[(i + r) * k..(i + r + 1) * k];
+        let br = |r: usize| &b[(i + r) * n..(i + r + 1) * n];
+        let (a0, a1, a2, a3) = (ar(0), ar(1), ar(2), ar(3));
+        let (a4, a5, a6, a7) = (ar(4), ar(5), ar(6), ar(7));
+        let (b0, b1, b2, b3) = (br(0), br(1), br(2), br(3));
+        let (b4, b5, b6, b7) = (br(4), br(5), br(6), br(7));
+        for kk in 0..kks {
+            let (x0, x1, x2, x3) = (a0[kk0 + kk], a1[kk0 + kk], a2[kk0 + kk], a3[kk0 + kk]);
+            let (x4, x5, x6, x7) = (a4[kk0 + kk], a5[kk0 + kk], a6[kk0 + kk], a7[kk0 + kk]);
+            let crow = &mut c[kk * n..(kk + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                // Left-to-right: ascending-i summation order preserved.
+                *cv = *cv
+                    + x0 * b0[j]
+                    + x1 * b1[j]
+                    + x2 * b2[j]
+                    + x3 * b3[j]
+                    + x4 * b4[j]
+                    + x5 * b5[j]
+                    + x6 * b6[j]
+                    + x7 * b7[j];
+            }
+        }
+        i += MR_ATB;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for kk in 0..kks {
+            let x = arow[kk0 + kk];
+            let crow = &mut c[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += x * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Threaded `Aᵀ·B`: the `k` output rows are split into contiguous bands
+/// across scoped threads; every thread sweeps all `m` input rows (in
+/// ascending order) over its own band.
+fn matmul_at_b_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let threads = thread_count().min(k.max(1));
+    let mut c = vec![0.0f32; k * n];
+    if threads <= 1 || m * k * n < PAR_MIN_MACS || n == 0 {
+        at_b_band(&mut c, a, b, m, k, n, 0, k);
+        return c;
+    }
+    let band_rows = k.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, cband) in c.chunks_mut(band_rows * n).enumerate() {
+            let kks = cband.len() / n;
+            s.spawn(move || at_b_band(cband, a, b, m, k, n, t * band_rows, kks));
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                (h % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_and_threaded_match_naive_bitwise() {
+        for (m, k, n) in [
+            (0usize, 3usize, 4usize),
+            (3, 0, 4),
+            (3, 4, 0),
+            (1, 1, 1),
+            (5, 7, 9),
+            (8, 300, 16),  // long contraction, fully register-resident
+            (13, 257, 33), // ragged tails on every dimension
+            (4, 10, 600),  // n > NC: crosses a column-tile boundary
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
+            for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+                let got = be.matmul(&a, &b, m, k, n);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{be} m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_matches_naive_bitwise() {
+        for (m, k, n) in [(0usize, 3usize, 4usize), (6, 5, 7), (9, 130, 12), (5, 4, 1)] {
+            let a = fill(m * k, 3);
+            let b = fill(m * n, 4);
+            let want = GemmBackend::Naive.matmul_at_b(&a, &b, m, k, n);
+            for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+                let got = be.matmul_at_b(&a, &b, m, k, n);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{be} m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_errors() {
+        for be in GemmBackend::ALL {
+            assert_eq!(be.name().parse::<GemmBackend>().unwrap(), be);
+            assert_eq!(be.to_string(), be.name());
+        }
+        assert_eq!(
+            " Blocked ".parse::<GemmBackend>().unwrap(),
+            GemmBackend::Blocked
+        );
+        assert!("gpu".parse::<GemmBackend>().is_err());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 
+use crate::backend::GemmBackend;
 use crate::init::WeightInit;
 use crate::layer::{Layer, ParamTensor};
 use crate::tensor::Tensor;
@@ -10,6 +11,13 @@ use crate::tensor::Tensor;
 ///
 /// Weights are stored `[C_out, C_in, K_h, K_w]`; square stride and
 /// symmetric zero padding, matching the AlexNet layers of the paper.
+///
+/// With the [`GemmBackend::Naive`] backend the layer runs its original
+/// direct loops (the correctness oracle); with `Blocked`/`Threaded` it
+/// routes forward and backward through the im2col GEMM path
+/// ([`crate::gemm`]) on the selected kernel — the paper's §V-B execution
+/// model, and measurably faster. The two algorithms agree to float
+/// rounding (see the tolerance policy in [`crate::gemm`]).
 ///
 /// # Examples
 ///
@@ -31,6 +39,7 @@ pub struct Conv2d {
     pad: usize,
     weight: ParamTensor,
     bias: ParamTensor,
+    backend: GemmBackend,
     cached_input: Option<Tensor>,
 }
 
@@ -88,6 +97,7 @@ impl Conv2d {
             pad,
             weight,
             bias,
+            backend: crate::backend::default_backend(),
             cached_input: None,
         }
     }
@@ -133,6 +143,18 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 3, "conv expects [C,H,W]");
         assert_eq!(input.shape()[0], self.in_c, "conv input channel mismatch");
+        if self.backend != GemmBackend::Naive {
+            let out = crate::gemm::conv2d_gemm_with(
+                self.backend,
+                input,
+                &self.weight.value,
+                &self.bias.value,
+                self.stride,
+                self.pad,
+            );
+            self.cached_input = Some(input.clone());
+            return out;
+        }
         let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
         let (out_h, out_w) = self.out_hw(in_h, in_w);
         let mut out = Tensor::zeros(&[self.out_c, out_h, out_w]);
@@ -186,6 +208,20 @@ impl Layer for Conv2d {
             &[self.out_c, out_h, out_w],
             "conv grad shape mismatch"
         );
+
+        if self.backend != GemmBackend::Naive {
+            let (gw, gb, gi) = crate::gemm::conv2d_gemm_backward_with(
+                self.backend,
+                input,
+                &self.weight.value,
+                grad_output,
+                self.stride,
+                self.pad,
+            );
+            self.weight.grad.add_assign(&gw);
+            self.bias.grad.add_assign(&gb);
+            return gi;
+        }
 
         let mut grad_in = Tensor::zeros(&[self.in_c, in_h, in_w]);
         let x = input.data();
@@ -244,6 +280,14 @@ impl Layer for Conv2d {
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let (h, w) = self.out_hw(input_shape[1], input_shape[2]);
         vec![self.out_c, h, w]
+    }
+
+    fn set_gemm_backend(&mut self, backend: GemmBackend) {
+        self.backend = backend;
+    }
+
+    fn gemm_backend(&self) -> Option<GemmBackend> {
+        Some(self.backend)
     }
 }
 

@@ -2,11 +2,25 @@
 
 use rand::rngs::SmallRng;
 
+use crate::backend::GemmBackend;
 use crate::init::WeightInit;
 use crate::layer::{Layer, ParamTensor};
 use crate::tensor::Tensor;
 
 /// A fully-connected layer `y = W·x + b` with weights `[out, in]`.
+///
+/// The matrix-vector products (`W·x` forward, `Wᵀ·g` and the outer
+/// product `g·xᵀ` backward) run on the layer's [`GemmBackend`], so the
+/// FC tail — the only part trained online in the paper's L2/L3/L4
+/// topologies — shares the blocked/threaded kernels with the conv path.
+/// All backends are bit-identical here (summation-order contract, see
+/// [`crate::backend`]).
+///
+/// Note one deliberate rounding change versus the pre-backend seed
+/// implementation: the bias is now added **after** the full dot product
+/// (it used to seed the accumulator), so even the `Naive` backend does
+/// not bit-reproduce pre-backend training curves — it reproduces the
+/// shared cross-backend order instead.
 ///
 /// # Examples
 ///
@@ -25,6 +39,7 @@ pub struct Linear {
     out_f: usize,
     weight: ParamTensor,
     bias: ParamTensor,
+    backend: GemmBackend,
     cached_input: Option<Tensor>,
 }
 
@@ -55,6 +70,7 @@ impl Linear {
             out_f,
             weight,
             bias,
+            backend: crate::backend::default_backend(),
             cached_input: None,
         }
     }
@@ -87,21 +103,19 @@ impl Layer for Linear {
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.len(), self.in_f, "linear input length mismatch");
-        let x = input.data();
-        let w = self.weight.value.data();
-        let b = self.bias.value.data();
-        let mut out = Tensor::zeros(&[self.out_f]);
-        let o = out.data_mut();
-        for (j, oj) in o.iter_mut().enumerate() {
-            let row = &w[j * self.in_f..(j + 1) * self.in_f];
-            let mut acc = b[j];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            *oj = acc;
+        // y = W[out×in] · x[in×1], then the bias added element-wise.
+        let mut y = self.backend.matmul(
+            self.weight.value.data(),
+            input.data(),
+            self.out_f,
+            self.in_f,
+            1,
+        );
+        for (yj, &bj) in y.iter_mut().zip(self.bias.value.data()) {
+            *yj += bj;
         }
         self.cached_input = Some(input.clone());
-        out
+        Tensor::from_vec(&[self.out_f], y)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -110,28 +124,23 @@ impl Layer for Linear {
             .as_ref()
             .expect("linear backward called before forward");
         assert_eq!(grad_output.len(), self.out_f, "linear grad length mismatch");
-        let x = input.data();
         let go = grad_output.data();
-        let w = self.weight.value.data();
-        let gw = self.weight.grad.data_mut();
-        let gb = self.bias.grad.data_mut();
 
-        let mut grad_in = Tensor::zeros(&[self.in_f]);
-        let gi = grad_in.data_mut();
-        for j in 0..self.out_f {
-            let g = go[j];
-            gb[j] += g;
-            if g == 0.0 {
-                continue;
-            }
-            let row_w = &w[j * self.in_f..(j + 1) * self.in_f];
-            let row_gw = &mut gw[j * self.in_f..(j + 1) * self.in_f];
-            for i in 0..self.in_f {
-                row_gw[i] += g * x[i];
-                gi[i] += g * row_w[i];
-            }
+        // dW = g[out×1] · xᵀ[1×in] (outer product), dx = Wᵀ[in×out] · g.
+        let dw = self
+            .backend
+            .matmul(go, input.data(), self.out_f, 1, self.in_f);
+        let dx = self
+            .backend
+            .matmul_at_b(self.weight.value.data(), go, self.out_f, self.in_f, 1);
+
+        for (acc, &v) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+            *acc += v;
         }
-        grad_in
+        for (acc, &g) in self.bias.grad.data_mut().iter_mut().zip(go) {
+            *acc += g;
+        }
+        Tensor::from_vec(&[self.in_f], dx)
     }
 
     fn params(&self) -> Vec<&ParamTensor> {
@@ -144,6 +153,14 @@ impl Layer for Linear {
 
     fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
         vec![self.out_f]
+    }
+
+    fn set_gemm_backend(&mut self, backend: GemmBackend) {
+        self.backend = backend;
+    }
+
+    fn gemm_backend(&self) -> Option<GemmBackend> {
+        Some(self.backend)
     }
 }
 

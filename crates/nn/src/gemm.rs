@@ -11,10 +11,35 @@
 //! independent implementation of convolution: the tests prove it
 //! equivalent to the direct loops in [`crate::Conv2d`], which is a strong
 //! cross-check on both.
+//!
+//! # Backends and the tolerance policy
+//!
+//! The matrix products themselves are pluggable: [`conv2d_gemm_with`] and
+//! [`conv2d_gemm_backward_with`] take a [`GemmBackend`] (naive oracle,
+//! cache-blocked, or multi-threaded — see [`crate::backend`] and
+//! `docs/gemm_backends.md`). Two different equivalence guarantees apply:
+//!
+//! * **Across backends** (same algorithm, different kernel): results are
+//!   **bit-for-bit identical**, because every backend accumulates each
+//!   output element in the same (ascending contraction index) order.
+//!   `NaN` and `-0.0` propagate identically — [`matmul`] deliberately has
+//!   no `a == 0.0` skip for exactly this reason. (Sole carve-out: `NaN`
+//!   *payload* bits, which IEEE-754 leaves unspecified; `NaN` positions
+//!   still agree exactly.)
+//! * **GEMM path vs the direct [`crate::Conv2d`] loops** (different
+//!   algorithm, different associativity): equality only up to float
+//!   rounding; tests use a `1e-4` absolute tolerance on unit-scale data.
 
+use crate::backend::GemmBackend;
 use crate::tensor::Tensor;
 
 /// Dense row-major matrix multiply: `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// This is the **reference kernel** ([`GemmBackend::Naive`]); the blocked
+/// and threaded backends are proven bitwise-equal to it. There is
+/// deliberately no skip of zero `A` entries: `0.0 × NaN` must produce
+/// `NaN` (and `-0.0` accumulation must round identically) on every
+/// backend, so the oracle performs every multiply-accumulate.
 ///
 /// # Panics
 ///
@@ -27,9 +52,6 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let b_row = &b[kk * n..(kk + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += av * bv;
@@ -42,6 +64,10 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// `A[m×k]ᵀ · B[m×n] → C[k×n]` without materialising the transpose —
 /// the systolic array's Fig. 8 trick, in software.
 ///
+/// Reference kernel for [`GemmBackend::Naive`]; like [`matmul`] it never
+/// skips zero entries, so `NaN`/`-0.0` behaviour is identical across
+/// backends.
+///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match the dimensions.
@@ -53,9 +79,6 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
         let a_row = &a[i * k..(i + 1) * k];
         let b_row = &b[i * n..(i + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let c_row = &mut c[kk * n..(kk + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += av * bv;
@@ -167,6 +190,36 @@ pub fn conv2d_gemm(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    conv2d_gemm_with(
+        crate::backend::default_backend(),
+        input,
+        weight,
+        bias,
+        stride,
+        pad,
+    )
+}
+
+/// [`conv2d_gemm`] with an explicit [`GemmBackend`].
+///
+/// The im2col matrix is transposed once into `[taps × positions]` so the
+/// product `W[out_c × taps] · colsᵀ` runs through the backend's row-major
+/// `matmul` kernel; the bias is added afterwards. All backends produce
+/// bit-identical outputs here (the transpose and bias add are
+/// backend-independent, and `matmul` honours the summation-order
+/// contract).
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_gemm_with(
+    backend: GemmBackend,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let out_c = weight.shape()[0];
     let in_c = weight.shape()[1];
     let k = weight.shape()[2];
@@ -175,25 +228,26 @@ pub fn conv2d_gemm(
     assert_eq!(bias.len(), out_c, "bias mismatch");
 
     let (cols_m, positions, taps) = im2col(input, k, stride, pad);
-    // W[out_c × taps] · cols_mᵀ[taps × positions]: compute as
-    // (cols_m[positions × taps] · Wᵀ)ᵀ via matmul_at_b on Wᵀ… simplest:
-    // out[oc][pos] = Σ_t W[oc,t] · cols_m[pos,t].
-    let w = weight.data();
+    // Transpose the patch matrix so the product is a plain row-major GEMM:
+    // out[oc × pos] = W[out_c × taps] · colsᵀ[taps × positions].
+    let mut cols_t = vec![0.0f32; taps * positions];
+    for pos in 0..positions {
+        let patch = &cols_m[pos * taps..(pos + 1) * taps];
+        for (t, &v) in patch.iter().enumerate() {
+            cols_t[t * positions + pos] = v;
+        }
+    }
+    let o = backend.matmul(weight.data(), &cols_t, out_c, taps, positions);
+
     let (h, wdt) = (input.shape()[1], input.shape()[2]);
     let out_h = (h + 2 * pad - k) / stride + 1;
     let out_w = (wdt + 2 * pad - k) / stride + 1;
-    let mut out = Tensor::zeros(&[out_c, out_h, out_w]);
+    let mut out = Tensor::from_vec(&[out_c, out_h, out_w], o);
     let o = out.data_mut();
     for oc in 0..out_c {
-        let w_row = &w[oc * taps..(oc + 1) * taps];
         let b = bias.data()[oc];
-        for pos in 0..positions {
-            let patch = &cols_m[pos * taps..(pos + 1) * taps];
-            let mut acc = b;
-            for (wv, xv) in w_row.iter().zip(patch) {
-                acc += wv * xv;
-            }
-            o[oc * positions + pos] = acc;
+        for v in &mut o[oc * positions..(oc + 1) * positions] {
+            *v += b;
         }
     }
     out
@@ -209,6 +263,33 @@ pub fn conv2d_gemm(
 ///
 /// Panics on geometry mismatches.
 pub fn conv2d_gemm_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor, Tensor) {
+    conv2d_gemm_backward_with(
+        crate::backend::default_backend(),
+        input,
+        weight,
+        grad_output,
+        stride,
+        pad,
+    )
+}
+
+/// [`conv2d_gemm_backward`] with an explicit [`GemmBackend`].
+///
+/// Both products (`dW = gradᵀ · im2col(x)` via `matmul_at_b`, `dX`'s
+/// `grad · W` via `matmul`) honour the backend summation-order contract,
+/// so gradients are bit-identical across backends.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_gemm_backward_with(
+    backend: GemmBackend,
     input: &Tensor,
     weight: &Tensor,
     grad_output: &Tensor,
@@ -232,7 +313,7 @@ pub fn conv2d_gemm_backward(
     }
 
     // dW[oc × taps] = grad[pos × oc]ᵀ · cols_m[pos × taps].
-    let dw = matmul_at_b(&grad_pos_oc, &cols_m, positions, out_c, taps);
+    let dw = backend.matmul_at_b(&grad_pos_oc, &cols_m, positions, out_c, taps);
     let grad_weight = Tensor::from_vec(&[out_c, in_c, k, k], dw);
 
     // db[oc] = Σ_pos grad.
@@ -245,7 +326,7 @@ pub fn conv2d_gemm_backward(
     let grad_bias = Tensor::from_vec(&[out_c], db);
 
     // dX = col2im( grad[pos × oc] · W[oc × taps] ).
-    let dcols = matmul(&grad_pos_oc, weight.data(), positions, out_c, taps);
+    let dcols = backend.matmul(&grad_pos_oc, weight.data(), positions, out_c, taps);
     let grad_input = col2im(&dcols, in_c, h, w, k, stride, pad);
     (grad_weight, grad_bias, grad_input)
 }

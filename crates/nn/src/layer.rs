@@ -1,5 +1,6 @@
 //! The layer abstraction.
 
+use crate::backend::GemmBackend;
 use crate::tensor::Tensor;
 
 /// A learnable parameter with its gradient accumulator and (lazily
@@ -86,6 +87,18 @@ pub trait Layer: Send {
 
     /// Output shape for a given input shape (used by spec validation).
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Selects the [`GemmBackend`] used for this layer's matrix products.
+    ///
+    /// Default: no-op — only layers that actually perform GEMMs
+    /// ([`crate::Conv2d`], [`crate::Linear`]) override this.
+    fn set_gemm_backend(&mut self, _backend: GemmBackend) {}
+
+    /// The layer's current [`GemmBackend`] (`None` for layers without
+    /// matrix products).
+    fn gemm_backend(&self) -> Option<GemmBackend> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //!   full-size DATE-19 AlexNet (56.2 M weights; reproduces the Fig. 3(a)
 //!   census byte-for-byte) and a width-scaled *micro* variant that keeps
 //!   the 5-conv + 5-FC topology but trains in seconds on a CPU;
+//! * pluggable GEMM backends ([`backend`]) behind every conv/FC matrix
+//!   product — a naive oracle, a cache-blocked kernel and a
+//!   multi-threaded one, selected via `NN_GEMM_BACKEND` /
+//!   [`Network::set_gemm_backend`] (see `docs/gemm_backends.md`);
 //! * a 16-bit fixed-point inference path ([`quant`]) mirroring the
 //!   platform's Q8.8 datapath with wide MAC accumulation;
 //! * weight (de)serialisation for the transfer-learning hand-off.
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod conv;
 mod error;
 mod fc;
@@ -59,6 +64,7 @@ pub mod spec;
 mod tensor;
 mod topology;
 
+pub use backend::GemmBackend;
 pub use conv::Conv2d;
 pub use error::NnError;
 pub use fc::Linear;

@@ -1,5 +1,6 @@
 //! The network container: layer stack, freezing, batched SGD.
 
+use crate::backend::GemmBackend;
 use crate::error::NnError;
 use crate::layer::Layer;
 use crate::sgd::Sgd;
@@ -145,6 +146,37 @@ impl Network {
             .iter()
             .zip(&self.trainable)
             .any(|(l, &t)| l.name() == name && t)
+    }
+
+    /// Routes every conv/FC matrix product through `backend`
+    /// ([`GemmBackend::Naive`] reference loops, cache-`Blocked`, or
+    /// `Threaded`); layers without matrix products are unaffected.
+    ///
+    /// Freshly built networks start on
+    /// [`crate::backend::default_backend`] (the `NN_GEMM_BACKEND` env
+    /// knob), so this is only needed to switch explicitly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mramrl_nn::{GemmBackend, NetworkSpec, Tensor};
+    ///
+    /// let mut net = NetworkSpec::micro(8, 1, 5).build(0);
+    /// net.set_gemm_backend(GemmBackend::Threaded);
+    /// assert_eq!(net.gemm_backend(), Some(GemmBackend::Threaded));
+    /// let q = net.forward(&Tensor::zeros(&[1, 8, 8])); // same bits, faster
+    /// assert_eq!(q.shape(), &[5]);
+    /// ```
+    pub fn set_gemm_backend(&mut self, backend: GemmBackend) {
+        for layer in &mut self.layers {
+            layer.set_gemm_backend(backend);
+        }
+    }
+
+    /// The backend of the first layer that has one (all layers share a
+    /// backend unless set individually).
+    pub fn gemm_backend(&self) -> Option<GemmBackend> {
+        self.layers.iter().find_map(|l| l.gemm_backend())
     }
 
     /// Forward pass through every layer.

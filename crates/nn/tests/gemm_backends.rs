@@ -1,0 +1,219 @@
+//! Backend equivalence suite: `Blocked` and `Threaded` vs the `Naive`
+//! oracle.
+//!
+//! Two tiers of guarantees are asserted (see `docs/gemm_backends.md`):
+//!
+//! 1. **Bitwise** for the raw kernels (`matmul`, `matmul_at_b`) and for
+//!    the whole im2col GEMM conv path: every backend accumulates each
+//!    output element in the same order, so results must agree to the
+//!    bit — including signed zeros, and with `NaN`s in exactly the same
+//!    positions. (`NaN` *payload* bits are the one exception: IEEE-754
+//!    leaves them unspecified and LLVM may commute float operands, so
+//!    equality is `NaN`-position-aware rather than raw `to_bits`.)
+//! 2. **Tolerance** between the GEMM conv path and the direct
+//!    [`Conv2d`] loops (different algorithm ⇒ different associativity).
+
+use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::gemm::{conv2d_gemm_backward_with, conv2d_gemm_with};
+use mramrl_nn::{Conv2d, Layer, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic value stream; every ~13th value is a special
+/// (`NaN`, `±0.0`, `±∞`) when `specials` is set, to exercise the
+/// propagation corners the old `a == 0.0` skip used to hide.
+fn fill(len: usize, seed: u64, specials: bool) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut h = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 31;
+            if specials && h % 13 == 0 {
+                match h % 5 {
+                    0 => f32::NAN,
+                    1 => -0.0,
+                    2 => 0.0,
+                    3 => f32::INFINITY,
+                    _ => f32::NEG_INFINITY,
+                }
+            } else {
+                (h % 2000) as f32 / 1000.0 - 1.0
+            }
+        })
+        .collect()
+}
+
+/// Bit pattern with NaN payloads canonicalised (IEEE-754 leaves NaN
+/// payloads unspecified; everything else must match exactly).
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter()
+        .map(|x| if x.is_nan() { 0x7FC0_0000 } else { x.to_bits() })
+        .collect()
+}
+
+proptest! {
+    /// `matmul` is bitwise identical across backends over ragged shapes
+    /// (including 0- and 1-sized dimensions) and special values.
+    #[test]
+    fn matmul_bitwise_equal(
+        m in 0usize..20,
+        k in 0usize..300,
+        n in 0usize..20,
+        seed in 0u64..1 << 40,
+    ) {
+        let specials = seed % 2 == 0;
+        let a = fill(m * k, seed, specials);
+        let b = fill(k * n, seed ^ 0xABCD, specials);
+        let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
+        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+            let got = be.matmul(&a, &b, m, k, n);
+            prop_assert_eq!(bits(&want), bits(&got), "{} m={} k={} n={}", be, m, k, n);
+        }
+    }
+
+    /// `matmul_at_b` is bitwise identical across backends.
+    #[test]
+    fn matmul_at_b_bitwise_equal(
+        m in 0usize..40,
+        k in 0usize..20,
+        n in 0usize..20,
+        seed in 0u64..1 << 40,
+    ) {
+        let specials = seed % 2 == 0;
+        let a = fill(m * k, seed, specials);
+        let b = fill(m * n, seed ^ 0x1234, specials);
+        let want = GemmBackend::Naive.matmul_at_b(&a, &b, m, k, n);
+        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+            let got = be.matmul_at_b(&a, &b, m, k, n);
+            prop_assert_eq!(bits(&want), bits(&got), "{} m={} k={} n={}", be, m, k, n);
+        }
+    }
+
+    /// The full conv-as-GEMM forward/backward path is bitwise identical
+    /// across backends (same algorithm, different kernels).
+    #[test]
+    fn conv_gemm_path_bitwise_equal(
+        hw in 3usize..10,
+        in_c in 1usize..4,
+        out_c in 1usize..5,
+        seed in 0u64..1 << 40,
+    ) {
+        let k = 3.min(hw);
+        let (stride, pad) = (1 + (seed % 2) as usize, (seed % 2) as usize);
+        let x = Tensor::from_vec(&[in_c, hw, hw], fill(in_c * hw * hw, seed, false));
+        let w = Tensor::from_vec(&[out_c, in_c, k, k], fill(out_c * in_c * k * k, seed ^ 1, false));
+        let bias = Tensor::from_vec(&[out_c], fill(out_c, seed ^ 2, false));
+
+        let fwd = conv2d_gemm_with(GemmBackend::Naive, &x, &w, &bias, stride, pad);
+        let grad = Tensor::from_vec(fwd.shape(), fill(fwd.len(), seed ^ 3, false));
+        let (gw, gb, gi) =
+            conv2d_gemm_backward_with(GemmBackend::Naive, &x, &w, &grad, stride, pad);
+        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+            let f2 = conv2d_gemm_with(be, &x, &w, &bias, stride, pad);
+            prop_assert_eq!(bits(fwd.data()), bits(f2.data()), "fwd {}", be);
+            let (gw2, gb2, gi2) = conv2d_gemm_backward_with(be, &x, &w, &grad, stride, pad);
+            prop_assert_eq!(bits(gw.data()), bits(gw2.data()), "dW {}", be);
+            prop_assert_eq!(bits(gb.data()), bits(gb2.data()), "db {}", be);
+            prop_assert_eq!(bits(gi.data()), bits(gi2.data()), "dX {}", be);
+        }
+    }
+}
+
+/// `0.0 × NaN` must be `NaN` on every backend: the reference kernels
+/// have no zero-skip, so an exact-zero row element cannot silently drop
+/// a `NaN` (or `-0.0` rounding contribution) that the blocked/threaded
+/// kernels would propagate.
+#[test]
+fn nan_and_signed_zero_propagate_identically() {
+    // A has an exact 0.0 facing a NaN in B, and a -0.0 row.
+    let a = [0.0f32, 1.0, -0.0, 2.0]; // 2×2
+    let b = [f32::NAN, -0.0, 3.0, f32::INFINITY]; // 2×2
+    let want = GemmBackend::Naive.matmul(&a, &b, 2, 2, 2);
+    assert!(want[0].is_nan(), "0·NaN + 1·3 must be NaN");
+    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        let got = be.matmul(&a, &b, 2, 2, 2);
+        assert_eq!(bits(&want), bits(&got), "{be}");
+        let want_t = GemmBackend::Naive.matmul_at_b(&a, &b, 2, 2, 2);
+        let got_t = be.matmul_at_b(&a, &b, 2, 2, 2);
+        assert_eq!(bits(&want_t), bits(&got_t), "at_b {be}");
+    }
+    // Signed zero: the accumulator starts at +0.0, so (+0.0) + (-0.0·1.0)
+    // rounds to +0.0 under IEEE-754 — whereas the old zero-skip left the
+    // untouched +0.0 by a different route. Whatever the value, all
+    // backends must produce the same bits.
+    let z = GemmBackend::Naive.matmul(&[-0.0f32], &[1.0f32], 1, 1, 1);
+    assert_eq!(z[0].to_bits(), 0.0f32.to_bits());
+    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        assert_eq!(
+            be.matmul(&[-0.0f32], &[1.0f32], 1, 1, 1)[0].to_bits(),
+            z[0].to_bits()
+        );
+    }
+}
+
+/// Regression: conv-via-GEMM still matches the direct `Conv2d` loops —
+/// under every backend — to the documented tolerance (different
+/// algorithm, so only float-rounding-level agreement is guaranteed).
+#[test]
+fn conv_gemm_matches_direct_conv_under_every_backend() {
+    for (in_c, out_c, k, stride, pad, hw) in [
+        (1usize, 4usize, 3usize, 1usize, 0usize, 7usize),
+        (2, 3, 3, 2, 1, 9),
+        (3, 8, 5, 2, 0, 11),
+        (1, 1, 1, 1, 0, 5), // 1×1 kernel: im2col is a pure reshape
+    ] {
+        // The oracle: Conv2d on the Naive backend = the original loops.
+        let mut direct = Conv2d::new("c", in_c, out_c, k, stride, pad, 7);
+        direct.set_gemm_backend(GemmBackend::Naive);
+        let x = Tensor::from_vec(&[in_c, hw, hw], fill(in_c * hw * hw, 99, false));
+        let y = direct.forward(&x);
+        let grad = Tensor::from_vec(y.shape(), fill(y.len(), 7, false));
+        let gi = direct.backward(&grad);
+        let gw = direct.params()[0].grad.clone();
+        let gb = direct.params()[1].grad.clone();
+
+        for be in GemmBackend::ALL {
+            let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 7);
+            conv.set_gemm_backend(be);
+            assert_eq!(conv.gemm_backend(), Some(be));
+            let y2 = conv.forward(&x);
+            let gi2 = conv.backward(&grad);
+            let gw2 = conv.params()[0].grad.clone();
+            let gb2 = conv.params()[1].grad.clone();
+            for (tag, want, got) in [
+                ("fwd", y.data(), y2.data()),
+                ("dX", gi.data(), gi2.data()),
+                ("dW", gw.data(), gw2.data()),
+                ("db", gb.data(), gb2.data()),
+            ] {
+                for (a, b) in want.iter().zip(got) {
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "{tag} {be} k={k} s={stride} p={pad}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A whole network forward/backward agrees across backends to float
+/// tolerance, and `set_gemm_backend` reaches every conv/FC layer.
+#[test]
+fn network_forward_close_across_backends() {
+    use mramrl_nn::NetworkSpec;
+    let spec = NetworkSpec::micro(16, 1, 5);
+    let x = Tensor::from_vec(&[1, 16, 16], fill(256, 11, false));
+    let mut reference = spec.build(3);
+    reference.set_gemm_backend(GemmBackend::Naive);
+    let want = reference.forward(&x);
+    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        let mut net = spec.build(3);
+        net.set_gemm_backend(be);
+        assert_eq!(net.gemm_backend(), Some(be));
+        let got = net.forward(&x);
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 1e-4, "{be}: {a} vs {b}");
+        }
+    }
+}

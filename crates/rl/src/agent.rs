@@ -1,6 +1,6 @@
 //! The deep Q-learning agent.
 
-use mramrl_nn::{Loss, Network, NetworkSpec, Sgd, Tensor};
+use mramrl_nn::{GemmBackend, Loss, Network, NetworkSpec, Sgd, Tensor};
 
 use crate::replay::Transition;
 
@@ -91,6 +91,19 @@ impl QAgent {
     /// Mutable online network (topology application, weight loading).
     pub fn net_mut(&mut self) -> &mut Network {
         &mut self.net
+    }
+
+    /// Routes both networks' conv/FC matrix products through `backend`
+    /// (the target network's forward pass is just as hot as the online
+    /// one — every TD update evaluates it).
+    ///
+    /// Note: [`crate::Trainer::run`] re-applies its own
+    /// `TrainerConfig::backend` at the start of every run — to pick a
+    /// backend for training, set it on the config rather than (only)
+    /// here.
+    pub fn set_gemm_backend(&mut self, backend: GemmBackend) {
+        self.net.set_gemm_backend(backend);
+        self.target.set_gemm_backend(backend);
     }
 
     /// Discount factor.

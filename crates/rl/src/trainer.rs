@@ -1,7 +1,7 @@
 //! The online training loop (TL phase and deployment phase share it).
 
 use mramrl_env::{Action, DroneEnv, Image};
-use mramrl_nn::{Sgd, Tensor};
+use mramrl_nn::{GemmBackend, Sgd, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -36,6 +36,10 @@ pub struct TrainerConfig {
     pub log_every: u64,
     /// RNG seed for exploration/replay sampling.
     pub seed: u64,
+    /// GEMM backend for every network product in the run (both the online
+    /// and target nets). Defaults to [`mramrl_nn::backend::default_backend`],
+    /// i.e. the `NN_GEMM_BACKEND` env knob.
+    pub backend: GemmBackend,
 }
 
 impl TrainerConfig {
@@ -56,6 +60,7 @@ impl TrainerConfig {
             metrics_window: ((iters as usize) / 4).max(16),
             log_every: (iters / 64).max(1),
             seed,
+            backend: mramrl_nn::backend::default_backend(),
         }
     }
 
@@ -123,6 +128,7 @@ impl Trainer {
     /// images (§III-D's batched update), log Fig. 10 metrics.
     pub fn run(&self, agent: &mut QAgent, env: &mut DroneEnv) -> TrainLog {
         let cfg = &self.cfg;
+        agent.set_gemm_backend(cfg.backend);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
         let sgd = Sgd::new(cfg.lr).with_grad_clip(cfg.grad_clip);
         let mut replay = ReplayBuffer::new(cfg.replay_capacity);
