@@ -1,0 +1,141 @@
+//! Machine-readable batched-TD throughput: writes `BENCH_batch.json`.
+//!
+//! Times one replay batch of Bellman updates on the Fig. 3(a)-
+//! proportioned micro AlexNet ([`mramrl_bench::batch_td_spec`]) per
+//! (backend × batch size) cell — batched
+//! (`QAgent::accumulate_td_batch`, N ∈ {1, 8, 32}) and the serial-32
+//! baseline (32 × `accumulate_td`) — prints the table, saves the CSV,
+//! and emits `BENCH_batch.json` so future PRs have a perf trajectory to
+//! diff against. The workload fixtures are shared with the `batch_td`
+//! criterion bench (`mramrl_bench::batch_td_*`), so the JSON and the
+//! criterion numbers measure the same thing. The acceptance bar
+//! recorded in the JSON: `batched(32) ≥ 2× serial(32)` on the blocked
+//! backend.
+//!
+//! Flags: `--reps N` (timed repetitions per cell, default 10),
+//! `--backend <name>` narrows to one backend, `--tiny` swaps in the
+//! 16×16 smoke-test net (seconds instead of minutes; smoke tests pass
+//! `--tiny --reps 1`).
+
+use std::time::Instant;
+
+use mramrl_bench::{
+    arg_u64, batch_td_agent, batch_td_spec, batch_td_spec_tiny, batch_td_transitions, fmt,
+    save_bench_json, Table, BATCH_TD_SIZES,
+};
+use mramrl_nn::backend::GemmBackend;
+use mramrl_rl::{Transition, TransitionBatch};
+
+/// Times `reps` runs of `work` (after one warm-up), returning mean
+/// nanoseconds per run.
+fn time_ns(reps: u64, mut work: impl FnMut()) -> f64 {
+    work();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        work();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn main() {
+    let backend_filter = mramrl_bench::init_gemm_backend();
+    let explicit_backend = std::env::args().any(|a| a.starts_with("--backend"));
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let reps = arg_u64("reps", 10).max(1);
+    let (spec, net_name) = if tiny {
+        (batch_td_spec_tiny(), "micro16-tiny")
+    } else {
+        (batch_td_spec(), "micro40-fc-heavy")
+    };
+    let ts = batch_td_transitions(32, spec.input_shape[1]);
+
+    let backends: Vec<GemmBackend> = if explicit_backend {
+        vec![backend_filter]
+    } else {
+        GemmBackend::ALL.to_vec()
+    };
+
+    let mut table = Table::new(
+        format!("Batched TD throughput ({net_name}, Fig. 3(a)-proportioned unless --tiny)"),
+        &["backend", "mode", "batch", "ns/transition", "transitions/s"],
+    );
+    // (backend, mode, batch, ns_per_transition)
+    let mut cells: Vec<(String, String, usize, f64)> = Vec::new();
+
+    for &be in &backends {
+        for n in BATCH_TD_SIZES {
+            let refs: Vec<&Transition> = ts[..n].iter().collect();
+            let batch = TransitionBatch::from_transitions(&refs);
+            let mut a = batch_td_agent(&spec, be);
+            let ns = time_ns(reps, || {
+                let _ = a.accumulate_td_batch(&batch);
+                a.net_mut().zero_grads();
+            }) / n as f64;
+            cells.push((be.name().into(), "batched".into(), n, ns));
+        }
+        let mut a = batch_td_agent(&spec, be);
+        let ns = time_ns(reps, || {
+            for t in &ts {
+                let _ = a.accumulate_td(t);
+            }
+            a.net_mut().zero_grads();
+        }) / ts.len() as f64;
+        cells.push((be.name().into(), "serial".into(), ts.len(), ns));
+    }
+
+    for (backend, mode, n, ns) in &cells {
+        table.row_owned(vec![
+            backend.clone(),
+            mode.clone(),
+            n.to_string(),
+            fmt(*ns, 0),
+            fmt(1.0e9 / ns, 0),
+        ]);
+    }
+    table.print();
+    table.save("bench_batch");
+
+    // Speedup of batched(32) over serial(32), per backend.
+    let ns_of = |backend: &str, mode: &str| {
+        cells
+            .iter()
+            .find(|(b, m, n, _)| b == backend && m == mode && *n == 32)
+            .map(|(_, _, _, ns)| *ns)
+    };
+    let mut speedups = Vec::new();
+    for &be in &backends {
+        if let (Some(b32), Some(s32)) = (ns_of(be.name(), "batched"), ns_of(be.name(), "serial")) {
+            let s = s32 / b32;
+            println!("speedup batched(32) vs serial(32) on {be}: {s:.2}x");
+            speedups.push((be.name().to_string(), s));
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"batch_td\",\n");
+    json.push_str(&format!(
+        "  \"net\": \"{net_name}\",\n  \"reps\": {reps},\n  \"threads\": {},\n",
+        mramrl_nn::backend::thread_count()
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, (backend, mode, n, ns)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{backend}\", \"mode\": \"{mode}\", \"batch\": {n}, \
+             \"ns_per_transition\": {:.1}, \"transitions_per_sec\": {:.1}}}{}\n",
+            ns,
+            1.0e9 / ns,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_batched32_vs_serial32\": {");
+    for (i, (backend, s)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{backend}\": {s:.3}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    json.push_str("}\n}\n");
+
+    if let Some(path) = save_bench_json("BENCH_batch.json", &json) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -134,6 +134,37 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Where a machine-readable bench artifact (`BENCH_*.json`) goes: the
+/// `MRAMRL_RESULTS` dir when set (isolated runs, smoke tests), else the
+/// repository root / current directory — so committed perf trajectories
+/// like `BENCH_batch.json` live next to the code they measure.
+pub fn bench_json_path(file_name: &str) -> PathBuf {
+    std::env::var_os("MRAMRL_RESULTS")
+        .map(|d| PathBuf::from(d).join(file_name))
+        .unwrap_or_else(|| PathBuf::from(file_name))
+}
+
+/// Writes a JSON string to [`bench_json_path`] (best-effort, like
+/// [`Table::save`]); returns the path on success.
+pub fn save_bench_json(file_name: &str, json: &str) -> Option<PathBuf> {
+    let path = bench_json_path(file_name);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return None;
+            }
+        }
+    }
+    match fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// `true` if `--full` (or `MRAMRL_FULL=1`) was requested.
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
@@ -187,6 +218,77 @@ pub fn init_gemm_backend() -> mramrl_nn::GemmBackend {
     std::env::set_var("NN_GEMM_BACKEND", backend.name());
     eprintln!("gemm backend: {backend}");
     backend
+}
+
+/// The batched-TD benchmark network: the 40×40 micro-AlexNet conv trunk
+/// with its FC tail re-proportioned to the paper's Fig. 3(a) census
+/// (~97 % of weights in the FC layers — the composition whose online
+/// training the whole co-design exploits). Shared by the `batch_td`
+/// criterion bench and the `bench_batch_json` emitter so the JSON perf
+/// trajectory and the criterion numbers measure the same workload.
+pub fn batch_td_spec() -> mramrl_nn::NetworkSpec {
+    use mramrl_nn::LayerSpec;
+    let mut spec = mramrl_nn::NetworkSpec::micro(40, 1, 5);
+    let mut fc_dims = [1024usize, 512, 512, 256, 5].into_iter();
+    let mut prev = 0usize;
+    for l in spec.layers.iter_mut() {
+        if let LayerSpec::Fc { in_f, out_f, .. } = l {
+            if prev != 0 {
+                *in_f = prev;
+            }
+            *out_f = fc_dims.next().expect("five FC layers in the micro net");
+            prev = *out_f;
+        }
+    }
+    spec.validate().expect("re-proportioned spec must chain");
+    spec
+}
+
+/// Tiny stand-in for [`batch_td_spec`] (16×16 micro net): same code
+/// paths, seconds instead of minutes — what the smoke tests time.
+pub fn batch_td_spec_tiny() -> mramrl_nn::NetworkSpec {
+    mramrl_nn::NetworkSpec::micro(16, 1, 5)
+}
+
+/// The batch sizes every batch-TD measurement reports: 1 (batching
+/// overhead floor), 8, 32 (the acceptance-bar point).
+pub const BATCH_TD_SIZES: [usize; 3] = [1, 8, 32];
+
+/// Deterministic synthetic transitions for the batch-TD workload
+/// (`hw`×`hw` depth images, mixed actions/terminals). Shared by the
+/// `batch_td` criterion bench and the `bench_batch_json` emitter so
+/// both measure the identical workload.
+pub fn batch_td_transitions(n: usize, hw: usize) -> Vec<mramrl_rl::Transition> {
+    let fill = |len: usize, seed: u32| -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u32)
+                    .wrapping_mul(2_654_435_761)
+                    .wrapping_add(seed.wrapping_mul(0x9E37_79B9));
+                (h % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    };
+    (0..n)
+        .map(|i| mramrl_rl::Transition {
+            state: mramrl_nn::Tensor::from_vec(&[1, hw, hw], fill(hw * hw, i as u32)),
+            action: i % 5,
+            reward: 0.1 * (i % 7) as f32 - 0.2,
+            next_state: mramrl_nn::Tensor::from_vec(&[1, hw, hw], fill(hw * hw, (i + 1000) as u32)),
+            terminal: i % 11 == 0,
+        })
+        .collect()
+}
+
+/// A [`mramrl_rl::QAgent`] on `spec` with `backend` applied — the
+/// agent both batch-TD measurements drive.
+pub fn batch_td_agent(
+    spec: &mramrl_nn::NetworkSpec,
+    backend: mramrl_nn::GemmBackend,
+) -> mramrl_rl::QAgent {
+    let mut a = mramrl_rl::QAgent::new(spec, 42);
+    a.set_gemm_backend(backend);
+    a
 }
 
 /// Formats a float with `digits` decimals, trimming to a compact cell.

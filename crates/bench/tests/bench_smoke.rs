@@ -127,6 +127,32 @@ fn ablation_meta_richness_runs_tiny() {
 }
 
 #[test]
+fn bench_batch_json_runs_tiny() {
+    let dir = results_dir("batch_json");
+    let stdout = run(
+        env!("CARGO_BIN_EXE_bench_batch_json"),
+        &["--tiny", "--reps", "1"],
+        &dir,
+    );
+    assert!(stdout.contains('|'), "no table:\n{stdout}");
+    assert!(
+        stdout.contains("speedup batched(32) vs serial(32)"),
+        "no speedup line:\n{stdout}"
+    );
+    assert!(csv_count(&dir) > 0, "no CSV in {dir:?}");
+    let json = std::fs::read_to_string(dir.join("BENCH_batch.json"))
+        .expect("BENCH_batch.json written into MRAMRL_RESULTS");
+    for needle in [
+        "\"bench\": \"batch_td\"",
+        "\"speedup_batched32_vs_serial32\"",
+        "\"backend\": \"blocked\"",
+    ] {
+        assert!(json.contains(needle), "JSON missing {needle}:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn make_report_writes_report() {
     let dir = results_dir("report");
     run(env!("CARGO_BIN_EXE_make_report"), &[], &dir);

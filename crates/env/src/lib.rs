@@ -36,6 +36,7 @@ mod episode;
 mod geom;
 mod render;
 mod reward;
+mod vecenv;
 mod world;
 pub mod worlds;
 
@@ -45,6 +46,7 @@ pub use episode::{DroneEnv, StepResult};
 pub use geom::{Aabb, Circle, Vec2};
 pub use render::ascii_map;
 pub use reward::RewardConfig;
+pub use vecenv::VecEnv;
 pub use world::{Obstacle, World};
 pub use worlds::EnvKind;
 

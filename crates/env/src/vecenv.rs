@@ -1,0 +1,180 @@
+//! Vectorized environments: K independent drones stepped together.
+//!
+//! The batched training path (`mramrl_rl::Trainer::run_vec`) wants one
+//! observation *batch* per network pass instead of one image. [`VecEnv`]
+//! provides the environment half of that: `K` independently-seeded
+//! [`DroneEnv`]s — separate worlds, separate noise streams — stepped in
+//! lockstep. Each lane is **bit-identical** to a serial `DroneEnv`
+//! constructed with the same seed: `VecEnv` adds no coupling between
+//! lanes, it only fans calls out (the trajectory-equivalence tests pin
+//! this).
+
+use crate::drone::Action;
+use crate::episode::{DroneEnv, StepResult};
+use crate::worlds::EnvKind;
+use crate::Image;
+
+/// `K` independently-seeded [`DroneEnv`]s stepped together.
+///
+/// Lane `i` is seeded `base_seed + i` (wrapping), so a `VecEnv` of one
+/// lane reproduces `DroneEnv::new(kind, base_seed)` exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mramrl_env::{VecEnv, EnvKind, Action};
+///
+/// let mut venv = VecEnv::new(EnvKind::IndoorApartment, 7, 4);
+/// let obs = venv.reset_all();
+/// assert_eq!(obs.len(), 4);
+/// let results = venv.step(&[Action::Forward; 4]);
+/// assert_eq!(results.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecEnv {
+    envs: Vec<DroneEnv>,
+}
+
+impl VecEnv {
+    /// Builds `k` lanes of `kind`, lane `i` seeded `base_seed + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(kind: EnvKind, base_seed: u64, k: usize) -> Self {
+        assert!(k > 0, "vec env needs at least one lane");
+        Self {
+            envs: (0..k)
+                .map(|i| DroneEnv::new(kind, base_seed.wrapping_add(i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Wraps pre-built environments (mixed kinds/cameras allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty.
+    pub fn from_envs(envs: Vec<DroneEnv>) -> Self {
+        assert!(!envs.is_empty(), "vec env needs at least one lane");
+        Self { envs }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// `false` always (construction forbids zero lanes).
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Lane `i`, read-only.
+    pub fn env(&self, i: usize) -> &DroneEnv {
+        &self.envs[i]
+    }
+
+    /// All lanes, read-only.
+    pub fn envs(&self) -> &[DroneEnv] {
+        &self.envs
+    }
+
+    /// Resets every lane, returning the first observations in lane order.
+    pub fn reset_all(&mut self) -> Vec<Image> {
+        self.envs.iter_mut().map(DroneEnv::reset).collect()
+    }
+
+    /// Resets one lane (after its crash), returning its observation.
+    pub fn reset(&mut self, i: usize) -> Image {
+        self.envs[i].reset()
+    }
+
+    /// Steps every lane with its own action — a pure fan-out, no
+    /// auto-reset: lane `i`'s result is exactly
+    /// `self.env(i).step(actions[i])`, and crashed lanes wait for an
+    /// explicit [`VecEnv::reset`] (the caller records the crash
+    /// transition first, as in the serial loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len()` differs from the lane count.
+    pub fn step(&mut self, actions: &[Action]) -> Vec<StepResult> {
+        assert_eq!(actions.len(), self.envs.len(), "one action per lane");
+        self.envs
+            .iter_mut()
+            .zip(actions)
+            .map(|(env, &a)| env.step(a))
+            .collect()
+    }
+
+    /// Metres flown in lane `i`'s current episode.
+    pub fn episode_distance(&self, i: usize) -> f32 {
+        self.envs[i].episode_distance()
+    }
+
+    /// Completed episodes (crashes) summed over all lanes.
+    pub fn total_episodes(&self) -> u64 {
+        self.envs.iter().map(DroneEnv::episodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_independently_seeded() {
+        let mut venv = VecEnv::new(EnvKind::OutdoorForest, 3, 2);
+        let obs = venv.reset_all();
+        assert_ne!(
+            obs[0].data(),
+            obs[1].data(),
+            "different seeds must give different worlds"
+        );
+    }
+
+    #[test]
+    fn single_lane_matches_serial_env() {
+        let mut venv = VecEnv::new(EnvKind::IndoorApartment, 11, 1);
+        let mut env = DroneEnv::new(EnvKind::IndoorApartment, 11);
+        let vo = venv.reset_all();
+        let so = env.reset();
+        assert_eq!(vo[0], so);
+        for i in 0..20 {
+            let a = Action::from_index(i % 5);
+            let vr = venv.step(&[a]);
+            let sr = env.step(a);
+            assert_eq!(vr[0], sr);
+            if sr.crashed {
+                assert_eq!(venv.reset(0), env.reset());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per lane")]
+    fn wrong_action_count_panics() {
+        let mut venv = VecEnv::new(EnvKind::IndoorApartment, 0, 2);
+        venv.reset_all();
+        let _ = venv.step(&[Action::Forward]);
+    }
+
+    #[test]
+    fn total_episodes_counts_crashes() {
+        let mut venv = VecEnv::new(EnvKind::IndoorApartment, 5, 2);
+        venv.reset_all();
+        let mut crashes = 0;
+        for _ in 0..300 {
+            let rs = venv.step(&[Action::Forward, Action::Forward]);
+            for (i, r) in rs.iter().enumerate() {
+                if r.crashed {
+                    crashes += 1;
+                    venv.reset(i);
+                }
+            }
+        }
+        assert!(crashes > 0);
+        assert_eq!(venv.total_episodes(), crashes);
+    }
+}

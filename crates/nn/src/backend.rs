@@ -127,12 +127,27 @@ impl GemmBackend {
     ///
     /// Panics if the slice lengths do not match the dimensions.
     pub fn matmul(self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        self.matmul_into(&mut c, a, b, m, k, n);
+        c
+    }
+
+    /// [`GemmBackend::matmul`] writing into a caller-provided output
+    /// buffer — the allocation-free entry point used by the batched
+    /// workspace path. `c` is fully overwritten; the summation-order
+    /// contract (and hence cross-backend bit-identity) is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length does not match the dimensions.
+    pub fn matmul_into(self, c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
         assert_eq!(a.len(), m * k, "A dimensions");
         assert_eq!(b.len(), k * n, "B dimensions");
+        assert_eq!(c.len(), m * n, "C dimensions");
         match self {
-            GemmBackend::Naive => crate::gemm::matmul(a, b, m, k, n),
-            GemmBackend::Blocked => matmul_blocked(a, b, m, k, n),
-            GemmBackend::Threaded => matmul_threaded(a, b, m, k, n),
+            GemmBackend::Naive => crate::gemm::matmul_into(c, a, b, m, k, n),
+            GemmBackend::Blocked => matmul_blocked_into(c, a, b, m, k, n),
+            GemmBackend::Threaded => matmul_threaded_into(c, a, b, m, k, n),
         }
     }
 
@@ -143,16 +158,36 @@ impl GemmBackend {
     ///
     /// Panics if the slice lengths do not match the dimensions.
     pub fn matmul_at_b(self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; k * n];
+        self.matmul_at_b_into(&mut c, a, b, m, k, n);
+        c
+    }
+
+    /// [`GemmBackend::matmul_at_b`] writing into a caller-provided output
+    /// buffer (fully overwritten). Same summation-order contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length does not match the dimensions.
+    pub fn matmul_at_b_into(
+        self,
+        c: &mut [f32],
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
         assert_eq!(a.len(), m * k, "A dimensions");
         assert_eq!(b.len(), m * n, "B dimensions");
+        assert_eq!(c.len(), k * n, "C dimensions");
         match self {
-            GemmBackend::Naive => crate::gemm::matmul_at_b(a, b, m, k, n),
+            GemmBackend::Naive => crate::gemm::matmul_at_b_into(c, a, b, m, k, n),
             GemmBackend::Blocked => {
-                let mut c = vec![0.0f32; k * n];
-                at_b_band(&mut c, a, b, m, k, n, 0, k);
-                c
+                c.fill(0.0);
+                at_b_band(c, a, b, m, k, n, 0, k);
             }
-            GemmBackend::Threaded => matmul_at_b_threaded(a, b, m, k, n),
+            GemmBackend::Threaded => matmul_at_b_threaded_into(c, a, b, m, k, n),
         }
     }
 }
@@ -202,16 +237,15 @@ pub fn thread_count() -> usize {
     })
 }
 
-/// Blocked `A·B` over the whole output (single thread).
-fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+/// Blocked `A·B` over the whole output (single thread), into `c`.
+fn matmul_blocked_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     // Mat-vec and skinny products gain nothing from packing; the reference
     // loops have the identical summation order, so this is invisible.
     if n < 8 {
-        return crate::gemm::matmul(a, b, m, k, n);
+        crate::gemm::matmul_into(c, a, b, m, k, n);
+        return;
     }
-    let mut c = vec![0.0f32; m * n];
-    matmul_band(&mut c, a, b, m, k, n);
-    c
+    matmul_band(c, a, b, m, k, n);
 }
 
 /// Blocked `A·B` into a row band: `c` and `a` hold `rows` consecutive
@@ -229,11 +263,12 @@ fn matmul_blocked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32
 ///   once. ~12 loads feed 64 multiply-adds per `kk` step, so the kernel
 ///   is compute-bound instead of store-bound.
 ///
-/// Bitwise contract: `c` must arrive **zeroed** (callers allocate it);
-/// every output element is produced by one register accumulator that
-/// starts at `0.0` and adds contributions in ascending-`k` order — the
-/// identical float-op sequence to the naive loops, hence bit-identical
-/// results (Rust neither re-associates nor auto-fuses into FMA).
+/// Bitwise contract: every element of `c` is **assigned** (never read),
+/// each produced by one register accumulator that starts at `0.0` and
+/// adds contributions in ascending-`k` order — the identical float-op
+/// sequence to the naive loops, hence bit-identical results (Rust
+/// neither re-associates nor auto-fuses into FMA). Callers may therefore
+/// pass an uninitialised-by-value (dirty) buffer.
 fn matmul_band(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
     let mut apanel = vec![0.0f32; MR * k.max(1)];
     let mut bpanel = vec![0.0f32; NC.min(n) * k.max(1)];
@@ -298,13 +333,13 @@ fn matmul_band(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: us
 }
 
 /// Threaded `A·B`: contiguous row bands of `C` across scoped threads,
-/// each running the blocked kernel on its band.
-fn matmul_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+/// each running the blocked kernel on its band, into `c`.
+fn matmul_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     let threads = thread_count().min(m.max(1));
     if threads <= 1 || m * k * n < PAR_MIN_MACS || n < 8 {
-        return matmul_blocked(a, b, m, k, n);
+        matmul_blocked_into(c, a, b, m, k, n);
+        return;
     }
-    let mut c = vec![0.0f32; m * n];
     let band_rows = m.div_ceil(threads);
     std::thread::scope(|s| {
         for (t, cband) in c.chunks_mut(band_rows * n).enumerate() {
@@ -313,7 +348,6 @@ fn matmul_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
             s.spawn(move || matmul_band(cband, aband, b, rows, k, n));
         }
     });
-    c
 }
 
 /// Rows of `A`/`B` consumed together by one `Aᵀ·B` sweep: the output is
@@ -383,13 +417,14 @@ fn at_b_band(
 
 /// Threaded `Aᵀ·B`: the `k` output rows are split into contiguous bands
 /// across scoped threads; every thread sweeps all `m` input rows (in
-/// ascending order) over its own band.
-fn matmul_at_b_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+/// ascending order) over its own band. `c` must arrive zeroed
+/// ([`at_b_band`] accumulates).
+fn matmul_at_b_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     let threads = thread_count().min(k.max(1));
-    let mut c = vec![0.0f32; k * n];
+    c.fill(0.0);
     if threads <= 1 || m * k * n < PAR_MIN_MACS || n == 0 {
-        at_b_band(&mut c, a, b, m, k, n, 0, k);
-        return c;
+        at_b_band(c, a, b, m, k, n, 0, k);
+        return;
     }
     let band_rows = k.div_ceil(threads);
     std::thread::scope(|s| {
@@ -398,7 +433,6 @@ fn matmul_at_b_threaded(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> V
             s.spawn(move || at_b_band(cband, a, b, m, k, n, t * band_rows, kks));
         }
     });
-    c
 }
 
 #[cfg(test)]

@@ -3,20 +3,31 @@
 use rand::rngs::SmallRng;
 
 use crate::backend::GemmBackend;
+use crate::error::NnError;
 use crate::init::WeightInit;
 use crate::layer::{Layer, ParamTensor};
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
-/// A 2-D convolution layer (`[C_in, H, W] → [C_out, H', W']`).
+/// A 2-D convolution layer (`[C_in, H, W] → [C_out, H', W']`, batched
+/// `[N, C_in, H, W] → [N, C_out, H', W']`).
 ///
 /// Weights are stored `[C_out, C_in, K_h, K_w]`; square stride and
 /// symmetric zero padding, matching the AlexNet layers of the paper.
 ///
 /// With the [`GemmBackend::Naive`] backend the layer runs its original
-/// direct loops (the correctness oracle); with `Blocked`/`Threaded` it
-/// routes forward and backward through the im2col GEMM path
-/// ([`crate::gemm`]) on the selected kernel — the paper's §V-B execution
-/// model, and measurably faster. The two algorithms agree to float
+/// direct loops per sample (the correctness oracle); with
+/// `Blocked`/`Threaded` the **whole batch** routes through **one** im2col
+/// GEMM per pass — `W[out_c × taps] · cols[taps × N·positions]` forward,
+/// `G[N·positions × out_c] · W` for the input gradient — so batching
+/// multiplies the GEMM's long dimension by `N`, exactly where the
+/// register-tiled and row-band-threaded kernels win. Weight gradients
+/// reduce *across* samples, so they are computed as per-sample
+/// `Gᵢᵀ·colsᵢ` products accumulated in ascending sample order — the
+/// association the serial path uses, which is what makes batched ≡ serial
+/// bit-identical (see `docs/batching.md`).
+///
+/// The two algorithms (direct loops vs GEMM path) agree to float
 /// rounding (see the tolerance policy in [`crate::gemm`]).
 ///
 /// # Examples
@@ -40,7 +51,7 @@ pub struct Conv2d {
     weight: ParamTensor,
     bias: ParamTensor,
     backend: GemmBackend,
-    cached_input: Option<Tensor>,
+    scratch: LayerWs,
 }
 
 impl Conv2d {
@@ -98,7 +109,7 @@ impl Conv2d {
             weight,
             bias,
             backend: crate::backend::default_backend(),
-            cached_input: None,
+            scratch: LayerWs::new(),
         }
     }
 
@@ -133,35 +144,13 @@ impl Conv2d {
     pub fn geometry(&self) -> (usize, usize, usize, usize, usize) {
         (self.in_c, self.out_c, self.k, self.stride, self.pad)
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "conv expects [C,H,W]");
-        assert_eq!(input.shape()[0], self.in_c, "conv input channel mismatch");
-        if self.backend != GemmBackend::Naive {
-            let out = crate::gemm::conv2d_gemm_with(
-                self.backend,
-                input,
-                &self.weight.value,
-                &self.bias.value,
-                self.stride,
-                self.pad,
-            );
-            self.cached_input = Some(input.clone());
-            return out;
-        }
-        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+    /// One sample's direct-loop forward (the `Naive` oracle path):
+    /// `x` is `[C,H,W]` flat, `out` is `[out_c, out_h, out_w]` flat.
+    fn forward_direct_sample(&self, x: &[f32], out: &mut [f32], in_h: usize, in_w: usize) {
         let (out_h, out_w) = self.out_hw(in_h, in_w);
-        let mut out = Tensor::zeros(&[self.out_c, out_h, out_w]);
         let w = self.weight.value.data();
         let b = self.bias.value.data();
-        let x = input.data();
-
         for oc in 0..self.out_c {
             let w_oc = &w[oc * self.in_c * self.k * self.k..(oc + 1) * self.in_c * self.k * self.k];
             for oy in 0..out_h {
@@ -188,85 +177,284 @@ impl Layer for Conv2d {
                             }
                         }
                     }
-                    *out.at3_mut(oc, oy, ox) = acc;
+                    out[(oc * out_h + oy) * out_w + ox] = acc;
                 }
             }
         }
-        self.cached_input = Some(input.clone());
-        out
     }
+}
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("conv backward called before forward");
-        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
-        let (out_h, out_w) = self.out_hw(in_h, in_w);
-        assert_eq!(
-            grad_output.shape(),
-            &[self.out_c, out_h, out_w],
-            "conv grad shape mismatch"
-        );
-
-        if self.backend != GemmBackend::Naive {
-            let (gw, gb, gi) = crate::gemm::conv2d_gemm_backward_with(
-                self.backend,
-                input,
-                &self.weight.value,
-                grad_output,
-                self.stride,
-                self.pad,
-            );
-            self.weight.grad.add_assign(&gw);
-            self.bias.grad.add_assign(&gb);
-            return gi;
-        }
-
-        let mut grad_in = Tensor::zeros(&[self.in_c, in_h, in_w]);
-        let x = input.data();
-        let w = self.weight.value.data();
-        let gw = self.weight.grad.data_mut();
-        let gb = self.bias.grad.data_mut();
-        let go = grad_output.data();
-        let gi = grad_in.data_mut();
-
-        for oc in 0..self.out_c {
-            let w_base = oc * self.in_c * self.k * self.k;
-            for oy in 0..out_h {
-                for ox in 0..out_w {
-                    let g = go[(oc * out_h + oy) * out_w + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    gb[oc] += g;
-                    let base_y = (oy * self.stride) as isize - self.pad as isize;
-                    let base_x = (ox * self.stride) as isize - self.pad as isize;
-                    for ic in 0..self.in_c {
-                        let wi_base = w_base + ic * self.k * self.k;
-                        let x_base = ic * in_h * in_w;
-                        for ky in 0..self.k {
-                            let iy = base_y + ky as isize;
-                            if iy < 0 || iy >= in_h as isize {
+/// One sample's direct-loop backward (the `Naive` oracle path);
+/// accumulates into `gw`/`gb`/`gi`. A free function so the caller can
+/// hold the weight values and gradient accumulators simultaneously.
+/// `geo` is `(in_c, out_c, k, stride, pad)`.
+#[allow(clippy::too_many_arguments)]
+fn conv_backward_direct_sample(
+    geo: (usize, usize, usize, usize, usize),
+    w: &[f32],
+    x: &[f32],
+    go: &[f32],
+    gw: &mut [f32],
+    gb: &mut [f32],
+    gi: &mut [f32],
+    in_h: usize,
+    in_w: usize,
+) {
+    let (in_c, out_c, k, stride, pad) = geo;
+    let out_h = (in_h + 2 * pad - k) / stride + 1;
+    let out_w = (in_w + 2 * pad - k) / stride + 1;
+    for oc in 0..out_c {
+        let w_base = oc * in_c * k * k;
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let g = go[(oc * out_h + oy) * out_w + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[oc] += g;
+                let base_y = (oy * stride) as isize - pad as isize;
+                let base_x = (ox * stride) as isize - pad as isize;
+                for ic in 0..in_c {
+                    let wi_base = w_base + ic * k * k;
+                    let x_base = ic * in_h * in_w;
+                    for ky in 0..k {
+                        let iy = base_y + ky as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = base_x + kx as isize;
+                            if ix < 0 || ix >= in_w as isize {
                                 continue;
                             }
-                            let iy = iy as usize;
-                            for kx in 0..self.k {
-                                let ix = base_x + kx as isize;
-                                if ix < 0 || ix >= in_w as isize {
-                                    continue;
-                                }
-                                let ix = ix as usize;
-                                let xi = x_base + iy * in_w + ix;
-                                gw[wi_base + ky * self.k + kx] += g * x[xi];
-                                gi[xi] += g * w[wi_base + ky * self.k + kx];
-                            }
+                            let ix = ix as usize;
+                            let xi = x_base + iy * in_w + ix;
+                            gw[wi_base + ky * k + kx] += g * x[xi];
+                            gi[xi] += g * w[wi_base + ky * k + kx];
                         }
                     }
                 }
             }
         }
-        grad_in
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        assert_eq!(x.shape().len(), 4, "conv expects [N,C,H,W]");
+        let n = x.shape()[0];
+        assert_eq!(x.shape()[1], self.in_c, "conv input channel mismatch");
+        let (in_h, in_w) = (x.shape()[2], x.shape()[3]);
+        let (out_h, out_w) = self.out_hw(in_h, in_w);
+        let positions = out_h * out_w;
+        ws.batch = n;
+        LayerWs::reuse(&mut ws.input, x.shape())
+            .data_mut()
+            .copy_from_slice(x.data());
+
+        if self.backend == GemmBackend::Naive {
+            let out = LayerWs::reuse(&mut ws.out, &[n, self.out_c, out_h, out_w]);
+            let plane = self.out_c * positions;
+            for i in 0..n {
+                self.forward_direct_sample(
+                    x.sample(i),
+                    &mut out.data_mut()[i * plane..(i + 1) * plane],
+                    in_h,
+                    in_w,
+                );
+            }
+            return;
+        }
+
+        // GEMM path: pack the whole batch into one product,
+        //   out'[out_c × N·positions] = W[out_c × taps] · cols[taps × N·positions],
+        // with sample i's im2col columns occupying columns
+        // [i·positions, (i+1)·positions). Each output element is the same
+        // ascending-taps dot product as the serial per-image GEMM, so the
+        // fused product is bit-identical to N serial ones.
+        let taps = self.in_c * self.k * self.k;
+        let LayerWs {
+            im2col,
+            gemm_a,
+            gemm_c,
+            out,
+            ..
+        } = ws;
+        let cols = LayerWs::reuse_buf(im2col, positions * taps);
+        let big_n = n * positions;
+        let bt = LayerWs::reuse_buf(gemm_a, taps * big_n);
+        for i in 0..n {
+            crate::gemm::im2col_slice_into(
+                cols,
+                x.sample(i),
+                self.in_c,
+                in_h,
+                in_w,
+                self.k,
+                self.stride,
+                self.pad,
+            );
+            for pos in 0..positions {
+                let patch = &cols[pos * taps..(pos + 1) * taps];
+                let col = i * positions + pos;
+                for (t, &v) in patch.iter().enumerate() {
+                    bt[t * big_n + col] = v;
+                }
+            }
+        }
+        let gc = LayerWs::reuse_buf(gemm_c, self.out_c * big_n);
+        self.backend
+            .matmul_into(gc, self.weight.value.data(), bt, self.out_c, taps, big_n);
+
+        let out = LayerWs::reuse(out, &[n, self.out_c, out_h, out_w]);
+        let od = out.data_mut();
+        let b = self.bias.value.data();
+        for i in 0..n {
+            for oc in 0..self.out_c {
+                let src = &gc[oc * big_n + i * positions..oc * big_n + (i + 1) * positions];
+                let dst = &mut od
+                    [(i * self.out_c + oc) * positions..(i * self.out_c + oc + 1) * positions];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    // Bias after the full dot product — the serial order.
+                    *d = s + b[oc];
+                }
+            }
+        }
+    }
+
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        let n = ws.batch;
+        let input = ws.input.as_ref().expect("forward cached the input");
+        let (in_h, in_w) = (input.shape()[2], input.shape()[3]);
+        let (out_h, out_w) = self.out_hw(in_h, in_w);
+        let positions = out_h * out_w;
+        assert_eq!(
+            grad_output.shape(),
+            &[n, self.out_c, out_h, out_w],
+            "conv grad shape mismatch"
+        );
+
+        if self.backend == GemmBackend::Naive {
+            let grad_in = LayerWs::reuse_zeroed(&mut ws.grad_in, input.shape());
+            let in_plane = self.in_c * in_h * in_w;
+            let geo = (self.in_c, self.out_c, self.k, self.stride, self.pad);
+            for i in 0..n {
+                conv_backward_direct_sample(
+                    geo,
+                    self.weight.value.data(),
+                    input.sample(i),
+                    grad_output.sample(i),
+                    self.weight.grad.data_mut(),
+                    self.bias.grad.data_mut(),
+                    &mut grad_in.data_mut()[i * in_plane..(i + 1) * in_plane],
+                    in_h,
+                    in_w,
+                );
+            }
+            return Ok(());
+        }
+
+        // GEMM path (§V-B). Per-sample, ascending sample order:
+        //   dWᵢ = Gᵢᵀ[out_c × positions] · colsᵢ[positions × taps]
+        //   dbᵢ[oc] = Σ_pos Gᵢ  (ascending positions)
+        // accumulated into the parameter buffers sample by sample — the
+        // serial association, so bit-identical from zeroed accumulators.
+        // The input gradient has no cross-sample reduction, so it runs as
+        // ONE fused GEMM over the whole batch:
+        //   dcols[N·positions × taps] = G[N·positions × out_c] · W
+        // followed by a per-sample col2im scatter.
+        let taps = self.in_c * self.k * self.k;
+        let big_n = n * positions;
+        let go = grad_output.data();
+        let LayerWs {
+            input: ws_input,
+            grad_in,
+            im2col,
+            gemm_a,
+            gemm_c,
+            acc,
+            ..
+        } = ws;
+        let input = ws_input.as_ref().expect("checked above");
+        let cols = LayerWs::reuse_buf(im2col, positions * taps);
+        let gbig = LayerWs::reuse_buf(gemm_a, big_n * self.out_c);
+        let dw = LayerWs::reuse_buf(acc, self.out_c * taps);
+        for i in 0..n {
+            crate::gemm::im2col_slice_into(
+                cols,
+                input.sample(i),
+                self.in_c,
+                in_h,
+                in_w,
+                self.k,
+                self.stride,
+                self.pad,
+            );
+            // Sample i's grad as a [positions × out_c] block of G.
+            let gi_block = &mut gbig[i * positions * self.out_c..(i + 1) * positions * self.out_c];
+            let go_i = &go[i * self.out_c * positions..(i + 1) * self.out_c * positions];
+            for oc in 0..self.out_c {
+                for pos in 0..positions {
+                    gi_block[pos * self.out_c + oc] = go_i[oc * positions + pos];
+                }
+            }
+            // dWᵢ, fully reduced per sample, then accumulated — the
+            // serial op sequence exactly.
+            self.backend
+                .matmul_at_b_into(dw, gi_block, cols, positions, self.out_c, taps);
+            for (a, &v) in self.weight.grad.data_mut().iter_mut().zip(dw.iter()) {
+                *a += v;
+            }
+            // dbᵢ: ascending positions, fully reduced, then accumulated.
+            let gb = self.bias.grad.data_mut();
+            for (oc, acc_b) in gb.iter_mut().enumerate() {
+                let mut s = 0.0f32;
+                for pos in 0..positions {
+                    s += go_i[oc * positions + pos];
+                }
+                *acc_b += s;
+            }
+        }
+
+        // dX: one fused GEMM for the whole batch, then per-sample col2im.
+        let dcols = LayerWs::reuse_buf(gemm_c, big_n * taps);
+        self.backend.matmul_into(
+            dcols,
+            gbig,
+            self.weight.value.data(),
+            big_n,
+            self.out_c,
+            taps,
+        );
+        let grad_in = LayerWs::reuse_zeroed(grad_in, input.shape());
+        let in_plane = self.in_c * in_h * in_w;
+        for i in 0..n {
+            crate::gemm::col2im_slice_accumulate(
+                &mut grad_in.data_mut()[i * in_plane..(i + 1) * in_plane],
+                &dcols[i * positions * taps..(i + 1) * positions * taps],
+                self.in_c,
+                in_h,
+                in_w,
+                self.k,
+                self.stride,
+                self.pad,
+            );
+        }
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn params(&self) -> Vec<&ParamTensor> {
@@ -358,6 +546,14 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, 3);
         let _ = conv.backward(&Tensor::zeros(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error_in_batch_api() {
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 0, 3);
+        let mut ws = LayerWs::new();
+        let err = conv.backward_batch(&Tensor::zeros(&[1, 1, 1, 1]), &mut ws);
+        assert!(matches!(err, Err(NnError::BackwardBeforeForward { .. })));
     }
 
     /// Central-difference gradient check: the definitive correctness test

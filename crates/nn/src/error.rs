@@ -20,6 +20,13 @@ pub enum NnError {
         /// What went wrong.
         reason: String,
     },
+    /// `backward_batch` was called with no matching `forward_batch` state
+    /// in the workspace (the ordering violation that used to be a bare
+    /// `Option::unwrap` panic inside the layers).
+    BackwardBeforeForward {
+        /// The offending layer's name.
+        layer: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -28,6 +35,9 @@ impl fmt::Display for NnError {
             NnError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             NnError::UnknownLayer { name } => write!(f, "unknown layer `{name}`"),
             NnError::WeightFormat { reason } => write!(f, "bad weight data: {reason}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "layer `{layer}`: backward called before forward")
+            }
         }
     }
 }
@@ -53,5 +63,10 @@ mod tests {
         }
         .to_string()
         .contains("shape"));
+        assert!(NnError::BackwardBeforeForward {
+            layer: "pool1".into()
+        }
+        .to_string()
+        .contains("backward called before forward"));
     }
 }

@@ -3,21 +3,29 @@
 use rand::rngs::SmallRng;
 
 use crate::backend::GemmBackend;
+use crate::error::NnError;
 use crate::init::WeightInit;
 use crate::layer::{Layer, ParamTensor};
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
 /// A fully-connected layer `y = W·x + b` with weights `[out, in]`.
 ///
-/// The matrix-vector products (`W·x` forward, `Wᵀ·g` and the outer
-/// product `g·xᵀ` backward) run on the layer's [`GemmBackend`], so the
-/// FC tail — the only part trained online in the paper's L2/L3/L4
-/// topologies — shares the blocked/threaded kernels with the conv path.
-/// All backends are bit-identical here (summation-order contract, see
-/// [`crate::backend`]).
+/// The batched forward runs **one** GEMM per layer: `Yᵀ[out×N] =
+/// W[out×in] · Xᵀ[in×N]` on the layer's [`GemmBackend`] — the batch
+/// multiplies the GEMM's column dimension, which is exactly where the
+/// blocked/threaded kernels win (a serial mat-vec gives them nothing to
+/// tile). The batched backward likewise folds the whole batch into one
+/// `dW = Gᵀ·X` product and one `dX = G·W` product.
+///
+/// Bit-identity: every output element and every `dW`/`db` element is
+/// reduced in the same ascending order as the serial single-image pass
+/// (per-sample contraction first, samples in ascending order), so a
+/// batched pass from zeroed accumulators is bit-identical to `N` serial
+/// passes on every backend.
 ///
 /// Note one deliberate rounding change versus the pre-backend seed
-/// implementation: the bias is now added **after** the full dot product
+/// implementation: the bias is added **after** the full dot product
 /// (it used to seed the accumulator), so even the `Naive` backend does
 /// not bit-reproduce pre-backend training curves — it reproduces the
 /// shared cross-backend order instead.
@@ -40,7 +48,7 @@ pub struct Linear {
     weight: ParamTensor,
     bias: ParamTensor,
     backend: GemmBackend,
-    cached_input: Option<Tensor>,
+    scratch: LayerWs,
 }
 
 impl Linear {
@@ -71,7 +79,7 @@ impl Linear {
             weight,
             bias,
             backend: crate::backend::default_backend(),
-            cached_input: None,
+            scratch: LayerWs::new(),
         }
     }
 
@@ -101,46 +109,91 @@ impl Layer for Linear {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.len(), self.in_f, "linear input length mismatch");
-        // y = W[out×in] · x[in×1], then the bias added element-wise.
-        let mut y = self.backend.matmul(
-            self.weight.value.data(),
-            input.data(),
-            self.out_f,
-            self.in_f,
-            1,
-        );
-        for (yj, &bj) in y.iter_mut().zip(self.bias.value.data()) {
-            *yj += bj;
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        let n = x.shape()[0];
+        assert_eq!(x.len(), n * self.in_f, "linear input length mismatch");
+        ws.batch = n;
+        LayerWs::reuse(&mut ws.input, &[n, self.in_f])
+            .data_mut()
+            .copy_from_slice(x.data());
+
+        // Xᵀ[in × n] so the product is one plain row-major GEMM:
+        // Yᵀ[out × n] = W[out × in] · Xᵀ. Per output element this is the
+        // identical ascending-`in` dot product as the serial mat-vec.
+        let xt = LayerWs::reuse_buf(&mut ws.gemm_a, self.in_f * n);
+        let xd = x.data();
+        for i in 0..n {
+            for (j, &v) in xd[i * self.in_f..(i + 1) * self.in_f].iter().enumerate() {
+                xt[j * n + i] = v;
+            }
         }
-        self.cached_input = Some(input.clone());
-        Tensor::from_vec(&[self.out_f], y)
+        let yt = LayerWs::reuse_buf(&mut ws.gemm_c, self.out_f * n);
+        self.backend
+            .matmul_into(yt, self.weight.value.data(), xt, self.out_f, self.in_f, n);
+
+        let out = LayerWs::reuse(&mut ws.out, &[n, self.out_f]);
+        let od = out.data_mut();
+        let b = self.bias.value.data();
+        for i in 0..n {
+            for oc in 0..self.out_f {
+                // Bias added after the full dot product, as in the serial
+                // path — same float-op sequence, same bits.
+                od[i * self.out_f + oc] = ws.gemm_c[oc * n + i] + b[oc];
+            }
+        }
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("linear backward called before forward");
-        assert_eq!(grad_output.len(), self.out_f, "linear grad length mismatch");
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        let n = ws.batch;
+        assert_eq!(
+            grad_output.len(),
+            n * self.out_f,
+            "linear grad length mismatch"
+        );
+        let input = ws.input.as_ref().expect("forward cached the input");
         let go = grad_output.data();
 
-        // dW = g[out×1] · xᵀ[1×in] (outer product), dx = Wᵀ[in×out] · g.
-        let dw = self
-            .backend
-            .matmul(go, input.data(), self.out_f, 1, self.in_f);
-        let dx = self
-            .backend
-            .matmul_at_b(self.weight.value.data(), go, self.out_f, self.in_f, 1);
-
-        for (acc, &v) in self.weight.grad.data_mut().iter_mut().zip(&dw) {
+        // dW[out × in] = Gᵀ[out × N] · X[N × in]: ascending-sample
+        // contraction — the exact order the serial per-sample outer
+        // products accumulate in (each per-sample term is a single
+        // product, so the fused GEMM is bit-identical).
+        let dw = LayerWs::reuse_buf(&mut ws.acc, self.out_f * self.in_f);
+        self.backend
+            .matmul_at_b_into(dw, go, input.data(), n, self.out_f, self.in_f);
+        for (acc, &v) in self.weight.grad.data_mut().iter_mut().zip(&ws.acc) {
             *acc += v;
         }
-        for (acc, &g) in self.bias.grad.data_mut().iter_mut().zip(go) {
-            *acc += g;
+
+        // db[oc] += Σ_i g[i, oc], samples in ascending order — the serial
+        // accumulation sequence exactly.
+        let gb = self.bias.grad.data_mut();
+        for i in 0..n {
+            for (acc, &g) in gb.iter_mut().zip(&go[i * self.out_f..(i + 1) * self.out_f]) {
+                *acc += g;
+            }
         }
-        Tensor::from_vec(&[self.in_f], dx)
+
+        // dX[N × in] = G[N × out] · W[out × in]: per-sample rows, each the
+        // serial ascending-`out` reduction.
+        let grad_in = LayerWs::reuse(&mut ws.grad_in, &[n, self.in_f]);
+        self.backend.matmul_into(
+            grad_in.data_mut(),
+            go,
+            self.weight.value.data(),
+            n,
+            self.out_f,
+            self.in_f,
+        );
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn params(&self) -> Vec<&ParamTensor> {
@@ -178,12 +231,33 @@ mod tests {
     }
 
     #[test]
+    fn batched_known_product() {
+        let mut fc = Linear::new("f", 2, 2, 0);
+        fc.weight.value = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        fc.bias.value = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, 1.0, 2.0, 0.0]);
+        let mut ws = LayerWs::new();
+        fc.forward_batch(&x, &mut ws);
+        let out = ws.out.as_ref().unwrap();
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.data(), &[3.5, 6.5, 2.5, 5.5]);
+    }
+
+    #[test]
     fn backward_shapes_and_bias_grad() {
         let mut fc = Linear::new("f", 3, 2, 1);
         let _ = fc.forward(&Tensor::filled(&[3], 1.0));
         let gi = fc.backward(&Tensor::from_vec(&[2], vec![1.0, -1.0]));
         assert_eq!(gi.shape(), &[3]);
         assert_eq!(fc.bias.grad.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut fc = Linear::new("f", 3, 2, 1);
+        let mut ws = LayerWs::new();
+        let err = fc.backward_batch(&Tensor::zeros(&[1, 2]), &mut ws);
+        assert!(matches!(err, Err(NnError::BackwardBeforeForward { .. })));
     }
 
     #[test]

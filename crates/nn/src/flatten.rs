@@ -1,9 +1,14 @@
-//! Flatten layer (`[C,H,W] → [C·H·W]`).
+//! Flatten layer (`[C,H,W] → [C·H·W]`, batched `[N,C,H,W] → [N, C·H·W]`).
 
+use crate::error::NnError;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
 /// Flattens the conv feature map into the FC input vector.
+///
+/// Stateless: the input shape needed to un-flatten the gradient lives in
+/// the caller's [`LayerWs`]. The batch axis is preserved.
 ///
 /// # Examples
 ///
@@ -14,10 +19,10 @@ use crate::tensor::Tensor;
 /// let y = f.forward(&Tensor::zeros(&[256, 6, 6]));
 /// assert_eq!(y.shape(), &[9216]); // the paper's FC1 input width
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Flatten {
     name: String,
-    in_shape: Option<Vec<usize>>,
+    scratch: LayerWs,
 }
 
 impl Flatten {
@@ -25,7 +30,7 @@ impl Flatten {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            in_shape: None,
+            scratch: LayerWs::new(),
         }
     }
 }
@@ -35,17 +40,31 @@ impl Layer for Flatten {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.in_shape = Some(input.shape().to_vec());
-        input.clone().reshaped(&[input.len()])
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        let n = x.shape()[0];
+        ws.batch = n;
+        ws.in_shape.clear();
+        ws.in_shape.extend_from_slice(x.shape());
+        let features = x.len() / n;
+        let out = LayerWs::reuse(&mut ws.out, &[n, features]);
+        out.data_mut().copy_from_slice(x.data());
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .in_shape
-            .as_ref()
-            .expect("flatten backward before forward");
-        grad_output.clone().reshaped(shape)
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        let volume: usize = ws.in_shape.iter().product();
+        assert_eq!(grad_output.len(), volume, "flatten grad length mismatch");
+        let grad_in = LayerWs::reuse(&mut ws.grad_in, &ws.in_shape);
+        grad_in.data_mut().copy_from_slice(grad_output.data());
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -66,6 +85,15 @@ mod tests {
         let g = f.backward(&y);
         assert_eq!(g.shape(), &[2, 1, 2]);
         assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn batched_keeps_batch_axis() {
+        let f = Flatten::new("f");
+        let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let mut ws = LayerWs::new();
+        f.forward_batch(&x, &mut ws);
+        assert_eq!(ws.out.as_ref().unwrap().shape(), &[2, 4]);
     }
 
     #[test]

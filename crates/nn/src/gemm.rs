@@ -45,9 +45,23 @@ use crate::tensor::Tensor;
 ///
 /// Panics if the slice lengths do not match the dimensions.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_into(&mut c, a, b, m, k, n);
+    c
+}
+
+/// [`matmul`] writing into a caller-provided output (the allocation-free
+/// entry point the batched workspace path uses). `c` is fully
+/// overwritten.
+///
+/// # Panics
+///
+/// Panics if any slice length does not match the dimensions.
+pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A dimensions");
     assert_eq!(b.len(), k * n, "B dimensions");
-    let mut c = vec![0.0f32; m * n];
+    assert_eq!(c.len(), m * n, "C dimensions");
+    c.fill(0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -58,7 +72,6 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
-    c
 }
 
 /// `A[m×k]ᵀ · B[m×n] → C[k×n]` without materialising the transpose —
@@ -72,9 +85,22 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 ///
 /// Panics if the slice lengths do not match the dimensions.
 pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; k * n];
+    matmul_at_b_into(&mut c, a, b, m, k, n);
+    c
+}
+
+/// [`matmul_at_b`] writing into a caller-provided output. `c` is fully
+/// overwritten.
+///
+/// # Panics
+///
+/// Panics if any slice length does not match the dimensions.
+pub fn matmul_at_b_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A dimensions");
     assert_eq!(b.len(), m * n, "B dimensions");
-    let mut c = vec![0.0f32; k * n];
+    assert_eq!(c.len(), k * n, "C dimensions");
+    c.fill(0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let b_row = &b[i * n..(i + 1) * n];
@@ -85,7 +111,6 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
             }
         }
     }
-    c
 }
 
 /// Expands a `[C,H,W]` input into the im2col matrix of shape
@@ -104,7 +129,36 @@ pub fn im2col(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Vec<f32>,
     let rows = out_h * out_w;
     let cols = c * k * k;
     let mut m = vec![0.0f32; rows * cols];
-    let x = input.data();
+    im2col_slice_into(&mut m, input.data(), c, h, w, k, stride, pad);
+    (m, rows, cols)
+}
+
+/// [`im2col`] from a raw `[C,H,W]` slice into a caller-provided
+/// `[out_h·out_w, C·k·k]` matrix (fully overwritten; padding taps become
+/// zeros). The allocation-free per-sample kernel under the batched conv
+/// path.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_slice_into(
+    m: &mut [f32],
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) {
+    assert_eq!(x.len(), c * h * w, "input size mismatch");
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "filter exceeds input");
+    let out_h = (h + 2 * pad - k) / stride + 1;
+    let out_w = (w + 2 * pad - k) / stride + 1;
+    let cols = c * k * k;
+    assert_eq!(m.len(), out_h * out_w * cols, "im2col size mismatch");
+    m.fill(0.0);
     for oy in 0..out_h {
         for ox in 0..out_w {
             let row = oy * out_w + ox;
@@ -126,7 +180,6 @@ pub fn im2col(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Vec<f32>,
             }
         }
     }
-    (m, rows, cols)
 }
 
 /// The adjoint of [`im2col`]: scatters a `[out_h·out_w, C·k·k]` matrix
@@ -145,12 +198,35 @@ pub fn col2im(
     stride: usize,
     pad: usize,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&[c, h, w]);
+    col2im_slice_accumulate(out.data_mut(), m, c, h, w, k, stride, pad);
+    out
+}
+
+/// The adjoint scatter of [`col2im`] **accumulating** into a
+/// caller-provided `[C,H,W]` slice (callers zero it at the batch
+/// boundary). The allocation-free per-sample kernel under the batched
+/// conv backward path.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_slice_accumulate(
+    o: &mut [f32],
+    m: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) {
     let out_h = (h + 2 * pad - k) / stride + 1;
     let out_w = (w + 2 * pad - k) / stride + 1;
     let cols = c * k * k;
     assert_eq!(m.len(), out_h * out_w * cols, "col2im size mismatch");
-    let mut out = Tensor::zeros(&[c, h, w]);
-    let o = out.data_mut();
+    assert_eq!(o.len(), c * h * w, "col2im output size mismatch");
     for oy in 0..out_h {
         for ox in 0..out_w {
             let row = oy * out_w + ox;
@@ -172,7 +248,6 @@ pub fn col2im(
             }
         }
     }
-    out
 }
 
 /// Convolution forward through GEMM: `out[oc, pos] = W[oc, taps] ·

@@ -1,7 +1,9 @@
 //! The layer abstraction.
 
 use crate::backend::GemmBackend;
+use crate::error::NnError;
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
 /// A learnable parameter with its gradient accumulator and (lazily
 /// allocated) momentum state.
@@ -46,29 +48,104 @@ impl ParamTensor {
     }
 }
 
-/// A differentiable network layer.
+/// A differentiable network layer with a **batch-first** contract.
 ///
-/// The contract mirrors single-image training on the platform:
+/// The primary interface is batched and stateless:
 ///
-/// * [`Layer::forward`] caches whatever the backward pass needs;
-/// * [`Layer::backward`] consumes the gradient w.r.t. the layer output,
-///   **adds** parameter gradients into the accumulators, and returns the
-///   gradient w.r.t. the layer input;
-/// * `backward` must be called after a matching `forward`.
+/// * [`Layer::forward_batch`] consumes a `[N, ...]` input and writes the
+///   activation — plus everything its backward pass will need — into a
+///   caller-owned [`LayerWs`] slot. The layer itself stores nothing
+///   (`&self`), so one layer can serve many concurrent workspaces.
+/// * [`Layer::backward_batch`] consumes the gradient w.r.t. the batched
+///   output, **adds** parameter gradient *sums over the batch* into the
+///   accumulators (the paper's §III-D semantics), and writes the
+///   gradient w.r.t. the input into the slot. Calling it without a
+///   matching `forward_batch` is reported as
+///   [`NnError::BackwardBeforeForward`] instead of a panic.
+///
+/// The legacy single-image [`Layer::forward`]/[`Layer::backward`] survive
+/// as default-implemented batch-of-1 wrappers over a layer-owned scratch
+/// slot ([`Layer::scratch_mut`]) — the figure binaries and the systolic
+/// cycle-model cross-checks keep their `[C,H,W]`-in/`[C,H,W]`-out shape
+/// conventions and panicking contract.
+///
+/// **Bit-identity contract:** with gradient accumulators starting from
+/// zero (the batch boundary), a single `forward_batch`/`backward_batch`
+/// over `N` samples produces bit-for-bit the same activations and
+/// accumulated gradients as `N` serial single-image passes, on every
+/// [`GemmBackend`]. Implementations guarantee this by reducing each
+/// output element — and each *per-sample* gradient contribution — in the
+/// same ascending contraction order as the serial path, and by adding
+/// per-sample contributions in ascending sample order (see
+/// `docs/batching.md`).
 pub trait Layer: Send {
     /// Stable layer name (`"CONV1"`, `"FC3"`, …).
     fn name(&self) -> &str;
 
-    /// Computes the layer output, caching activations for backward.
-    fn forward(&mut self, input: &Tensor) -> Tensor;
-
-    /// Back-propagates `grad_output`, accumulating parameter gradients.
+    /// Batched forward: `x` is `[N, ...]`; writes the activation to
+    /// `ws.out` and caches backward state in `ws`.
     ///
     /// # Panics
     ///
-    /// Implementations panic if called before `forward` or with a gradient
-    /// whose shape does not match the cached output.
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+    /// Implementations panic on input-shape mismatches (programming
+    /// errors, same policy as the legacy contract).
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs);
+
+    /// Batched backward: reads the state `forward_batch` left in `ws`,
+    /// accumulates parameter gradients, writes the input gradient to
+    /// `ws.grad_in`.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BackwardBeforeForward`] if `ws` holds no matching
+    /// forward state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the gradient shape does not match the
+    /// cached output shape.
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError>;
+
+    /// The layer-owned batch-of-1 scratch slot backing the legacy
+    /// [`Layer::forward`]/[`Layer::backward`] wrappers.
+    fn scratch_mut(&mut self) -> &mut LayerWs;
+
+    /// Single-image forward (`[C,H,W]`/`[F]` in and out): a batch-of-1
+    /// wrapper over [`Layer::forward_batch`].
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let x = input.clone().unsqueezed0();
+        let mut ws = core::mem::take(self.scratch_mut());
+        self.forward_batch(&x, &mut ws);
+        let out = ws
+            .out
+            .clone()
+            .expect("forward_batch must write ws.out")
+            .squeezed0();
+        *self.scratch_mut() = ws;
+        out
+    }
+
+    /// Single-image backward: a batch-of-1 wrapper over
+    /// [`Layer::backward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` (with the underlying
+    /// [`NnError::BackwardBeforeForward`] message) or on a gradient shape
+    /// mismatch.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let g = grad_output.clone().unsqueezed0();
+        let mut ws = core::mem::take(self.scratch_mut());
+        let result = self.backward_batch(&g, &mut ws);
+        let grad_in = ws.grad_in.clone();
+        *self.scratch_mut() = ws;
+        match result {
+            Ok(()) => grad_in
+                .expect("backward_batch must write ws.grad_in")
+                .squeezed0(),
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// Learnable parameters (empty for ReLU/pool layers).
     fn params(&self) -> Vec<&ParamTensor> {

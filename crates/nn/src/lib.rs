@@ -23,10 +23,15 @@
 //!   platform's Q8.8 datapath with wide MAC accumulation;
 //! * weight (de)serialisation for the transfer-learning hand-off.
 //!
-//! The paper trains with **batch-size-N gradient accumulation over serial
-//! single-image passes** (§V: "we use our system to serially process one
-//! image at a time"); the API mirrors that: `forward` / `backward` operate
-//! on single images and gradients accumulate until [`Network::apply_sgd`].
+//! The paper trains with **batch-size-N gradient accumulation** (§III-D);
+//! the primary API is batch-first: [`Network::forward_batch`] /
+//! [`Network::backward_batch`] process `[N, ...]` tensors against a
+//! caller-owned, reusable [`Workspace`] and are **bit-identical** to `N`
+//! serial single-image passes on every GEMM backend (see
+//! `docs/batching.md`). The single-image `forward` / `backward` survive
+//! as batch-of-1 wrappers (§V: the platform "serially process\[es\] one
+//! image at a time"); gradients accumulate until [`Network::apply_sgd`]
+//! either way.
 //!
 //! # Examples
 //!
@@ -63,6 +68,7 @@ mod sgd;
 pub mod spec;
 mod tensor;
 mod topology;
+pub mod workspace;
 
 pub use backend::GemmBackend;
 pub use conv::Conv2d;
@@ -78,8 +84,9 @@ pub use pool::MaxPool2d;
 pub use relu::Relu;
 pub use sgd::Sgd;
 pub use spec::{LayerSpec, NetworkSpec};
-pub use tensor::Tensor;
+pub use tensor::{argmax, Tensor};
 pub use topology::Topology;
+pub use workspace::{LayerWs, Workspace};
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,9 @@
 //! Local response normalisation (the AlexNet "norm" layer).
 
+use crate::error::NnError;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
 /// Cross-channel local response normalisation:
 ///
@@ -9,6 +11,12 @@ use crate::tensor::Tensor;
 ///
 /// with AlexNet's constants (n = 5, α = 1e−4, β = 0.75, k = 2) by default.
 /// The paper's Fig. 3(a) places "norm" after CONV1 and CONV2.
+///
+/// Stateless: the cached input and denominators for backward live in the
+/// caller's [`LayerWs`]. Samples are independent, so the batched pass is
+/// the serial passes back to back, bit for bit. Backward without a
+/// forward is reported as [`NnError::BackwardBeforeForward`] — the bare
+/// `Option::unwrap` panic of the pre-workspace implementation is gone.
 ///
 /// # Examples
 ///
@@ -27,8 +35,7 @@ pub struct Lrn {
     alpha: f32,
     beta: f32,
     k: f32,
-    cached_input: Option<Tensor>,
-    cached_denom: Option<Tensor>,
+    scratch: LayerWs,
 }
 
 impl Lrn {
@@ -45,8 +52,7 @@ impl Lrn {
             alpha,
             beta,
             k,
-            cached_input: None,
-            cached_denom: None,
+            scratch: LayerWs::new(),
         }
     }
 
@@ -61,6 +67,78 @@ impl Lrn {
         let hi = (c + half).min(channels - 1);
         (lo, hi)
     }
+
+    /// One sample's forward: writes `out` and `denom` (slices of the
+    /// batched buffers), identical math to the pre-batch implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_sample(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        denom: &mut [f32],
+        c: usize,
+        h: usize,
+        w: usize,
+    ) {
+        let scale = self.alpha / self.n as f32;
+        for y in 0..h {
+            for xx in 0..w {
+                for ci in 0..c {
+                    let (lo, hi) = self.window(ci, c);
+                    let mut ssq = 0.0;
+                    for cj in lo..=hi {
+                        let v = x[(cj * h + y) * w + xx];
+                        ssq += v * v;
+                    }
+                    let d = self.k + scale * ssq;
+                    let idx = (ci * h + y) * w + xx;
+                    denom[idx] = d;
+                    out[idx] = x[idx] / d.powf(self.beta);
+                }
+            }
+        }
+    }
+
+    /// One sample's backward: direct term plus cross terms from every
+    /// output whose window contains the input channel.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_sample(
+        &self,
+        x: &[f32],
+        denom: &[f32],
+        go: &[f32],
+        gi: &mut [f32],
+        c: usize,
+        h: usize,
+        w: usize,
+    ) {
+        let scale = self.alpha / self.n as f32;
+        for y in 0..h {
+            for xx in 0..w {
+                for ci in 0..c {
+                    let at = |cc: usize| (cc * h + y) * w + xx;
+                    // Direct term.
+                    let d_ci = denom[at(ci)];
+                    let mut g = go[at(ci)] / d_ci.powf(self.beta);
+                    // Cross terms: every output j whose window contains ci.
+                    let (lo, hi) = self.window(ci, c);
+                    for cj in lo..=hi {
+                        let d_cj = denom[at(cj)];
+                        let a_cj = x[at(cj)];
+                        let go_cj = go[at(cj)];
+                        g -= go_cj
+                            * 2.0
+                            * scale
+                            * self.beta
+                            * a_cj
+                            * x[at(ci)]
+                            * d_cj.powf(-self.beta - 1.0);
+                    }
+                    gi[at(ci)] = g;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Lrn {
@@ -68,73 +146,67 @@ impl Layer for Lrn {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "lrn expects [C,H,W]");
-        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let mut out = Tensor::zeros(input.shape());
-        let mut denom = Tensor::zeros(input.shape());
-        let scale = self.alpha / self.n as f32;
-
-        for y in 0..h {
-            for x in 0..w {
-                for ci in 0..c {
-                    let (lo, hi) = self.window(ci, c);
-                    let mut ssq = 0.0;
-                    for cj in lo..=hi {
-                        let v = input.at3(cj, y, x);
-                        ssq += v * v;
-                    }
-                    let d = self.k + scale * ssq;
-                    *denom.at3_mut(ci, y, x) = d;
-                    *out.at3_mut(ci, y, x) = input.at3(ci, y, x) / d.powf(self.beta);
-                }
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        assert_eq!(x.shape().len(), 4, "lrn expects [N,C,H,W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        ws.batch = n;
+        LayerWs::reuse(&mut ws.input, x.shape()).copy_from(x);
+        let plane = c * h * w;
+        {
+            // Split the two output borrows across disjoint fields.
+            let LayerWs { out, denom, .. } = ws;
+            let out = LayerWs::reuse(out, x.shape());
+            let denom = LayerWs::reuse(denom, x.shape());
+            for i in 0..n {
+                self.forward_sample(
+                    x.sample(i),
+                    &mut out.data_mut()[i * plane..(i + 1) * plane],
+                    &mut denom.data_mut()[i * plane..(i + 1) * plane],
+                    c,
+                    h,
+                    w,
+                );
             }
         }
-        self.cached_input = Some(input.clone());
-        self.cached_denom = Some(denom);
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("lrn backward before forward");
-        let denom = self.cached_denom.as_ref().unwrap();
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        let input = ws.input.as_ref().expect("forward cached the input");
         assert_eq!(
             grad_output.shape(),
             input.shape(),
             "lrn grad shape mismatch"
         );
-        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let scale = self.alpha / self.n as f32;
-        let mut grad_in = Tensor::zeros(input.shape());
-
-        for y in 0..h {
-            for x in 0..w {
-                for ci in 0..c {
-                    // Direct term.
-                    let d_ci = denom.at3(ci, y, x);
-                    let mut g = grad_output.at3(ci, y, x) / d_ci.powf(self.beta);
-                    // Cross terms: every output j whose window contains ci.
-                    let (lo, hi) = self.window(ci, c);
-                    for cj in lo..=hi {
-                        let d_cj = denom.at3(cj, y, x);
-                        let a_cj = input.at3(cj, y, x);
-                        let go_cj = grad_output.at3(cj, y, x);
-                        g -= go_cj
-                            * 2.0
-                            * scale
-                            * self.beta
-                            * a_cj
-                            * input.at3(ci, y, x)
-                            * d_cj.powf(-self.beta - 1.0);
-                    }
-                    *grad_in.at3_mut(ci, y, x) = g;
-                }
-            }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = c * h * w;
+        let denom = ws.denom.as_ref().expect("forward cached the denominators");
+        let grad_in = LayerWs::reuse(&mut ws.grad_in, input.shape());
+        for i in 0..n {
+            self.backward_sample(
+                input.sample(i),
+                denom.sample(i),
+                grad_output.sample(i),
+                &mut grad_in.data_mut()[i * plane..(i + 1) * plane],
+                c,
+                h,
+                w,
+            );
         }
-        grad_in
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -175,6 +247,14 @@ mod tests {
         assert_eq!(lrn.window(0, 8), (0, 2));
         assert_eq!(lrn.window(7, 8), (5, 7));
         assert_eq!(lrn.window(4, 8), (2, 6));
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut lrn = Lrn::alexnet("n");
+        let mut ws = LayerWs::new();
+        let err = lrn.backward_batch(&Tensor::zeros(&[1, 2, 2, 2]), &mut ws);
+        assert!(matches!(err, Err(NnError::BackwardBeforeForward { .. })));
     }
 
     #[test]

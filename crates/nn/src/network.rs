@@ -5,6 +5,7 @@ use crate::error::NnError;
 use crate::layer::Layer;
 use crate::sgd::Sgd;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A feed-forward stack of layers with per-layer freezing.
 ///
@@ -179,13 +180,86 @@ impl Network {
         self.layers.iter().find_map(|l| l.gemm_backend())
     }
 
-    /// Forward pass through every layer.
+    /// A [`Workspace`] sized for this network (one slot per layer).
+    pub fn workspace(&self) -> Workspace {
+        Workspace::with_layers(self.layers.len())
+    }
+
+    /// Forward pass through every layer (single image).
+    ///
+    /// A batch-of-1 convenience over the batched path, using each
+    /// layer's own scratch slot — the figure binaries and systolic
+    /// cross-checks keep their `[C,H,W]` conventions.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Batched forward pass: `x` is `[N, ...]`; activations and backward
+    /// state live in the caller-owned `ws`, which is reused across
+    /// iterations (zero steady-state workspace allocations). Returns the
+    /// final activation `[N, actions]`, borrowed from the workspace.
+    ///
+    /// Bit-identity: the result rows equal `N` serial [`Network::forward`]
+    /// calls, bit for bit, on every [`GemmBackend`].
+    pub fn forward_batch<'w>(&self, x: &Tensor, ws: &'w mut Workspace) -> &'w Tensor {
+        ws.ensure_layers(self.layers.len());
+        let slots = ws.slots_mut();
+        self.layers[0].forward_batch(x, &mut slots[0]);
+        for i in 1..self.layers.len() {
+            let (prev, rest) = slots.split_at_mut(i);
+            let input = prev[i - 1].out.as_ref().expect("layer wrote its output");
+            self.layers[i].forward_batch(input, &mut rest[0]);
+        }
+        slots[self.layers.len() - 1]
+            .out
+            .as_ref()
+            .expect("last layer wrote its output")
+    }
+
+    /// Batched backward pass over the state `forward_batch` left in `ws`,
+    /// truncated at the earliest trainable layer exactly like
+    /// [`Network::backward`]. Parameter gradients accumulate **batch
+    /// sums** (§III-D), bit-identical — from zeroed accumulators — to `N`
+    /// serial [`Network::backward`] calls on every backend.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BackwardBeforeForward`] if `ws` holds no matching
+    /// forward state for a layer that must backpropagate.
+    pub fn backward_batch(
+        &mut self,
+        grad_output: &Tensor,
+        ws: &mut Workspace,
+    ) -> Result<(), NnError> {
+        ws.ensure_layers(self.layers.len());
+        let stop = self
+            .trainable
+            .iter()
+            .position(|&t| t)
+            .unwrap_or(self.layers.len());
+        let last = self.layers.len() - 1;
+        let slots = ws.slots_mut();
+        for i in (stop..self.layers.len()).rev() {
+            let (cur, rest) = slots.split_at_mut(i + 1);
+            let grad = if i == last {
+                grad_output
+            } else {
+                rest[0].grad_in.as_ref().expect("later layer wrote grad_in")
+            };
+            self.layers[i].backward_batch(grad, &mut cur[i])?;
+            if !self.trainable[i] {
+                // Frozen pass-through layer: its params (if any) must not
+                // accumulate. Clear whatever backward just added.
+                for p in self.layers[i].params_mut() {
+                    p.zero_grad();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Backward pass, truncated at the earliest trainable layer.

@@ -1,13 +1,21 @@
 //! Max pooling.
 
+use crate::error::NnError;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
-/// 2-D max pooling over `[C, H, W]` inputs.
+/// 2-D max pooling over `[C, H, W]` inputs (batched: `[N, C, H, W]`).
 ///
 /// AlexNet uses overlapping 3×3/stride-2 pooling; window placement follows
 /// the floor convention (`out = (in − k)/s + 1`), which reproduces the
 /// paper's 55→27→13→6 pyramid.
+///
+/// Stateless: the argmax routing table for backward lives in the
+/// caller's [`LayerWs`] (indices are flat into the *batched* input).
+/// Calling backward without a forward is reported as
+/// [`NnError::BackwardBeforeForward`] — the bare `Option::unwrap` panic
+/// of the pre-workspace implementation is gone.
 ///
 /// # Examples
 ///
@@ -23,9 +31,7 @@ pub struct MaxPool2d {
     name: String,
     k: usize,
     stride: usize,
-    /// Flat input index of each output's argmax.
-    argmax: Option<Vec<usize>>,
-    in_shape: Option<Vec<usize>>,
+    scratch: LayerWs,
 }
 
 impl MaxPool2d {
@@ -40,8 +46,7 @@ impl MaxPool2d {
             name: name.into(),
             k,
             stride,
-            argmax: None,
-            in_shape: None,
+            scratch: LayerWs::new(),
         }
     }
 
@@ -58,19 +63,26 @@ impl Layer for MaxPool2d {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "pool expects [C,H,W]");
-        let (c, in_h, in_w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        assert_eq!(x.shape().len(), 4, "pool expects [N,C,H,W]");
+        let (n, c, in_h, in_w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert!(
             in_h >= self.k && in_w >= self.k,
             "pool window exceeds input"
         );
         let (out_h, out_w) = self.out_hw(in_h, in_w);
-        let mut out = Tensor::zeros(&[c, out_h, out_w]);
-        let mut argmax = vec![0usize; c * out_h * out_w];
-        let x = input.data();
+        ws.batch = n;
+        ws.in_shape.clear();
+        ws.in_shape.extend_from_slice(x.shape());
+        ws.argmax.clear();
+        ws.argmax.resize(n * c * out_h * out_w, 0);
+        let out = LayerWs::reuse(&mut ws.out, &[n, c, out_h, out_w]);
+        let xd = x.data();
 
-        for ci in 0..c {
+        // Planes are independent: batch × channel fold into one axis, so
+        // the batched pass is the serial passes back to back, bit for bit.
+        for plane in 0..n * c {
+            let x_base = plane * in_h * in_w;
             for oy in 0..out_h {
                 for ox in 0..out_w {
                     let mut best = f32::NEG_INFINITY;
@@ -79,34 +91,42 @@ impl Layer for MaxPool2d {
                         let iy = oy * self.stride + ky;
                         for kx in 0..self.k {
                             let ix = ox * self.stride + kx;
-                            let idx = (ci * in_h + iy) * in_w + ix;
-                            if x[idx] > best {
-                                best = x[idx];
+                            let idx = x_base + iy * in_w + ix;
+                            if xd[idx] > best {
+                                best = xd[idx];
                                 best_idx = idx;
                             }
                         }
                     }
-                    let oidx = (ci * out_h + oy) * out_w + ox;
+                    let oidx = (plane * out_h + oy) * out_w + ox;
                     out.data_mut()[oidx] = best;
-                    argmax[oidx] = best_idx;
+                    ws.argmax[oidx] = best_idx;
                 }
             }
         }
-        self.argmax = Some(argmax);
-        self.in_shape = Some(input.shape().to_vec());
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("pool backward before forward");
-        let in_shape = self.in_shape.as_ref().unwrap();
-        assert_eq!(grad_output.len(), argmax.len(), "pool grad length mismatch");
-        let mut grad_in = Tensor::zeros(in_shape);
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        assert_eq!(
+            grad_output.len(),
+            ws.argmax.len(),
+            "pool grad length mismatch"
+        );
+        let grad_in = LayerWs::reuse_zeroed(&mut ws.grad_in, &ws.in_shape);
         let gi = grad_in.data_mut();
-        for (g, &idx) in grad_output.data().iter().zip(argmax) {
+        for (g, &idx) in grad_output.data().iter().zip(&ws.argmax) {
             gi[idx] += g;
         }
-        grad_in
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -164,6 +184,28 @@ mod tests {
         // All four 3×3 windows contain (2,2): gradient 4 accumulates there.
         assert_eq!(g.at3(0, 2, 2), 4.0);
         assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let mut ws = LayerWs::new();
+        let err = p.backward_batch(&Tensor::zeros(&[1, 1, 1, 1]), &mut ws);
+        assert!(matches!(err, Err(NnError::BackwardBeforeForward { .. })));
+    }
+
+    #[test]
+    fn batched_matches_two_serial_passes() {
+        let p = MaxPool2d::new("p", 2, 2);
+        let a = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[1, 2, 2], vec![8.0, 7.0, 6.0, 5.0]);
+        let mut batch = Vec::new();
+        batch.extend_from_slice(a.data());
+        batch.extend_from_slice(b.data());
+        let x = Tensor::from_vec(&[2, 1, 2, 2], batch);
+        let mut ws = LayerWs::new();
+        p.forward_batch(&x, &mut ws);
+        assert_eq!(ws.out.as_ref().unwrap().data(), &[4.0, 8.0]);
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Rectified linear activation.
 
+use crate::error::NnError;
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::LayerWs;
 
 /// Element-wise ReLU (`max(x, 0)`), the PE comparator op.
+///
+/// Stateless: the pass mask for backward lives in the caller's
+/// [`LayerWs`]. Batching is trivial — the op is element-wise, so the
+/// batched pass is the serial passes concatenated, bit for bit.
 ///
 /// # Examples
 ///
@@ -14,10 +20,10 @@ use crate::tensor::Tensor;
 /// let y = relu.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
 /// assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Relu {
     name: String,
-    mask: Option<Vec<bool>>,
+    scratch: LayerWs,
 }
 
 impl Relu {
@@ -25,7 +31,7 @@ impl Relu {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            mask: None,
+            scratch: LayerWs::new(),
         }
     }
 }
@@ -35,29 +41,43 @@ impl Layer for Relu {
         &self.name
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut out = input.clone();
-        let mask = out.data_mut().iter_mut().map(|v| {
-            let pass = *v > 0.0;
-            if !pass {
-                *v = 0.0;
-            }
-            pass
-        });
-        self.mask = Some(mask.collect());
-        out
+    fn forward_batch(&self, x: &Tensor, ws: &mut LayerWs) {
+        ws.batch = x.shape()[0];
+        ws.mask.clear();
+        ws.mask.reserve(x.len());
+        let out = LayerWs::reuse(&mut ws.out, x.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+            let pass = v > 0.0;
+            *o = if pass { v } else { 0.0 };
+            ws.mask.push(pass);
+        }
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("relu backward before forward");
-        assert_eq!(mask.len(), grad_output.len(), "relu grad length mismatch");
-        let mut grad = grad_output.clone();
-        for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
-            if !m {
-                *g = 0.0;
-            }
+    fn backward_batch(&mut self, grad_output: &Tensor, ws: &mut LayerWs) -> Result<(), NnError> {
+        if ws.batch == 0 {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
         }
-        grad
+        assert_eq!(
+            ws.mask.len(),
+            grad_output.len(),
+            "relu grad length mismatch"
+        );
+        let grad_in = LayerWs::reuse(&mut ws.grad_in, grad_output.shape());
+        for ((gi, &go), &m) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(&ws.mask)
+        {
+            *gi = if m { go } else { 0.0 };
+        }
+        Ok(())
+    }
+
+    fn scratch_mut(&mut self) -> &mut LayerWs {
+        &mut self.scratch
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -91,6 +111,24 @@ mod tests {
         let _ = r.forward(&Tensor::from_vec(&[1], vec![0.0]));
         let g = r.backward(&Tensor::filled(&[1], 5.0));
         assert_eq!(g.data(), &[0.0]);
+    }
+
+    #[test]
+    fn batched_equals_serial() {
+        let r = Relu::new("r");
+        let x = Tensor::from_vec(&[2, 3], vec![-1.0, 2.0, 0.0, 4.0, -5.0, 6.0]);
+        let mut ws = LayerWs::new();
+        r.forward_batch(&x, &mut ws);
+        let out = ws.out.as_ref().unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut r = Relu::new("r");
+        let mut ws = LayerWs::new();
+        let err = r.backward_batch(&Tensor::zeros(&[1, 2]), &mut ws);
+        assert!(matches!(err, Err(NnError::BackwardBeforeForward { .. })));
     }
 
     #[test]

@@ -109,10 +109,95 @@ impl Tensor {
     ///
     /// Panics if the volumes differ.
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        self.reshape_in_place(shape);
+        self
+    }
+
+    /// In-place variant of [`Tensor::reshaped`] (no move, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let len: usize = shape.iter().product();
         assert_eq!(len, self.data.len(), "reshape volume mismatch");
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Prepends a batch dimension of 1: `[C,H,W] → [1,C,H,W]` (no copy).
+    ///
+    /// The inverse of [`Tensor::squeezed0`]; together they let the
+    /// single-image `forward`/`backward` wrappers ride the batched layer
+    /// kernels as a batch of one.
+    pub fn unsqueezed0(mut self) -> Self {
+        self.shape.insert(0, 1);
         self
+    }
+
+    /// Drops a leading batch dimension of 1: `[1,C,H,W] → [C,H,W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is 1-D or its leading dimension is not 1.
+    pub fn squeezed0(mut self) -> Self {
+        assert!(
+            self.shape.len() > 1 && self.shape[0] == 1,
+            "cannot squeeze leading dim of {:?}",
+            self.shape
+        );
+        self.shape.remove(0);
+        self
+    }
+
+    /// Number of samples when the leading axis is the batch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 1-D tensors (no batch axis to interpret).
+    pub fn batch(&self) -> usize {
+        assert!(
+            self.shape.len() > 1,
+            "1-D tensor {:?} has no batch axis",
+            self.shape
+        );
+        self.shape[0]
+    }
+
+    /// The per-sample slice `[i]` of a batch-first tensor, as raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (debug: also on 1-D tensors).
+    #[inline]
+    pub fn sample(&self, i: usize) -> &[f32] {
+        debug_assert!(self.shape.len() > 1);
+        let stride = self.data.len() / self.shape[0];
+        &self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Mutable per-sample slice `[i]` of a batch-first tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (debug: also on 1-D tensors).
+    #[inline]
+    pub fn sample_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(self.shape.len() > 1);
+        let stride = self.data.len() / self.shape[0];
+        &mut self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Copies `src`'s shape and data into `self`, reusing the existing
+    /// allocation when the volumes match (the workspace cache idiom).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        if self.data.len() == src.data.len() {
+            self.data.copy_from_slice(&src.data);
+            self.shape.clear();
+            self.shape.extend_from_slice(&src.shape);
+        } else {
+            *self = src.clone();
+        }
     }
 
     /// Element access for `[C, H, W]` tensors.
@@ -155,13 +240,7 @@ impl Tensor {
     ///
     /// Never panics: tensors are non-empty by construction.
     pub fn argmax(&self) -> usize {
-        let mut best = 0;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > self.data[best] {
-                best = i;
-            }
-        }
-        best
+        argmax(&self.data)
     }
 
     /// Maximum element value.
@@ -202,6 +281,24 @@ impl Tensor {
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
+}
+
+/// Index of a slice's maximum element, **first on ties** — the single
+/// shared tie-break rule. [`Tensor::argmax`], the batched greedy-action
+/// selection and the ε-greedy policy all route through this function:
+/// the batched ≡ serial equivalence contracts depend on every argmax in
+/// the stack breaking ties identically, so there is exactly one
+/// implementation.
+///
+/// Returns 0 for an empty slice.
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 impl fmt::Debug for Tensor {
@@ -280,6 +377,50 @@ mod tests {
         assert_eq!(a.data(), &[4.0, 6.0, 8.0]);
         a.fill_zero();
         assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn batch_dim_helpers_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = t.clone().unsqueezed0();
+        assert_eq!(b.shape(), &[1, 2, 3]);
+        assert_eq!(b.batch(), 1);
+        let back = b.squeezed0();
+        assert_eq!(back.shape(), &[2, 3]);
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn sample_slices_are_batch_major() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.sample(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(t.sample(1), &[3.0, 4.0, 5.0]);
+        let mut t = t;
+        t.sample_mut(1)[0] = 9.0;
+        assert_eq!(t.data()[3], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot squeeze")]
+    fn squeeze_rejects_real_batch() {
+        let _ = Tensor::zeros(&[2, 3]).squeezed0();
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let mut dst = Tensor::zeros(&[6]);
+        let ptr = dst.data().as_ptr();
+        let src = Tensor::from_vec(&[2, 3], vec![1.0; 6]);
+        dst.copy_from(&src);
+        assert_eq!(dst.shape(), &[2, 3]);
+        assert_eq!(
+            dst.data().as_ptr(),
+            ptr,
+            "equal volume must reuse the buffer"
+        );
+        let bigger = Tensor::zeros(&[4, 3]);
+        dst.copy_from(&bigger);
+        assert_eq!(dst.shape(), &[4, 3]);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Batched ≡ serial equivalence suite (the batch-first API's contract).
+//!
+//! Pins, on **all three** GEMM backends:
+//!
+//! 1. `Network::forward_batch` over `[N, ...]` is **bit-identical** to
+//!    `N` serial `Network::forward` calls, row for row.
+//! 2. From zeroed accumulators, one `backward_batch` accumulates
+//!    **bit-identical** parameter gradients to `N` serial
+//!    `forward`+`backward` passes over the same samples in order —
+//!    including through LRN and with a frozen prefix.
+//! 3. Steady state allocates nothing from the workspace: after the first
+//!    iteration the footprint is constant and the cached activation
+//!    buffers keep their addresses.
+
+use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::spec::LayerSpec;
+use mramrl_nn::{NetworkSpec, Tensor, Workspace};
+use proptest::prelude::*;
+
+/// Deterministic value stream in [-1, 1).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut h = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 31;
+            (h % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A small 2-conv net that *includes LRN* (the micro spec has none):
+/// conv → relu → lrn → pool → conv → relu → flatten → fc → relu → fc.
+fn lrn_spec(hw: usize, actions: usize) -> NetworkSpec {
+    use LayerSpec::*;
+    let c1 = 4usize;
+    let c2 = 6usize;
+    let h1 = hw; // conv1: k3 s1 p1 keeps hw
+    let hp = (h1 - 2) / 2 + 1; // pool k2 s2
+    let h2 = hp; // conv2: k3 s1 p1 keeps hp
+    let features = c2 * h2 * h2;
+    NetworkSpec {
+        input_shape: [1, hw, hw],
+        layers: vec![
+            Conv {
+                name: "CONV1".into(),
+                in_c: 1,
+                out_c: c1,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Relu {
+                name: "relu1".into(),
+            },
+            Lrn {
+                name: "norm1".into(),
+            },
+            MaxPool {
+                name: "pool1".into(),
+                k: 2,
+                stride: 2,
+            },
+            Conv {
+                name: "CONV2".into(),
+                in_c: c1,
+                out_c: c2,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            Relu {
+                name: "relu2".into(),
+            },
+            Flatten {
+                name: "flatten".into(),
+            },
+            Fc {
+                name: "FC1".into(),
+                in_f: features,
+                out_f: 16,
+            },
+            Relu {
+                name: "relu3".into(),
+            },
+            Fc {
+                name: "FC2".into(),
+                in_f: 16,
+                out_f: actions,
+            },
+        ],
+    }
+}
+
+/// Batched input `[n, 1, hw, hw]` plus its per-sample views.
+fn batch_input(n: usize, hw: usize, seed: u64) -> (Tensor, Vec<Tensor>) {
+    let data = fill(n * hw * hw, seed);
+    let batched = Tensor::from_vec(&[n, 1, hw, hw], data.clone());
+    let samples = (0..n)
+        .map(|i| Tensor::from_vec(&[1, hw, hw], data[i * hw * hw..(i + 1) * hw * hw].to_vec()))
+        .collect();
+    (batched, samples)
+}
+
+fn all_param_grads(net: &mramrl_nn::Network) -> Vec<f32> {
+    net.layers()
+        .flat_map(|l| l.params().into_iter().flat_map(|p| p.grad.data().to_vec()))
+        .collect()
+}
+
+proptest! {
+    /// Forward + backward bit-identity on the micro AlexNet (conv, relu,
+    /// pool, flatten, fc), every backend, batches 1–5, with and without a
+    /// frozen prefix (the paper's partial-training topologies).
+    #[test]
+    fn micro_net_batched_equals_serial(
+        hw in 8usize..17,
+        n in 1usize..6,
+        seed in 0u64..1 << 40,
+        tail in 0usize..3, // 0 = fully trainable, else train last 2/4 param layers
+    ) {
+        let spec = NetworkSpec::micro(hw, 1, 5);
+        let (batched_x, samples) = batch_input(n, hw, seed);
+        for be in GemmBackend::ALL {
+            let mut serial = spec.build(seed % 1000);
+            let mut batched = spec.build(seed % 1000);
+            serial.set_gemm_backend(be);
+            batched.set_gemm_backend(be);
+            if tail > 0 {
+                serial.set_trainable_tail(2 * tail);
+                batched.set_trainable_tail(2 * tail);
+            }
+
+            // Serial reference: N forward/backward passes, grad = ones.
+            let mut serial_out = Vec::new();
+            for s in &samples {
+                let y = serial.forward(s);
+                serial.backward(&Tensor::filled(y.shape(), 1.0));
+                serial_out.extend_from_slice(y.data());
+            }
+
+            let mut ws = Workspace::for_spec(&spec);
+            let q = batched.forward_batch(&batched_x, &mut ws).clone();
+            prop_assert_eq!(
+                bits(&serial_out), bits(q.data()),
+                "forward {} hw={} n={} tail={}", be, hw, n, tail
+            );
+            batched
+                .backward_batch(&Tensor::filled(&[n, 5], 1.0), &mut ws)
+                .expect("forward ran");
+            prop_assert_eq!(
+                bits(&all_param_grads(&serial)), bits(&all_param_grads(&batched)),
+                "grads {} hw={} n={} tail={}", be, hw, n, tail
+            );
+        }
+    }
+
+    /// Same contract through an LRN-bearing stack (cross-channel state,
+    /// cached denominators) with non-uniform output gradients.
+    #[test]
+    fn lrn_net_batched_equals_serial(
+        hw in 8usize..13,
+        n in 1usize..5,
+        seed in 0u64..1 << 40,
+    ) {
+        let spec = lrn_spec(hw, 5);
+        spec.validate().expect("lrn spec must chain");
+        let (batched_x, samples) = batch_input(n, hw, seed);
+        let grads = fill(n * 5, seed ^ 0xF00D);
+        for be in GemmBackend::ALL {
+            let mut serial = spec.build(7);
+            let mut batched = spec.build(7);
+            serial.set_gemm_backend(be);
+            batched.set_gemm_backend(be);
+
+            let mut serial_out = Vec::new();
+            for (i, s) in samples.iter().enumerate() {
+                let y = serial.forward(s);
+                serial.backward(&Tensor::from_vec(&[5], grads[i * 5..(i + 1) * 5].to_vec()));
+                serial_out.extend_from_slice(y.data());
+            }
+
+            let mut ws = Workspace::for_spec(&spec);
+            let q = batched.forward_batch(&batched_x, &mut ws).clone();
+            prop_assert_eq!(bits(&serial_out), bits(q.data()), "forward {} n={}", be, n);
+            batched
+                .backward_batch(&Tensor::from_vec(&[n, 5], grads.clone()), &mut ws)
+                .expect("forward ran");
+            prop_assert_eq!(
+                bits(&all_param_grads(&serial)), bits(&all_param_grads(&batched)),
+                "grads {} n={}", be, n
+            );
+        }
+    }
+}
+
+/// Steady-state reuse: after the first iteration, repeated batched
+/// passes neither grow the workspace nor move its cached buffers.
+#[test]
+fn workspace_steady_state_allocates_nothing() {
+    let spec = NetworkSpec::micro(16, 1, 5);
+    for be in GemmBackend::ALL {
+        let mut net = spec.build(3);
+        net.set_gemm_backend(be);
+        let (x, _) = batch_input(4, 16, 42);
+        let mut ws = Workspace::for_spec(&spec);
+
+        // Warm-up iteration sizes every buffer.
+        let _ = net.forward_batch(&x, &mut ws);
+        net.backward_batch(&Tensor::filled(&[4, 5], 1.0), &mut ws)
+            .unwrap();
+        let footprint = ws.footprint();
+        let out_ptr = net.forward_batch(&x, &mut ws).data().as_ptr();
+
+        for _ in 0..3 {
+            let out = net.forward_batch(&x, &mut ws);
+            assert_eq!(
+                out.data().as_ptr(),
+                out_ptr,
+                "{be}: activation buffer must be reused, not reallocated"
+            );
+            net.backward_batch(&Tensor::filled(&[4, 5], 1.0), &mut ws)
+                .unwrap();
+            assert_eq!(
+                ws.footprint(),
+                footprint,
+                "{be}: steady-state footprint must not grow"
+            );
+        }
+    }
+}
+
+/// The legacy single-image wrappers and the batched path share one
+/// numeric contract: batch-of-1 == single image, bit for bit.
+#[test]
+fn batch_of_one_equals_single_image() {
+    let spec = NetworkSpec::micro(12, 1, 5);
+    for be in GemmBackend::ALL {
+        let mut a = spec.build(11);
+        let mut b = spec.build(11);
+        a.set_gemm_backend(be);
+        b.set_gemm_backend(be);
+        let x = Tensor::from_vec(&[1, 12, 12], fill(144, 5));
+        let y_single = a.forward(&x);
+        let mut ws = Workspace::for_spec(&spec);
+        let xb = Tensor::from_vec(&[1, 1, 12, 12], fill(144, 5));
+        let y_batch = b.forward_batch(&xb, &mut ws);
+        assert_eq!(bits(y_single.data()), bits(y_batch.data()), "{be}");
+    }
+}
+
+/// The standalone conv-as-GEMM helpers (`conv2d_gemm_with` /
+/// `conv2d_gemm_backward_with`, the §V-B exposition path that
+/// `tests/gemm_backends.rs` exercises) must stay bit-identical to the
+/// `Conv2d` batched production path — this pins the two implementations
+/// of the algorithm together so neither can drift past the other's
+/// tests.
+#[test]
+fn conv_gemm_helpers_match_batched_conv_bitwise() {
+    use mramrl_nn::gemm::{conv2d_gemm_backward_with, conv2d_gemm_with};
+    use mramrl_nn::{Conv2d, Layer, LayerWs};
+    for (in_c, out_c, k, stride, pad, hw) in [
+        (1usize, 4usize, 3usize, 1usize, 1usize, 8usize),
+        (2, 3, 3, 2, 0, 9),
+    ] {
+        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+            let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 7);
+            conv.set_gemm_backend(be);
+            let x = Tensor::from_vec(&[1, in_c, hw, hw], fill(in_c * hw * hw, 3));
+            let xs = Tensor::from_vec(&[in_c, hw, hw], fill(in_c * hw * hw, 3));
+
+            let mut ws = LayerWs::new();
+            conv.forward_batch(&x, &mut ws);
+            let batched = ws.out.clone().unwrap();
+            let helper = conv2d_gemm_with(be, &xs, conv.weight(), conv.bias(), stride, pad);
+            assert_eq!(bits(batched.data()), bits(helper.data()), "fwd {be}");
+
+            let grad = Tensor::from_vec(batched.shape(), fill(batched.len(), 9));
+            let grad_s = Tensor::from_vec(&batched.shape()[1..], fill(batched.len(), 9));
+            conv.backward_batch(&grad, &mut ws).unwrap();
+            let (gw, gb, gi) =
+                conv2d_gemm_backward_with(be, &xs, conv.weight(), &grad_s, stride, pad);
+            assert_eq!(
+                bits(conv.params()[0].grad.data()),
+                bits(gw.data()),
+                "dW {be}"
+            );
+            assert_eq!(
+                bits(conv.params()[1].grad.data()),
+                bits(gb.data()),
+                "db {be}"
+            );
+            assert_eq!(
+                bits(ws.grad_in.as_ref().unwrap().data()),
+                bits(gi.data()),
+                "dX {be}"
+            );
+        }
+    }
+}
+
+/// Backward without forward surfaces as a descriptive error from the
+/// batched network driver (no `unwrap` panics anywhere in the stack).
+#[test]
+fn network_backward_before_forward_errors() {
+    let spec = NetworkSpec::micro(8, 1, 5);
+    let mut net = spec.build(0);
+    let mut ws = Workspace::for_spec(&spec);
+    let err = net.backward_batch(&Tensor::zeros(&[1, 5]), &mut ws);
+    match err {
+        Err(e) => assert!(
+            e.to_string().contains("backward called before forward"),
+            "unexpected error: {e}"
+        ),
+        Ok(()) => panic!("backward before forward must not succeed"),
+    }
+}

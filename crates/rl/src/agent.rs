@@ -1,8 +1,11 @@
 //! The deep Q-learning agent.
 
-use mramrl_nn::{GemmBackend, Loss, Network, NetworkSpec, Sgd, Tensor};
+// `argmax` is the stack's single first-on-ties rule: batched action
+// selection must never diverge from `Tensor::argmax`-based serial
+// selection on ties.
+use mramrl_nn::{argmax, GemmBackend, Loss, Network, NetworkSpec, Sgd, Tensor, Workspace};
 
-use crate::replay::Transition;
+use crate::replay::{Transition, TransitionBatch};
 
 /// A Q-learning agent: online network + target network + Bellman updates.
 ///
@@ -26,6 +29,10 @@ use crate::replay::Transition;
 pub struct QAgent {
     net: Network,
     target: Network,
+    /// Reusable scratch for the online net's batched passes.
+    ws: Workspace,
+    /// Reusable scratch for the target net's TD-target forwards.
+    target_ws: Workspace,
     gamma: f32,
     loss: Loss,
     double_q: bool,
@@ -43,9 +50,13 @@ impl QAgent {
         target
             .copy_weights_from(&net)
             .expect("structurally identical by construction");
+        let ws = net.workspace();
+        let target_ws = target.workspace();
         Self {
             net,
             target,
+            ws,
+            target_ws,
             gamma: Self::DEFAULT_GAMMA,
             loss: Loss::SquaredError,
             double_q: false,
@@ -121,6 +132,20 @@ impl QAgent {
         self.q_values(obs).argmax()
     }
 
+    /// Q-values for a batch of observations `[N, ...]` → `[N, actions]`.
+    ///
+    /// One batched network pass against the agent's reusable workspace;
+    /// row `i` is bit-identical to `q_values(obs_i)`.
+    pub fn q_values_batch(&mut self, obs: &Tensor) -> Tensor {
+        self.net.forward_batch(obs, &mut self.ws).clone()
+    }
+
+    /// Greedy action per sample for a batch of observations.
+    pub fn greedy_actions(&mut self, obs: &Tensor) -> Vec<usize> {
+        let q = self.net.forward_batch(obs, &mut self.ws);
+        (0..q.batch()).map(|i| argmax(q.sample(i))).collect()
+    }
+
     /// Accumulates one Bellman gradient step for a transition; returns the
     /// TD error. Gradients build up in the network's accumulators until
     /// [`QAgent::apply_update`] (batch-of-N semantics, §III-D).
@@ -141,6 +166,66 @@ impl QAgent {
         let mut grad = Tensor::zeros(q.shape());
         grad.data_mut()[t.action] = self.loss.gradient(q.data()[t.action], y);
         self.net.backward(&grad);
+        td
+    }
+
+    /// Batched Bellman accumulation: one target-network forward, one
+    /// online forward and one batched backward for all `N` transitions —
+    /// every network pass is a single batched GEMM chain instead of `N`
+    /// serial ones. Returns the per-sample TD errors.
+    ///
+    /// From zeroed gradient accumulators (the batch boundary,
+    /// i.e. right after [`QAgent::apply_update`]), the accumulated
+    /// gradients and returned TD errors are **bit-identical** to calling
+    /// [`QAgent::accumulate_td`] serially on the same transitions in
+    /// order, on every [`GemmBackend`] — the equivalence proptests pin
+    /// this.
+    pub fn accumulate_td_batch(&mut self, batch: &TransitionBatch) -> Vec<f32> {
+        let n = batch.len();
+
+        // Double-DQN: the online net picks a* per sample (overwrites the
+        // online workspace — harmless, the state forward below re-fills
+        // it, exactly as the serial path re-runs forward).
+        let a_star: Option<Vec<usize>> = if self.double_q {
+            let nq = self.net.forward_batch(&batch.next_states, &mut self.ws);
+            Some((0..n).map(|i| argmax(nq.sample(i))).collect())
+        } else {
+            None
+        };
+
+        // TD targets from one batched target-network forward.
+        let next_q = self
+            .target
+            .forward_batch(&batch.next_states, &mut self.target_ws);
+        let mut y = vec![0.0f32; n];
+        for i in 0..n {
+            y[i] = if batch.terminals[i] {
+                batch.rewards[i]
+            } else if let Some(a_star) = &a_star {
+                batch.rewards[i] + self.gamma * next_q.sample(i)[a_star[i]]
+            } else {
+                let max = next_q
+                    .sample(i)
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                batch.rewards[i] + self.gamma * max
+            };
+        }
+
+        // One batched online forward + backward.
+        let q = self.net.forward_batch(&batch.states, &mut self.ws);
+        let actions = q.shape()[1];
+        let mut td = vec![0.0f32; n];
+        let mut grad = Tensor::zeros(&[n, actions]);
+        for i in 0..n {
+            let qa = q.sample(i)[batch.actions[i]];
+            td[i] = qa - y[i];
+            grad.sample_mut(i)[batch.actions[i]] = self.loss.gradient(qa, y[i]);
+        }
+        self.net
+            .backward_batch(&grad, &mut self.ws)
+            .expect("forward_batch ran just above");
         td
     }
 
@@ -275,6 +360,54 @@ mod tests {
         let mut agent2 = QAgent::new(&spec(), 7);
         let _ = agent2.accumulate_td(&t);
         assert!(agent.net.grad_norm() <= agent2.net.grad_norm() + 1e-6);
+    }
+
+    #[test]
+    fn batched_td_matches_serial_bitwise() {
+        for double_q in [false, true] {
+            let ts: Vec<Transition> = (0..4)
+                .map(|i| {
+                    let mut t = transition(0.1 * i as f32, i == 3);
+                    t.state = Tensor::filled(&[1, 8, 8], 0.1 + 0.2 * i as f32);
+                    t.next_state = Tensor::filled(&[1, 8, 8], 0.9 - 0.2 * i as f32);
+                    t.action = i % 5;
+                    t
+                })
+                .collect();
+            let refs: Vec<&Transition> = ts.iter().collect();
+            let batch = TransitionBatch::from_transitions(&refs);
+
+            let mut serial = QAgent::new(&spec(), 17).with_double_q(double_q);
+            let serial_td: Vec<f32> = ts.iter().map(|t| serial.accumulate_td(t)).collect();
+            let mut batched = QAgent::new(&spec(), 17).with_double_q(double_q);
+            let batched_td = batched.accumulate_td_batch(&batch);
+
+            assert_eq!(serial_td, batched_td, "double_q={double_q}");
+            let grads = |a: &QAgent| -> Vec<f32> {
+                a.net()
+                    .layers()
+                    .flat_map(|l| l.params().into_iter().flat_map(|p| p.grad.data().to_vec()))
+                    .collect()
+            };
+            assert_eq!(grads(&serial), grads(&batched), "double_q={double_q}");
+        }
+    }
+
+    #[test]
+    fn greedy_actions_match_serial_argmax() {
+        let mut agent = QAgent::new(&spec(), 21);
+        let obs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::filled(&[1, 8, 8], 0.2 + 0.3 * i as f32))
+            .collect();
+        let serial: Vec<usize> = obs.iter().map(|o| agent.greedy_action(o)).collect();
+        let mut data = Vec::new();
+        for o in &obs {
+            data.extend_from_slice(o.data());
+        }
+        let batch = Tensor::from_vec(&[3, 1, 8, 8], data);
+        assert_eq!(agent.greedy_actions(&batch), serial);
+        let q = agent.q_values_batch(&batch);
+        assert_eq!(q.shape(), &[3, 5]);
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use experiment::{EnvRun, Fig10Experiment, TransferCache};
 pub use metrics::{MovingAverage, SafeFlightTracker};
 pub use mramrl_nn::Topology;
 pub use policy::EpsilonSchedule;
-pub use replay::{ReplayBuffer, Transition};
-pub use trainer::{evaluate, EvalResult, TrainLog, Trainer, TrainerConfig};
+pub use replay::{ReplayBuffer, Transition, TransitionBatch};
+pub use trainer::{evaluate, evaluate_vec, EvalResult, TrainLog, Trainer, TrainerConfig};
 
 #[cfg(test)]
 mod tests {

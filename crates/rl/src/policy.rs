@@ -63,10 +63,19 @@ impl EpsilonSchedule {
     /// Chooses an action from Q-values: random with probability ε, greedy
     /// otherwise.
     pub fn choose(&self, q: &Tensor, step: u64, rng: &mut SmallRng) -> usize {
+        self.choose_slice(q.data(), step, rng)
+    }
+
+    /// [`EpsilonSchedule::choose`] over a raw Q-value row — the per-lane
+    /// form the vectorized rollout uses on one row of a `[K, actions]`
+    /// batch (identical RNG consumption and the shared
+    /// [`mramrl_nn::argmax`] tie-break, so lane 0 of a batch reproduces
+    /// the serial call stream exactly).
+    pub fn choose_slice(&self, q: &[f32], step: u64, rng: &mut SmallRng) -> usize {
         if rng.gen_range(0.0f32..1.0) < self.value(step) {
             rng.gen_range(0..q.len())
         } else {
-            q.argmax()
+            mramrl_nn::argmax(q)
         }
     }
 }

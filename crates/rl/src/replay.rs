@@ -1,5 +1,7 @@
 //! Experience replay.
 
+use std::collections::VecDeque;
+
 use mramrl_nn::Tensor;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -19,7 +21,77 @@ pub struct Transition {
     pub terminal: bool,
 }
 
+/// A batch of transitions packed into batch-first tensors, ready for
+/// [`crate::QAgent::accumulate_td_batch`].
+///
+/// `states`/`next_states` are `[N, ...]` (sample `i` is transition `i`);
+/// the scalar fields are parallel vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionBatch {
+    /// Batched states `[N, ...]`.
+    pub states: Tensor,
+    /// Actions taken, per sample.
+    pub actions: Vec<usize>,
+    /// Rewards received, per sample.
+    pub rewards: Vec<f32>,
+    /// Batched next states `[N, ...]`.
+    pub next_states: Tensor,
+    /// Episode-terminal flags, per sample.
+    pub terminals: Vec<bool>,
+}
+
+impl TransitionBatch {
+    /// Packs transitions into one batch (states stacked along a new
+    /// leading axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is empty or the state shapes disagree.
+    pub fn from_transitions(ts: &[&Transition]) -> Self {
+        assert!(!ts.is_empty(), "cannot batch zero transitions");
+        let shape = ts[0].state.shape();
+        let mut batched_shape = Vec::with_capacity(shape.len() + 1);
+        batched_shape.push(ts.len());
+        batched_shape.extend_from_slice(shape);
+
+        let mut states = Vec::with_capacity(ts.len() * ts[0].state.len());
+        let mut next_states = Vec::with_capacity(ts.len() * ts[0].next_state.len());
+        for t in ts {
+            assert_eq!(t.state.shape(), shape, "transition state shapes differ");
+            assert_eq!(
+                t.next_state.shape(),
+                shape,
+                "transition next-state shapes differ"
+            );
+            states.extend_from_slice(t.state.data());
+            next_states.extend_from_slice(t.next_state.data());
+        }
+        Self {
+            states: Tensor::from_vec(&batched_shape, states),
+            actions: ts.iter().map(|t| t.action).collect(),
+            rewards: ts.iter().map(|t| t.reward).collect(),
+            next_states: Tensor::from_vec(&batched_shape, next_states),
+            terminals: ts.iter().map(|t| t.terminal).collect(),
+        }
+    }
+
+    /// Number of transitions in the batch.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `false` always (construction forbids empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
 /// A bounded ring buffer of transitions with uniform sampling.
+///
+/// Internally a [`VecDeque`]: `push` appends at the back and pops the
+/// front when full, so the deque order *is* the age order — no manual
+/// ring arithmetic. [`ReplayBuffer::latest`] is simply the back element
+/// and [`ReplayBuffer::iter`] walks oldest → newest.
 ///
 /// # Examples
 ///
@@ -38,12 +110,12 @@ pub struct Transition {
 ///     });
 /// }
 /// assert_eq!(buf.len(), 2); // oldest evicted
+/// assert_eq!(buf.latest().unwrap().state.data()[0], 2.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplayBuffer {
     capacity: usize,
-    items: Vec<Transition>,
-    next: usize,
+    items: VecDeque<Transition>,
 }
 
 impl ReplayBuffer {
@@ -56,19 +128,21 @@ impl ReplayBuffer {
         assert!(capacity > 0, "replay capacity must be positive");
         Self {
             capacity,
-            items: Vec::with_capacity(capacity.min(4096)),
-            next: 0,
+            items: VecDeque::with_capacity(capacity.min(4096)),
         }
+    }
+
+    /// Maximum number of stored transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Inserts a transition, evicting the oldest when full.
     pub fn push(&mut self, t: Transition) {
-        if self.items.len() < self.capacity {
-            self.items.push(t);
-        } else {
-            self.items[self.next] = t;
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
         }
-        self.next = (self.next + 1) % self.capacity;
+        self.items.push_back(t);
     }
 
     /// Number of stored transitions.
@@ -81,6 +155,11 @@ impl ReplayBuffer {
         self.items.is_empty()
     }
 
+    /// Transitions oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.items.iter()
+    }
+
     /// Uniformly samples one transition.
     pub fn sample<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a Transition> {
         if self.items.is_empty() {
@@ -90,16 +169,30 @@ impl ReplayBuffer {
         }
     }
 
+    /// Uniformly samples `n` transitions **with replacement** (the
+    /// batched analogue of `n` serial [`ReplayBuffer::sample`] calls —
+    /// draws use the same RNG stream, one per sample).
+    pub fn sample_batch<'a>(&'a self, rng: &mut SmallRng, n: usize) -> Option<Vec<&'a Transition>> {
+        if self.items.is_empty() || n == 0 {
+            None
+        } else {
+            Some(
+                (0..n)
+                    .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+                    .collect(),
+            )
+        }
+    }
+
+    /// Samples `n` transitions and packs them into a [`TransitionBatch`].
+    pub fn sample_as_batch(&self, rng: &mut SmallRng, n: usize) -> Option<TransitionBatch> {
+        self.sample_batch(rng, n)
+            .map(|ts| TransitionBatch::from_transitions(&ts))
+    }
+
     /// The most recently pushed transition.
     pub fn latest(&self) -> Option<&Transition> {
-        if self.items.is_empty() {
-            None
-        } else if self.items.len() < self.capacity {
-            self.items.last()
-        } else {
-            let idx = (self.next + self.capacity - 1) % self.capacity;
-            Some(&self.items[idx])
-        }
+        self.items.back()
     }
 }
 
@@ -125,11 +218,45 @@ mod tests {
             buf.push(t(i as f32));
         }
         assert_eq!(buf.len(), 3);
-        let rewards: Vec<f32> = buf.items.iter().map(|x| x.reward).collect();
-        // 0,1 evicted; 2,3,4 remain (in ring order 3,4,2).
-        let mut sorted = rewards.clone();
-        sorted.sort_by(f32::total_cmp);
-        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+        let rewards: Vec<f32> = buf.iter().map(|x| x.reward).collect();
+        // 0,1 evicted; 2,3,4 remain — and iter() is oldest → newest.
+        assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn wraparound_at_exactly_capacity() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.latest().unwrap().reward, 3.0);
+        assert_eq!(
+            buf.iter().map(|x| x.reward).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 2.0, 3.0]
+        );
+        // The push that triggers the first eviction.
+        buf.push(t(4.0));
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.latest().unwrap().reward, 4.0);
+        assert_eq!(
+            buf.iter().map(|x| x.reward).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn wraparound_far_past_capacity() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..17 {
+            buf.push(t(i as f32));
+            assert_eq!(buf.latest().unwrap().reward, i as f32);
+            assert!(buf.len() <= 3);
+        }
+        assert_eq!(
+            buf.iter().map(|x| x.reward).collect::<Vec<_>>(),
+            vec![14.0, 15.0, 16.0]
+        );
     }
 
     #[test]
@@ -156,10 +283,38 @@ mod tests {
     }
 
     #[test]
+    fn sample_batch_matches_serial_draws() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(t(i as f32));
+        }
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let batch = buf.sample_batch(&mut rng_a, 5).unwrap();
+        let serial: Vec<&Transition> = (0..5).map(|_| buf.sample(&mut rng_b).unwrap()).collect();
+        for (a, b) in batch.iter().zip(&serial) {
+            assert_eq!(a.reward, b.reward);
+        }
+    }
+
+    #[test]
+    fn batch_packing_is_batch_major() {
+        let a = t(1.0);
+        let b = t(2.0);
+        let batch = TransitionBatch::from_transitions(&[&a, &b]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.states.shape(), &[2, 1]);
+        assert_eq!(batch.states.data(), &[1.0, 2.0]);
+        assert_eq!(batch.rewards, vec![1.0, 2.0]);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
     fn empty_buffer_samples_none() {
         let buf = ReplayBuffer::new(4);
         let mut rng = SmallRng::seed_from_u64(0);
         assert!(buf.sample(&mut rng).is_none());
+        assert!(buf.sample_batch(&mut rng, 3).is_none());
         assert!(buf.latest().is_none());
         assert!(buf.is_empty());
     }

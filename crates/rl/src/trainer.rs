@@ -1,6 +1,13 @@
 //! The online training loop (TL phase and deployment phase share it).
+//!
+//! Two drivers share the configuration: [`Trainer::run`] steps one
+//! [`DroneEnv`] serially (the paper's §V "one image at a time" platform
+//! model), while [`Trainer::run_vec`] steps a [`VecEnv`] of `K` lanes and
+//! feeds the networks whole observation batches — same Q-learning, every
+//! hot pass batched ([`QAgent::q_values_batch`],
+//! [`QAgent::accumulate_td_batch`]).
 
-use mramrl_env::{Action, DroneEnv, Image};
+use mramrl_env::{Action, DroneEnv, EnvKind, Image, VecEnv};
 use mramrl_nn::{GemmBackend, Sgd, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -40,6 +47,11 @@ pub struct TrainerConfig {
     /// and target nets). Defaults to [`mramrl_nn::backend::default_backend`],
     /// i.e. the `NN_GEMM_BACKEND` env knob.
     pub backend: GemmBackend,
+    /// Environment lanes for the vectorized driver:
+    /// [`Trainer::build_vec_env`] sizes its fleet from this, and
+    /// [`Trainer::run_vec`] builds its TD batches one transition per
+    /// lane per step. The serial [`Trainer::run`] ignores it. Default 1.
+    pub num_envs: usize,
 }
 
 impl TrainerConfig {
@@ -61,6 +73,7 @@ impl TrainerConfig {
             log_every: (iters / 64).max(1),
             seed,
             backend: mramrl_nn::backend::default_backend(),
+            num_envs: 1,
         }
     }
 
@@ -121,6 +134,18 @@ impl Trainer {
     /// The configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.cfg
+    }
+
+    /// Builds the [`VecEnv`] this configuration asks for:
+    /// [`TrainerConfig::num_envs`] lanes of `kind`, lane `i` seeded
+    /// `cfg.seed + i` — the canonical way to size the fleet for
+    /// [`Trainer::run_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_envs` is zero.
+    pub fn build_vec_env(&self, kind: EnvKind) -> VecEnv {
+        VecEnv::new(kind, self.cfg.seed, self.cfg.num_envs)
     }
 
     /// Runs the loop: act ε-greedily, record the transition, accumulate
@@ -205,6 +230,116 @@ impl Trainer {
             curve,
         }
     }
+
+    /// The vectorized loop: `K = venv.len()` lanes act together. Each
+    /// vec-step runs **one** batched Q forward for action selection
+    /// (`[K, ...]` observations), records `K` transitions, accumulates a
+    /// `K`-sized replayed TD batch via [`QAgent::accumulate_td_batch`]
+    /// (one TD gradient per image, as in the serial loop) and applies the
+    /// §III-D batched update once `batch_size` gradients have
+    /// accumulated. `iters` counts total environment steps across lanes,
+    /// so wall-clock work matches [`Trainer::run`] at equal `iters`.
+    ///
+    /// Size the `VecEnv` with [`Trainer::build_vec_env`] (which reads
+    /// [`TrainerConfig::num_envs`]); a hand-built `venv` also works —
+    /// its lane count wins.
+    pub fn run_vec(&self, agent: &mut QAgent, venv: &mut VecEnv) -> TrainLog {
+        let cfg = &self.cfg;
+        agent.set_gemm_backend(cfg.backend);
+        let k = venv.len();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
+        let sgd = Sgd::new(cfg.lr).with_grad_clip(cfg.grad_clip);
+        let mut replay = ReplayBuffer::new(cfg.replay_capacity);
+
+        let mut cum_reward = MovingAverage::new(cfg.metrics_window);
+        let mut return_ma = MovingAverage::new((cfg.metrics_window / 64).max(4));
+        let mut sfd = SafeFlightTracker::new();
+        let mut curve = Vec::new();
+
+        let mut ep_reward = vec![0.0f32; k];
+        let mut ep_actions = vec![0u64; k];
+        let mut accumulated = 0usize;
+
+        let mut obs: Vec<Tensor> = venv.reset_all().iter().map(to_tensor).collect();
+        let mut iter = 0u64;
+        while iter < cfg.iters {
+            let q = agent.q_values_batch(&stack_observations(&obs));
+            let actions: Vec<usize> = (0..k)
+                .map(|i| cfg.epsilon.choose_slice(q.sample(i), iter, &mut rng))
+                .collect();
+            let act: Vec<Action> = actions.iter().map(|&a| Action::from_index(a)).collect();
+            let steps = venv.step(&act);
+
+            for (i, step) in steps.iter().enumerate() {
+                let next = to_tensor(&step.observation);
+                cum_reward.push(step.reward);
+                ep_reward[i] += step.reward;
+                ep_actions[i] += 1;
+                replay.push(Transition {
+                    state: core::mem::replace(&mut obs[i], next.clone()),
+                    action: actions[i],
+                    reward: step.reward,
+                    next_state: next,
+                    terminal: step.crashed,
+                });
+                if step.crashed {
+                    return_ma.push(ep_reward[i] / ep_actions[i].max(1) as f32);
+                    sfd.record_episode(venv.episode_distance(i));
+                    ep_reward[i] = 0.0;
+                    ep_actions[i] = 0;
+                    obs[i] = to_tensor(&venv.reset(i));
+                }
+            }
+
+            // One TD gradient per image: a K-sized replayed batch.
+            if let Some(batch) = replay.sample_as_batch(&mut rng, k) {
+                agent.accumulate_td_batch(&batch);
+                accumulated += k;
+            }
+            if accumulated >= cfg.batch_size {
+                agent.apply_update(&sgd, accumulated, cfg.target_sync);
+                accumulated = 0;
+            }
+
+            let next_iter = iter + k as u64;
+            if iter % cfg.log_every < k as u64 || next_iter >= cfg.iters {
+                curve.push(CurvePoint {
+                    iter,
+                    cumulative_reward: cum_reward.value(),
+                    avg_return: return_ma.value(),
+                });
+            }
+            iter = next_iter;
+        }
+        // Censored final episodes still inform SFD, lane by lane.
+        for i in 0..k {
+            if venv.episode_distance(i) > 0.0 {
+                sfd.record_episode(venv.episode_distance(i));
+            }
+        }
+
+        let episodes = sfd.episodes() as u64;
+        let tail = (sfd.episodes() / 3).max(3);
+        TrainLog {
+            episodes,
+            sfd: sfd.tail_mean(tail),
+            sfd_overall: sfd.mean(),
+            final_reward: cum_reward.value(),
+            curve,
+        }
+    }
+}
+
+/// Stacks per-lane observations `[C,H,W]` into one `[K, C, H, W]` batch.
+fn stack_observations(obs: &[Tensor]) -> Tensor {
+    let mut shape = Vec::with_capacity(obs[0].shape().len() + 1);
+    shape.push(obs.len());
+    shape.extend_from_slice(obs[0].shape());
+    let mut data = Vec::with_capacity(obs.len() * obs[0].len());
+    for o in obs {
+        data.extend_from_slice(o.data());
+    }
+    Tensor::from_vec(&shape, data)
 }
 
 /// Depth image → CNN input tensor.
@@ -272,6 +407,58 @@ pub fn evaluate(
     }
 }
 
+/// Vectorized [`evaluate`]: freezes the policy over a [`VecEnv`], one
+/// batched Q forward per vec-step. `steps` counts total environment
+/// steps across all lanes (rounded up to a whole vec-step).
+///
+/// # Panics
+///
+/// Panics if `steps` is zero or `eps` is outside `[0, 1]`.
+pub fn evaluate_vec(
+    agent: &mut QAgent,
+    venv: &mut VecEnv,
+    steps: u64,
+    eps: f32,
+    seed: u64,
+) -> EvalResult {
+    assert!(steps > 0, "evaluation needs steps");
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    let k = venv.len();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xEAA1_EAA1);
+    let schedule = EpsilonSchedule::new(eps.max(1e-6), eps.max(1e-6), 1);
+    let mut sfd = SafeFlightTracker::new();
+    let mut reward_sum = 0.0f64;
+
+    let mut obs: Vec<Tensor> = venv.reset_all().iter().map(to_tensor).collect();
+    let mut stepped = 0u64;
+    while stepped < steps {
+        let q = agent.q_values_batch(&stack_observations(&obs));
+        let act: Vec<Action> = (0..k)
+            .map(|i| Action::from_index(schedule.choose_slice(q.sample(i), stepped, &mut rng)))
+            .collect();
+        for (i, s) in venv.step(&act).iter().enumerate() {
+            reward_sum += f64::from(s.reward);
+            if s.crashed {
+                sfd.record_episode(venv.episode_distance(i));
+                obs[i] = to_tensor(&venv.reset(i));
+            } else {
+                obs[i] = to_tensor(&s.observation);
+            }
+        }
+        stepped += k as u64;
+    }
+    for i in 0..k {
+        if venv.episode_distance(i) > 0.0 {
+            sfd.record_episode(venv.episode_distance(i));
+        }
+    }
+    EvalResult {
+        sfd: sfd.mean(),
+        episodes: sfd.episodes() as u64,
+        mean_reward: (reward_sum / stepped as f64) as f32,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +514,45 @@ mod tests {
             .flat_map(|l| l.params().into_iter().flat_map(|p| p.value.data().to_vec()))
             .collect();
         assert_eq!(conv_before, conv_after);
+    }
+
+    #[test]
+    fn run_vec_produces_curves_and_episodes() {
+        let mut venv = mramrl_env::VecEnv::from_envs(vec![tiny_env(), tiny_env(), tiny_env()]);
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 1);
+        let mut cfg = TrainerConfig::online(300, 1);
+        cfg.num_envs = 3;
+        let log = Trainer::new(cfg).run_vec(&mut agent, &mut venv);
+        assert!(!log.curve.is_empty());
+        assert!(log.curve.iter().all(|p| p.cumulative_reward.is_finite()));
+        assert!(log.episodes > 0, "a fresh agent must crash sometimes");
+        assert!(log.sfd >= 0.0);
+    }
+
+    #[test]
+    fn run_vec_deterministic_given_seed() {
+        let run = |seed| {
+            let mut agent = QAgent::new(&NetworkSpec::micro(40, 1, 5), seed);
+            let mut cfg = TrainerConfig::online(120, seed);
+            cfg.num_envs = 2;
+            let trainer = Trainer::new(cfg);
+            let mut venv = trainer.build_vec_env(mramrl_env::EnvKind::IndoorApartment);
+            assert_eq!(venv.len(), 2, "build_vec_env must honour num_envs");
+            trainer.run_vec(&mut agent, &mut venv)
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a.final_reward, b.final_reward);
+        assert_eq!(a.episodes, b.episodes);
+    }
+
+    #[test]
+    fn evaluate_vec_reports_flight() {
+        let mut venv = mramrl_env::VecEnv::from_envs(vec![tiny_env(), tiny_env()]);
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 4);
+        let r = evaluate_vec(&mut agent, &mut venv, 100, 0.05, 4);
+        assert!(r.sfd >= 0.0);
+        assert!(r.mean_reward.is_finite());
+        assert!(r.episodes > 0);
     }
 
     #[test]
