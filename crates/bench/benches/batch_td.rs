@@ -15,7 +15,11 @@
 //! both sides share the [`mramrl_bench`] workload fixtures, so they
 //! cannot drift apart.
 //!
-//! Knobs: `NN_GEMM_THREADS`, `CRITERION_BUDGET_MS`.
+//! Knobs: `NN_POOL_THREADS` (sizes the persistent worker pool the
+//! threaded backend's batch/band fan-out runs on — see
+//! `docs/threading.md`), `NN_GEMM_THREADS`, `CRITERION_BUDGET_MS`.
+//! For an in-process pool sweep use `bench_batch_json --pool-threads N`
+//! instead, which injects pools of each size.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mramrl_bench::{batch_td_agent, batch_td_spec, batch_td_transitions, BATCH_TD_SIZES};

@@ -2,20 +2,29 @@
 //!
 //! Times one replay batch of Bellman updates on the Fig. 3(a)-
 //! proportioned micro AlexNet ([`mramrl_bench::batch_td_spec`]) per
-//! (backend × batch size) cell — batched
+//! (backend × batch size × pool threads) cell — batched
 //! (`QAgent::accumulate_td_batch`, N ∈ {1, 8, 32}) and the serial-32
 //! baseline (32 × `accumulate_td`) — prints the table, saves the CSV,
 //! and emits `BENCH_batch.json` so future PRs have a perf trajectory to
 //! diff against. The workload fixtures are shared with the `batch_td`
 //! criterion bench (`mramrl_bench::batch_td_*`), so the JSON and the
-//! criterion numbers measure the same thing. The acceptance bar
+//! criterion numbers measure the same thing.
+//!
+//! The pool sweep injects a fresh `mramrl_nn::pool::ThreadPool` per
+//! `threads` cell (the injectable-handle path — no env games) and times
+//! **every** backend at every pool size: `naive`/`blocked` also reach
+//! the pool through the agent's join2 overlap of the target/online
+//! forwards, so their cells are not thread-invariant. Acceptance bars
 //! recorded in the JSON: `batched(32) ≥ 2× serial(32)` on the blocked
-//! backend.
+//! backend at one thread, and — on a multi-core runner — threaded
+//! batched(32) ≥ 1.5× blocked batched(32) at the same pool size.
 //!
 //! Flags: `--reps N` (timed repetitions per cell, default 10),
-//! `--backend <name>` narrows to one backend, `--tiny` swaps in the
-//! 16×16 smoke-test net (seconds instead of minutes; smoke tests pass
-//! `--tiny --reps 1`).
+//! `--backend <name>` narrows to one backend, `--pool-threads N` sets
+//! the multi-thread cell count (default: the global pool size, i.e.
+//! `NN_POOL_THREADS` or all cores, floored at 4 so the trajectory always
+//! records a threads>1 row), `--tiny` swaps in the 16×16 smoke-test net
+//! (seconds instead of minutes; smoke tests pass `--tiny --reps 1`).
 
 use std::time::Instant;
 
@@ -24,6 +33,7 @@ use mramrl_bench::{
     save_bench_json, Table, BATCH_TD_SIZES,
 };
 use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::pool::ThreadPool;
 use mramrl_rl::{Transition, TransitionBatch};
 
 /// Times `reps` runs of `work` (after one warm-up), returning mean
@@ -37,11 +47,25 @@ fn time_ns(reps: u64, mut work: impl FnMut()) -> f64 {
     t0.elapsed().as_nanos() as f64 / reps as f64
 }
 
+/// One measured cell of the (backend × mode × batch × threads) matrix.
+struct Cell {
+    backend: &'static str,
+    mode: &'static str,
+    batch: usize,
+    threads: usize,
+    ns_per_transition: f64,
+}
+
 fn main() {
     let backend_filter = mramrl_bench::init_gemm_backend();
     let explicit_backend = std::env::args().any(|a| a.starts_with("--backend"));
     let tiny = std::env::args().any(|a| a == "--tiny");
     let reps = arg_u64("reps", 10).max(1);
+    let multi = arg_u64(
+        "pool-threads",
+        mramrl_nn::pool::global().threads().max(4) as u64,
+    )
+    .max(1) as usize;
     let (spec, net_name) = if tiny {
         (batch_td_spec_tiny(), "micro16-tiny")
     } else {
@@ -54,75 +78,125 @@ fn main() {
     } else {
         GemmBackend::ALL.to_vec()
     };
+    let thread_counts: Vec<usize> = if multi > 1 { vec![1, multi] } else { vec![1] };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &threads in &thread_counts {
+        let pool = ThreadPool::new(threads);
+        let _installed = pool.install();
+        for &be in &backends {
+            // Every backend is re-timed at every pool size: even
+            // naive/blocked reach the pool through the agent's join2
+            // overlap of the target/online forwards, so their cells are
+            // NOT thread-invariant.
+            for n in BATCH_TD_SIZES {
+                let refs: Vec<&Transition> = ts[..n].iter().collect();
+                let batch = TransitionBatch::from_transitions(&refs);
+                let mut a = batch_td_agent(&spec, be);
+                let ns = time_ns(reps, || {
+                    let _ = a.accumulate_td_batch(&batch);
+                    a.net_mut().zero_grads();
+                }) / n as f64;
+                cells.push(Cell {
+                    backend: be.name(),
+                    mode: "batched",
+                    batch: n,
+                    threads,
+                    ns_per_transition: ns,
+                });
+            }
+            let mut a = batch_td_agent(&spec, be);
+            let ns = time_ns(reps, || {
+                for t in &ts {
+                    let _ = a.accumulate_td(t);
+                }
+                a.net_mut().zero_grads();
+            }) / ts.len() as f64;
+            cells.push(Cell {
+                backend: be.name(),
+                mode: "serial",
+                batch: ts.len(),
+                threads,
+                ns_per_transition: ns,
+            });
+        }
+    }
 
     let mut table = Table::new(
         format!("Batched TD throughput ({net_name}, Fig. 3(a)-proportioned unless --tiny)"),
-        &["backend", "mode", "batch", "ns/transition", "transitions/s"],
+        &[
+            "backend",
+            "mode",
+            "batch",
+            "threads",
+            "ns/transition",
+            "transitions/s",
+        ],
     );
-    // (backend, mode, batch, ns_per_transition)
-    let mut cells: Vec<(String, String, usize, f64)> = Vec::new();
-
-    for &be in &backends {
-        for n in BATCH_TD_SIZES {
-            let refs: Vec<&Transition> = ts[..n].iter().collect();
-            let batch = TransitionBatch::from_transitions(&refs);
-            let mut a = batch_td_agent(&spec, be);
-            let ns = time_ns(reps, || {
-                let _ = a.accumulate_td_batch(&batch);
-                a.net_mut().zero_grads();
-            }) / n as f64;
-            cells.push((be.name().into(), "batched".into(), n, ns));
-        }
-        let mut a = batch_td_agent(&spec, be);
-        let ns = time_ns(reps, || {
-            for t in &ts {
-                let _ = a.accumulate_td(t);
-            }
-            a.net_mut().zero_grads();
-        }) / ts.len() as f64;
-        cells.push((be.name().into(), "serial".into(), ts.len(), ns));
-    }
-
-    for (backend, mode, n, ns) in &cells {
+    for c in &cells {
         table.row_owned(vec![
-            backend.clone(),
-            mode.clone(),
-            n.to_string(),
-            fmt(*ns, 0),
-            fmt(1.0e9 / ns, 0),
+            c.backend.into(),
+            c.mode.into(),
+            c.batch.to_string(),
+            c.threads.to_string(),
+            fmt(c.ns_per_transition, 0),
+            fmt(1.0e9 / c.ns_per_transition, 0),
         ]);
     }
     table.print();
     table.save("bench_batch");
 
-    // Speedup of batched(32) over serial(32), per backend.
-    let ns_of = |backend: &str, mode: &str| {
+    let ns_of = |backend: &str, mode: &str, threads: usize| {
         cells
             .iter()
-            .find(|(b, m, n, _)| b == backend && m == mode && *n == 32)
-            .map(|(_, _, _, ns)| *ns)
+            .find(|c| {
+                c.backend == backend && c.mode == mode && c.batch == 32 && c.threads == threads
+            })
+            .map(|c| c.ns_per_transition)
     };
+
+    // Speedup of batched(32) over serial(32), per backend, single thread.
     let mut speedups = Vec::new();
     for &be in &backends {
-        if let (Some(b32), Some(s32)) = (ns_of(be.name(), "batched"), ns_of(be.name(), "serial")) {
+        if let (Some(b32), Some(s32)) = (
+            ns_of(be.name(), "batched", 1),
+            ns_of(be.name(), "serial", 1),
+        ) {
             let s = s32 / b32;
             println!("speedup batched(32) vs serial(32) on {be}: {s:.2}x");
             speedups.push((be.name().to_string(), s));
         }
     }
+    // The multi-core bar: threaded batched(32) against blocked
+    // batched(32) at the SAME pool size (blocked also gets the pool's
+    // join2 forward overlap, so same-size cells are the fair baseline).
+    let mut multicore = Vec::new();
+    for &t in thread_counts.iter().filter(|&&t| t > 1) {
+        if let (Some(th), Some(bl)) = (
+            ns_of("threaded", "batched", t),
+            ns_of("blocked", "batched", t),
+        ) {
+            let s = bl / th;
+            println!("speedup threaded batched(32) vs blocked batched(32) @ {t} threads: {s:.2}x");
+            multicore.push((t, s));
+        }
+    }
 
     let mut json = String::from("{\n  \"bench\": \"batch_td\",\n");
     json.push_str(&format!(
-        "  \"net\": \"{net_name}\",\n  \"reps\": {reps},\n  \"threads\": {},\n",
-        mramrl_nn::backend::thread_count()
+        "  \"net\": \"{net_name}\",\n  \"reps\": {reps},\n  \"pool_threads\": {thread_counts:?},\n",
     ));
     json.push_str("  \"cells\": [\n");
-    for (i, (backend, mode, n, ns)) in cells.iter().enumerate() {
+    for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{backend}\", \"mode\": \"{mode}\", \"batch\": {n}, \
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"threads\": {}, \
              \"ns_per_transition\": {:.1}, \"transitions_per_sec\": {:.1}}}{}\n",
-            ns,
-            1.0e9 / ns,
+            c.backend,
+            c.mode,
+            c.batch,
+            c.threads,
+            c.ns_per_transition,
+            1.0e9 / c.ns_per_transition,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -130,6 +204,13 @@ fn main() {
     for (i, (backend, s)) in speedups.iter().enumerate() {
         json.push_str(&format!(
             "{}\"{backend}\": {s:.3}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    json.push_str("},\n  \"speedup_threaded_batched32_vs_blocked_batched32\": {");
+    for (i, (t, s)) in multicore.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{t}\": {s:.3}",
             if i == 0 { "" } else { ", " }
         ));
     }

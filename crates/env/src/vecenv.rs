@@ -8,6 +8,13 @@
 //! constructed with the same seed: `VecEnv` adds no coupling between
 //! lanes, it only fans calls out (the trajectory-equivalence tests pin
 //! this).
+//!
+//! The fan-out is parallel: with more than one executor on the current
+//! [`mramrl_nn::pool`], [`VecEnv::step`] and [`VecEnv::reset_all`]
+//! scatter contiguous lane chunks across the persistent workers (each
+//! lane's ray-cast render is independent work). Lanes own their RNGs and
+//! their result slots, so the trajectories stay bit-identical to the
+//! serial sweep at any `NN_POOL_THREADS`.
 
 use crate::drone::Action;
 use crate::episode::{DroneEnv, StepResult};
@@ -80,9 +87,11 @@ impl VecEnv {
         &self.envs
     }
 
-    /// Resets every lane, returning the first observations in lane order.
+    /// Resets every lane, returning the first observations in lane order
+    /// (lane chunks render in parallel on the current pool; each lane's
+    /// observation is bit-identical to its serial `reset`).
     pub fn reset_all(&mut self) -> Vec<Image> {
-        self.envs.iter_mut().map(DroneEnv::reset).collect()
+        fan_out_lanes(&mut self.envs, &|_, env| env.reset())
     }
 
     /// Resets one lane (after its crash), returning its observation.
@@ -96,16 +105,18 @@ impl VecEnv {
     /// explicit [`VecEnv::reset`] (the caller records the crash
     /// transition first, as in the serial loop).
     ///
+    /// With more than one pool executor, contiguous lane chunks step in
+    /// parallel on the persistent [`mramrl_nn::pool`]. Lanes share
+    /// nothing (own world, own RNG, own result slot), so the results are
+    /// bit-identical to the serial sweep — the pooled-equivalence tests
+    /// pin this per trajectory.
+    ///
     /// # Panics
     ///
     /// Panics if `actions.len()` differs from the lane count.
     pub fn step(&mut self, actions: &[Action]) -> Vec<StepResult> {
         assert_eq!(actions.len(), self.envs.len(), "one action per lane");
-        self.envs
-            .iter_mut()
-            .zip(actions)
-            .map(|(env, &a)| env.step(a))
-            .collect()
+        fan_out_lanes(&mut self.envs, &|i, env| env.step(actions[i]))
     }
 
     /// Metres flown in lane `i`'s current episode.
@@ -117,6 +128,43 @@ impl VecEnv {
     pub fn total_episodes(&self) -> u64 {
         self.envs.iter().map(DroneEnv::episodes).sum()
     }
+}
+
+/// The one pooled fan-out behind [`VecEnv::step`] and
+/// [`VecEnv::reset_all`]: applies `f(lane_index, env)` to every lane,
+/// scattering contiguous lane chunks over the current
+/// [`mramrl_nn::pool`] when it has more than one executor (serial sweep
+/// otherwise, and for a single lane). Lanes share nothing — each owns
+/// its world, RNG and result slot — so the output is bit-identical to
+/// the serial loop at any pool size.
+fn fan_out_lanes<T, F>(envs: &mut [DroneEnv], f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut DroneEnv) -> T + Sync,
+{
+    let k = envs.len();
+    let threads = mramrl_nn::pool::current_threads();
+    if threads <= 1 || k < 2 {
+        return envs.iter_mut().enumerate().map(|(i, e)| f(i, e)).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..k).map(|_| None).collect();
+    let chunk = k.div_ceil(threads);
+    let mut tasks: Vec<mramrl_nn::pool::Task> = Vec::new();
+    for (c, (envs_c, out_c)) in envs
+        .chunks_mut(chunk)
+        .zip(out.chunks_mut(chunk))
+        .enumerate()
+    {
+        tasks.push(Box::new(move || {
+            for (j, (env, slot)) in envs_c.iter_mut().zip(out_c).enumerate() {
+                *slot = Some(f(c * chunk + j, env));
+            }
+        }));
+    }
+    mramrl_nn::pool::current().run(tasks);
+    out.into_iter()
+        .map(|o| o.expect("every lane processed"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! including the reset jitter drawn from each lane's own noise RNG.
 
 use mramrl_env::{Action, DroneEnv, EnvKind, VecEnv};
+use mramrl_nn::pool::ThreadPool;
 use proptest::prelude::*;
 
 const KINDS: [EnvKind; 4] = [
@@ -62,6 +63,44 @@ proptest! {
         for (i, env) in serial.iter().enumerate() {
             prop_assert_eq!(venv.episode_distance(i), env.episode_distance());
             prop_assert_eq!(venv.env(i).episodes(), env.episodes());
+        }
+    }
+}
+
+/// Pooled lane stepping is a pure fan-out: under injected worker pools
+/// of 1, 2 and 7 executors the whole trajectory (observations, rewards,
+/// crashes, post-crash resets) stays bit-identical to the serial
+/// single-env sweep. This is the `VecEnv` leg of the pool determinism
+/// contract (`docs/threading.md`).
+#[test]
+fn pooled_lane_stepping_matches_serial_trajectories() {
+    for pool_threads in [1usize, 2, 7] {
+        let pool = ThreadPool::new(pool_threads);
+        let _installed = pool.install();
+        let kind = EnvKind::IndoorApartment;
+        let k = 5usize;
+        let mut venv = VecEnv::new(kind, 42, k);
+        let mut serial: Vec<DroneEnv> =
+            (0..k).map(|i| DroneEnv::new(kind, 42 + i as u64)).collect();
+
+        let vobs = venv.reset_all();
+        for (i, env) in serial.iter_mut().enumerate() {
+            assert_eq!(vobs[i], env.reset(), "pool={pool_threads} reset lane {i}");
+        }
+        for step in 0..80 {
+            let actions: Vec<Action> = (0..k).map(|i| Action::from_index((i + step) % 5)).collect();
+            let vres = venv.step(&actions);
+            for (i, env) in serial.iter_mut().enumerate() {
+                let sres = env.step(actions[i]);
+                assert_eq!(vres[i], sres, "pool={pool_threads} step {step} lane {i}");
+                if sres.crashed {
+                    assert_eq!(
+                        venv.reset(i),
+                        env.reset(),
+                        "pool={pool_threads} post-crash reset lane {i}"
+                    );
+                }
+            }
         }
     }
 }

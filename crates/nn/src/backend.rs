@@ -9,7 +9,7 @@
 //! |------------|------------------------------------------------|-----|
 //! | [`GemmBackend::Naive`]    | reference triple loops ([`crate::gemm::matmul`]) | correctness oracle |
 //! | [`GemmBackend::Blocked`]  | k-panel packed, `MR×NR` register-tiled kernel   | default |
-//! | [`GemmBackend::Threaded`] | row-band `std::thread::scope` over the blocked kernel | large shapes |
+//! | [`GemmBackend::Threaded`] | row bands on the persistent [`crate::pool`] over the blocked kernel | large shapes / multi-core |
 //!
 //! # Summation-order contract (exactness policy)
 //!
@@ -31,10 +31,15 @@
 //! * `NN_GEMM_BACKEND` — `naive` | `blocked` | `threaded`; the
 //!   process-wide default returned by [`default_backend`] (default:
 //!   `blocked`).
-//! * `NN_GEMM_THREADS` — worker count for [`GemmBackend::Threaded`]
-//!   (default: [`std::thread::available_parallelism`]).
+//! * `NN_GEMM_THREADS` — row-band count for [`GemmBackend::Threaded`]
+//!   (default: the [`crate::pool`]'s executor count, i.e.
+//!   `NN_POOL_THREADS` or the machine's available parallelism). Parsed
+//!   by [`crate::pool::env_thread_knob`], which warns on stderr for
+//!   invalid values instead of silently falling back.
 //!
-//! Both are read once and cached for the life of the process.
+//! `NN_GEMM_BACKEND` and `NN_GEMM_THREADS` are read once and cached;
+//! the pool fallback follows whichever pool is current (injected test
+//! pools included — see `docs/threading.md`).
 //!
 //! # Examples
 //!
@@ -68,6 +73,18 @@ const NC: usize = 512;
 
 /// Below this many multiply-accumulates a threaded launch costs more than
 /// it saves; [`GemmBackend::Threaded`] falls back to the blocked kernel.
+///
+/// Rationale, with numbers measured on the dev container: the blocked
+/// kernel sustains ≈ 10.5 GMAC/s single-core (64³ = 262 k MACs ≈ 23 µs,
+/// flat through the CONV1 shape), and one pool submit + latch round trip
+/// costs ≈ 0.4 µs queue-side plus a few µs of cross-core condvar wakeup
+/// on real multi-core hardware. At the `2^18`-MAC threshold a serial
+/// sweep is ~25 µs, so dispatch is ≲ 15 % and two cores already win;
+/// an order of magnitude lower the whole product costs less than waking
+/// the workers. Banding also re-streams the shared operand per band
+/// (all `m` rows of `A`/`B` for `Aᵀ·B` — though each band now reads
+/// only its own `kks`-wide window of every `A` row), which is the other
+/// reason not to push the threshold lower.
 const PAR_MIN_MACS: usize = 1 << 18;
 
 /// Which GEMM kernel the NN layers use for their matrix products.
@@ -83,8 +100,10 @@ pub enum GemmBackend {
     /// Cache-blocked, k-panel-packed, `MR×NR` register-tiled kernel.
     #[default]
     Blocked,
-    /// Row-band multi-threading (scoped `std::thread`) over the blocked
-    /// kernel; thread count from `NN_GEMM_THREADS`.
+    /// Row-band multi-threading on the persistent [`crate::pool`] over
+    /// the blocked kernel; band count from `NN_GEMM_THREADS` (default:
+    /// the pool's executor count). Also unlocks batch-level sample
+    /// parallelism in the batched conv passes.
     Threaded,
 }
 
@@ -220,21 +239,16 @@ pub fn default_backend() -> GemmBackend {
     *DEFAULT.get_or_init(GemmBackend::from_env)
 }
 
-/// Worker count for [`GemmBackend::Threaded`]: `NN_GEMM_THREADS`, or the
-/// machine's available parallelism (resolved once, then cached; ≥ 1).
+/// Row-band count for [`GemmBackend::Threaded`]: `NN_GEMM_THREADS`
+/// (parsed once via [`crate::pool::env_thread_knob`] — invalid values
+/// warn on stderr and fall back), or the current [`crate::pool`]'s
+/// executor count when unset. The knob is cached; the pool fallback is
+/// re-read per call so injected test pools are honoured.
 pub fn thread_count() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("NN_GEMM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-    })
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    THREADS
+        .get_or_init(|| crate::pool::env_thread_knob("NN_GEMM_THREADS"))
+        .unwrap_or_else(crate::pool::current_threads)
 }
 
 /// Blocked `A·B` over the whole output (single thread), into `c`.
@@ -332,8 +346,11 @@ fn matmul_band(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: us
     }
 }
 
-/// Threaded `A·B`: contiguous row bands of `C` across scoped threads,
-/// each running the blocked kernel on its band, into `c`.
+/// Threaded `A·B`: contiguous row bands of `C` scattered over the
+/// persistent [`crate::pool`], each running the blocked kernel on its
+/// band, into `c`. Pure disjoint scatter — every output element is
+/// computed by exactly one band with the blocked kernel's summation
+/// order, so the result is bit-identical to serial at any thread count.
 fn matmul_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     let threads = thread_count().min(m.max(1));
     if threads <= 1 || m * k * n < PAR_MIN_MACS || n < 8 {
@@ -341,12 +358,10 @@ fn matmul_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize,
         return;
     }
     let band_rows = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, cband) in c.chunks_mut(band_rows * n).enumerate() {
-            let rows = cband.len() / n;
-            let aband = &a[t * band_rows * k..(t * band_rows + rows) * k];
-            s.spawn(move || matmul_band(cband, aband, b, rows, k, n));
-        }
+    crate::pool::current().scatter_chunks(c, band_rows * n, |t, cband| {
+        let rows = cband.len() / n;
+        let aband = &a[t * band_rows * k..(t * band_rows + rows) * k];
+        matmul_band(cband, aband, b, rows, k, n);
     });
 }
 
@@ -376,15 +391,21 @@ fn at_b_band(
 ) {
     let mut i = 0;
     while i + MR_ATB <= m {
-        let ar = |r: usize| &a[(i + r) * k..(i + r + 1) * k];
+        // Hoisted band window: each A row is sliced to exactly the
+        // `[kk0, kk0 + kks)` columns this band reads, so the sweep below
+        // indexes with `kk` against a slice of length `kks` — one bounds
+        // proof per row per group instead of one check per element, and
+        // no re-reading of the rest of the row (every band used to slice
+        // all `k` columns of every one of the `m` shared rows).
+        let ar = |r: usize| &a[(i + r) * k + kk0..(i + r) * k + kk0 + kks];
         let br = |r: usize| &b[(i + r) * n..(i + r + 1) * n];
         let (a0, a1, a2, a3) = (ar(0), ar(1), ar(2), ar(3));
         let (a4, a5, a6, a7) = (ar(4), ar(5), ar(6), ar(7));
         let (b0, b1, b2, b3) = (br(0), br(1), br(2), br(3));
         let (b4, b5, b6, b7) = (br(4), br(5), br(6), br(7));
         for kk in 0..kks {
-            let (x0, x1, x2, x3) = (a0[kk0 + kk], a1[kk0 + kk], a2[kk0 + kk], a3[kk0 + kk]);
-            let (x4, x5, x6, x7) = (a4[kk0 + kk], a5[kk0 + kk], a6[kk0 + kk], a7[kk0 + kk]);
+            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            let (x4, x5, x6, x7) = (a4[kk], a5[kk], a6[kk], a7[kk]);
             let crow = &mut c[kk * n..(kk + 1) * n];
             for (j, cv) in crow.iter_mut().enumerate() {
                 // Left-to-right: ascending-i summation order preserved.
@@ -402,10 +423,11 @@ fn at_b_band(
         i += MR_ATB;
     }
     while i < m {
-        let arow = &a[i * k..(i + 1) * k];
+        // Same hoisted window for the ragged tail rows.
+        let arow = &a[i * k + kk0..i * k + kk0 + kks];
         let brow = &b[i * n..(i + 1) * n];
         for kk in 0..kks {
-            let x = arow[kk0 + kk];
+            let x = arow[kk];
             let crow = &mut c[kk * n..(kk + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += x * bv;
@@ -416,22 +438,23 @@ fn at_b_band(
 }
 
 /// Threaded `Aᵀ·B`: the `k` output rows are split into contiguous bands
-/// across scoped threads; every thread sweeps all `m` input rows (in
-/// ascending order) over its own band. `c` must arrive zeroed
-/// ([`at_b_band`] accumulates).
+/// scattered over the persistent [`crate::pool`]; every band sweeps all
+/// `m` input rows (in ascending order, reading only its own `kks`-wide
+/// window of each `A` row) over its own slice of the output. Each band
+/// zeroes and accumulates its own slice, so the scatter is disjoint and
+/// bit-identical to serial at any thread count.
 fn matmul_at_b_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     let threads = thread_count().min(k.max(1));
-    c.fill(0.0);
     if threads <= 1 || m * k * n < PAR_MIN_MACS || n == 0 {
+        c.fill(0.0);
         at_b_band(c, a, b, m, k, n, 0, k);
         return;
     }
     let band_rows = k.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, cband) in c.chunks_mut(band_rows * n).enumerate() {
-            let kks = cband.len() / n;
-            s.spawn(move || at_b_band(cband, a, b, m, k, n, t * band_rows, kks));
-        }
+    crate::pool::current().scatter_chunks(c, band_rows * n, |t, cband| {
+        let kks = cband.len() / n;
+        cband.fill(0.0);
+        at_b_band(cband, a, b, m, k, n, t * band_rows, kks);
     });
 }
 

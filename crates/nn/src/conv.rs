@@ -27,6 +27,15 @@ use crate::workspace::LayerWs;
 /// association the serial path uses, which is what makes batched ≡ serial
 /// bit-identical (see `docs/batching.md`).
 ///
+/// On the `Threaded` backend with `N > 1`, parallelism moves **up to the
+/// batch axis**: each sample's whole pipeline (im2col expansion, GEMMs,
+/// bias add, col2im scatter) is one [`crate::pool`] task writing its own
+/// disjoint workspace chunks, and the cross-sample `dW`/`db` reductions
+/// become per-sample partial buffers merged on the caller in ascending
+/// sample order — the same per-element float-op sequences as the serial
+/// pass, so bit-identity holds at any thread count
+/// (see `docs/threading.md`).
+///
 /// The two algorithms (direct loops vs GEMM path) agree to float
 /// rounding (see the tolerance policy in [`crate::gemm`]).
 ///
@@ -271,13 +280,56 @@ impl Layer for Conv2d {
             return;
         }
 
-        // GEMM path: pack the whole batch into one product,
+        let taps = self.in_c * self.k * self.k;
+
+        // Pooled batch-parallel path: one task per sample, each running
+        // the whole per-sample pipeline — im2col straight into the
+        // transposed [taps × positions] GEMM layout, its own
+        //   outᵢ[out_c × positions] = W[out_c × taps] · colsᵢᵀ
+        // product on the single-thread blocked kernel, bias after the
+        // full dot — into disjoint chunks of the shared buffers. Every
+        // output element is the identical ascending-taps dot product as
+        // the fused batch GEMM *and* the serial per-image pass, so the
+        // scatter is bit-identical to both at any thread count.
+        if self.backend == GemmBackend::Threaded && n > 1 {
+            let LayerWs { gemm_a, out, .. } = ws;
+            let sample_cols = taps * positions;
+            let cols_all = LayerWs::reuse_buf(gemm_a, n * sample_cols);
+            let out = LayerWs::reuse(out, &[n, self.out_c, out_h, out_w]);
+            let od = out.data_mut();
+            let w = self.weight.value.data();
+            let b = self.bias.value.data();
+            let (in_c, out_c, k, stride, pad) = self.geometry();
+            let out_plane = out_c * positions;
+            let mut tasks: Vec<crate::pool::Task> = Vec::with_capacity(n);
+            for (i, (cols_i, out_i)) in cols_all
+                .chunks_mut(sample_cols)
+                .zip(od.chunks_mut(out_plane))
+                .enumerate()
+            {
+                let x_i = x.sample(i);
+                tasks.push(Box::new(move || {
+                    crate::gemm::im2col_t_slice_into(cols_i, x_i, in_c, in_h, in_w, k, stride, pad);
+                    GemmBackend::Blocked.matmul_into(out_i, w, cols_i, out_c, taps, positions);
+                    for oc in 0..out_c {
+                        let bv = b[oc];
+                        for v in &mut out_i[oc * positions..(oc + 1) * positions] {
+                            // Bias after the full dot product — the serial order.
+                            *v += bv;
+                        }
+                    }
+                }));
+            }
+            crate::pool::current().run(tasks);
+            return;
+        }
+
+        // Fused GEMM path: pack the whole batch into one product,
         //   out'[out_c × N·positions] = W[out_c × taps] · cols[taps × N·positions],
         // with sample i's im2col columns occupying columns
         // [i·positions, (i+1)·positions). Each output element is the same
         // ascending-taps dot product as the serial per-image GEMM, so the
         // fused product is bit-identical to N serial ones.
-        let taps = self.in_c * self.k * self.k;
         let LayerWs {
             im2col,
             gemm_a,
@@ -364,7 +416,99 @@ impl Layer for Conv2d {
             return Ok(());
         }
 
-        // GEMM path (§V-B). Per-sample, ascending sample order:
+        let taps = self.in_c * self.k * self.k;
+
+        // Pooled batch-parallel path: one task per sample computing the
+        // whole per-sample backward — im2colᵢ, the transposed gradient
+        // block, fully-reduced dWᵢ/dbᵢ **partials** into its own slots of
+        // `acc`/`acc2`, the per-sample dXᵢ GEMM and col2im scatter — all
+        // into disjoint chunks. The cross-sample dW/db reduction then
+        // merges the partials on this thread in ascending sample order:
+        // exactly the serial association, so gradients are bit-identical
+        // to N serial passes at any thread count (`docs/threading.md`).
+        if self.backend == GemmBackend::Threaded && n > 1 {
+            let go = grad_output.data();
+            let sample_cols = positions * taps;
+            let LayerWs {
+                input: ws_input,
+                grad_in,
+                im2col,
+                gemm_a,
+                gemm_c,
+                acc,
+                acc2,
+                ..
+            } = ws;
+            let input = ws_input.as_ref().expect("checked above");
+            let cols_all = LayerWs::reuse_buf(im2col, n * sample_cols);
+            let gbig = LayerWs::reuse_buf(gemm_a, n * positions * self.out_c);
+            let dcols = LayerWs::reuse_buf(gemm_c, n * sample_cols);
+            let dw_parts = LayerWs::reuse_buf(acc, n * self.out_c * taps);
+            let db_parts = LayerWs::reuse_buf(acc2, n * self.out_c);
+            let grad_in = LayerWs::reuse(grad_in, input.shape());
+            let gid = grad_in.data_mut();
+            let in_plane = self.in_c * in_h * in_w;
+            let w = self.weight.value.data();
+            let (in_c, out_c, k, stride, pad) = self.geometry();
+            let mut tasks: Vec<crate::pool::Task> = Vec::with_capacity(n);
+            let chunks = cols_all
+                .chunks_mut(sample_cols)
+                .zip(gbig.chunks_mut(positions * out_c))
+                .zip(dcols.chunks_mut(sample_cols))
+                .zip(dw_parts.chunks_mut(out_c * taps))
+                .zip(db_parts.chunks_mut(out_c))
+                .zip(gid.chunks_mut(in_plane))
+                .enumerate();
+            for (i, (((((cols_i, gbig_i), dcols_i), dw_i), db_i), gi_i)) in chunks {
+                let x_i = input.sample(i);
+                let go_i = &go[i * out_c * positions..(i + 1) * out_c * positions];
+                tasks.push(Box::new(move || {
+                    crate::gemm::im2col_slice_into(cols_i, x_i, in_c, in_h, in_w, k, stride, pad);
+                    // Sample i's grad as a [positions × out_c] block.
+                    for oc in 0..out_c {
+                        for pos in 0..positions {
+                            gbig_i[pos * out_c + oc] = go_i[oc * positions + pos];
+                        }
+                    }
+                    // dWᵢ, fully reduced per sample — the serial op
+                    // sequence (merge happens after the join, in order).
+                    GemmBackend::Blocked
+                        .matmul_at_b_into(dw_i, gbig_i, cols_i, positions, out_c, taps);
+                    // dbᵢ: ascending positions, fully reduced.
+                    for (oc, db) in db_i.iter_mut().enumerate() {
+                        let mut s = 0.0f32;
+                        for pos in 0..positions {
+                            s += go_i[oc * positions + pos];
+                        }
+                        *db = s;
+                    }
+                    // dXᵢ = Gᵢ·W, then the per-sample col2im scatter.
+                    GemmBackend::Blocked.matmul_into(dcols_i, gbig_i, w, positions, out_c, taps);
+                    gi_i.fill(0.0);
+                    crate::gemm::col2im_slice_accumulate(
+                        gi_i, dcols_i, in_c, in_h, in_w, k, stride, pad,
+                    );
+                }));
+            }
+            crate::pool::current().run(tasks);
+            // Fixed-order merge: ascending sample index, exactly the
+            // serial accumulation sequence.
+            let gw = self.weight.grad.data_mut();
+            for dw_i in dw_parts.chunks(out_c * taps) {
+                for (a, &v) in gw.iter_mut().zip(dw_i) {
+                    *a += v;
+                }
+            }
+            let gb = self.bias.grad.data_mut();
+            for db_i in db_parts.chunks(out_c) {
+                for (a, &v) in gb.iter_mut().zip(db_i) {
+                    *a += v;
+                }
+            }
+            return Ok(());
+        }
+
+        // Fused GEMM path (§V-B). Per-sample, ascending sample order:
         //   dWᵢ = Gᵢᵀ[out_c × positions] · colsᵢ[positions × taps]
         //   dbᵢ[oc] = Σ_pos Gᵢ  (ascending positions)
         // accumulated into the parameter buffers sample by sample — the
@@ -373,7 +517,6 @@ impl Layer for Conv2d {
         // ONE fused GEMM over the whole batch:
         //   dcols[N·positions × taps] = G[N·positions × out_c] · W
         // followed by a per-sample col2im scatter.
-        let taps = self.in_c * self.k * self.k;
         let big_n = n * positions;
         let go = grad_output.data();
         let LayerWs {

@@ -16,7 +16,10 @@ use crate::workspace::LayerWs;
 /// multiplies the GEMM's column dimension, which is exactly where the
 /// blocked/threaded kernels win (a serial mat-vec gives them nothing to
 /// tile). The batched backward likewise folds the whole batch into one
-/// `dW = Gᵀ·X` product and one `dX = G·W` product.
+/// `dW = Gᵀ·X` product and one `dX = G·W` product. On the `Threaded`
+/// backend those GEMMs band their output rows over the persistent
+/// [`crate::pool`], and the batched `Xᵀ` pack fans out the same way —
+/// both disjoint scatters, bit-identical to serial at any thread count.
 ///
 /// Bit-identity: every output element and every `dW`/`db` element is
 /// reduced in the same ascending order as the serial single-image pass
@@ -122,9 +125,32 @@ impl Layer for Linear {
         // identical ascending-`in` dot product as the serial mat-vec.
         let xt = LayerWs::reuse_buf(&mut ws.gemm_a, self.in_f * n);
         let xd = x.data();
-        for i in 0..n {
-            for (j, &v) in xd[i * self.in_f..(i + 1) * self.in_f].iter().enumerate() {
-                xt[j * n + i] = v;
+        let in_f = self.in_f;
+        // Backend check first: `current_threads()` would lazily spawn the
+        // global pool, which strictly serial naive/blocked runs never use.
+        if self.backend == GemmBackend::Threaded
+            && n * in_f >= 1 << 15
+            && crate::pool::current_threads() > 1
+        {
+            // Pooled pack: contiguous bands of Xᵀ rows (= input features)
+            // per task, each a pure gather from the shared input — a
+            // disjoint scatter, so bit-identical to the serial pack. The
+            // first FC layer's pack is `N × 9216`-scale on the full net,
+            // worth fanning out before the (pool-banded) GEMM below.
+            let band = in_f.div_ceil(crate::pool::current_threads());
+            crate::pool::current().scatter_chunks(xt, band * n, |t, chunk| {
+                let j0 = t * band;
+                for (jj, row) in chunk.chunks_mut(n).enumerate() {
+                    for (i, r) in row.iter_mut().enumerate() {
+                        *r = xd[i * in_f + j0 + jj];
+                    }
+                }
+            });
+        } else {
+            for i in 0..n {
+                for (j, &v) in xd[i * in_f..(i + 1) * in_f].iter().enumerate() {
+                    xt[j * n + i] = v;
+                }
             }
         }
         let yt = LayerWs::reuse_buf(&mut ws.gemm_c, self.out_f * n);

@@ -182,6 +182,61 @@ pub fn im2col_slice_into(
     }
 }
 
+/// [`im2col_slice_into`] writing the **transposed** patch matrix
+/// `[C·k·k, out_h·out_w]` (taps-major — the `B` operand layout of the
+/// forward product `W[out_c × taps] · colsᵀ`), fully overwritten.
+///
+/// This is the per-sample kernel of the pooled batch-parallel conv
+/// forward: each pool task im2cols its own sample straight into the
+/// GEMM layout, with no shared transpose pass afterwards. Tap values
+/// are identical to [`im2col_slice_into`] — only the storage order
+/// differs — so the downstream dot products are bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_t_slice_into(
+    m: &mut [f32],
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) {
+    assert_eq!(x.len(), c * h * w, "input size mismatch");
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "filter exceeds input");
+    let out_h = (h + 2 * pad - k) / stride + 1;
+    let out_w = (w + 2 * pad - k) / stride + 1;
+    let positions = out_h * out_w;
+    let taps = c * k * k;
+    assert_eq!(m.len(), taps * positions, "im2col size mismatch");
+    m.fill(0.0);
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let tap = (ci * k + ky) * k + kx;
+                let row = &mut m[tap * positions..(tap + 1) * positions];
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        row[oy * out_w + ox] = x[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The adjoint of [`im2col`]: scatters a `[out_h·out_w, C·k·k]` matrix
 /// back into a `[C,H,W]` tensor, accumulating overlaps.
 ///
@@ -453,6 +508,23 @@ mod tests {
         assert_eq!(m[0], 0.0); // (0,0) ch0
         assert_eq!(m[1], 4.0); // (0,0) ch1
         assert_eq!(m[3 * 2 + 1], 7.0); // (1,1) ch1
+    }
+
+    #[test]
+    fn im2col_t_is_the_transpose_of_im2col() {
+        let x = rand_tensor(&[2, 6, 6], 5);
+        let (m, positions, taps) = im2col(&x, 3, 2, 1);
+        let mut mt = vec![7.0f32; m.len()]; // dirty: kernel must overwrite
+        im2col_t_slice_into(&mut mt, x.data(), 2, 6, 6, 3, 2, 1);
+        for pos in 0..positions {
+            for t in 0..taps {
+                assert_eq!(
+                    m[pos * taps + t].to_bits(),
+                    mt[t * positions + pos].to_bits(),
+                    "pos={pos} tap={t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl ParamTensor {
 /// cycle-model cross-checks keep their `[C,H,W]`-in/`[C,H,W]`-out shape
 /// conventions and panicking contract.
 ///
+/// Layers are `Send + Sync`: `forward_batch` takes `&self` with all
+/// mutable state in the caller's workspace, so one layer (and one
+/// [`crate::Network`]) can be read by several [`crate::pool`] workers at
+/// once — e.g. an agent running its online and target forwards
+/// concurrently, each against its own workspace.
+///
 /// **Bit-identity contract:** with gradient accumulators starting from
 /// zero (the batch boundary), a single `forward_batch`/`backward_batch`
 /// over `N` samples produces bit-for-bit the same activations and
@@ -78,7 +84,7 @@ impl ParamTensor {
 /// same ascending contraction order as the serial path, and by adding
 /// per-sample contributions in ascending sample order (see
 /// `docs/batching.md`).
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Stable layer name (`"CONV1"`, `"FC3"`, …).
     fn name(&self) -> &str;
 

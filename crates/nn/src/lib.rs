@@ -19,6 +19,11 @@
 //!   product — a naive oracle, a cache-blocked kernel and a
 //!   multi-threaded one, selected via `NN_GEMM_BACKEND` /
 //!   [`Network::set_gemm_backend`] (see `docs/gemm_backends.md`);
+//! * a process-persistent deterministic worker [`pool`] behind every
+//!   parallel site in the stack (GEMM row bands, per-sample batched
+//!   conv passes, `VecEnv` lanes, concurrent agent forwards), sized by
+//!   `NN_POOL_THREADS` and bit-identical to serial execution at any
+//!   thread count (see `docs/threading.md`);
 //! * a 16-bit fixed-point inference path ([`quant`]) mirroring the
 //!   platform's Q8.8 datapath with wide MAC accumulation;
 //! * weight (de)serialisation for the transfer-learning hand-off.
@@ -46,7 +51,12 @@
 //! assert_eq!(q_values.shape(), &[5]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the whole crate is `#![deny(unsafe_code)]`
+// except for one audited lifetime-erasure site inside [`pool`] (the
+// persistent worker pool must dispatch borrowed closures, exactly like
+// `crossbeam::scope` does internally). Every other module rejects
+// `unsafe` at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
@@ -59,8 +69,9 @@ mod init;
 mod layer;
 mod loss;
 mod lrn;
+mod maxpool;
 mod network;
-mod pool;
+pub mod pool;
 pub mod quant;
 mod relu;
 mod serialize;
@@ -79,8 +90,8 @@ pub use init::WeightInit;
 pub use layer::{Layer, ParamTensor};
 pub use loss::Loss;
 pub use lrn::Lrn;
+pub use maxpool::MaxPool2d;
 pub use network::Network;
-pub use pool::MaxPool2d;
 pub use relu::Relu;
 pub use sgd::Sgd;
 pub use spec::{LayerSpec, NetworkSpec};
@@ -91,10 +102,15 @@ pub use workspace::{LayerWs, Workspace};
 #[cfg(test)]
 mod tests {
     #[test]
-    fn send_public_types() {
+    fn send_sync_public_types() {
         fn assert_send<T: Send>() {}
+        // `Network: Sync` is what lets the pool run two networks'
+        // forwards concurrently (`forward_batch` takes `&self`).
+        fn assert_sync<T: Sync>() {}
         assert_send::<crate::Tensor>();
         assert_send::<crate::Network>();
         assert_send::<crate::NnError>();
+        assert_sync::<crate::Tensor>();
+        assert_sync::<crate::Network>();
     }
 }

@@ -14,8 +14,8 @@ use crate::flatten::Flatten;
 use crate::init::rng_from_seed;
 use crate::layer::Layer;
 use crate::lrn::Lrn;
+use crate::maxpool::MaxPool2d;
 use crate::network::Network;
-use crate::pool::MaxPool2d;
 use crate::relu::Relu;
 
 /// One layer in a [`NetworkSpec`].

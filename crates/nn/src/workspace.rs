@@ -41,7 +41,13 @@ use crate::tensor::Tensor;
 /// | `im2col` | per-sample patches | — | — | — | — | — |
 /// | `gemm_a` | packed GEMM operand | transposed x / grads | — | — | — | — |
 /// | `gemm_c` | GEMM output | GEMM output | — | — | — | — |
-/// | `acc` | per-sample `dW` | — | — | — | — | — |
+/// | `acc` | per-sample `dW` partials | — | — | — | — | — |
+/// | `acc2` | per-sample `db` partials | — | — | — | — | — |
+///
+/// On the `Threaded` backend the conv buffers hold **all `N` samples'**
+/// chunks at once (one disjoint chunk per pool task); `acc`/`acc2` are
+/// the per-worker partial buffers of the fixed-order reduction that
+/// keeps batched `dW`/`db` bit-identical to serial (`docs/threading.md`).
 #[derive(Debug, Clone, Default)]
 pub struct LayerWs {
     /// The layer's batched activation `[N, ...]` from the last
@@ -65,8 +71,12 @@ pub struct LayerWs {
     pub gemm_a: Vec<f32>,
     /// GEMM output scratch.
     pub gemm_c: Vec<f32>,
-    /// Per-sample reduction scratch (e.g. one sample's `dW`).
+    /// Per-sample reduction scratch (e.g. one sample's `dW`; on the
+    /// pooled path, all samples' `dW` partials).
     pub acc: Vec<f32>,
+    /// Secondary per-sample reduction scratch (e.g. the pooled path's
+    /// per-sample `db` partials).
+    pub acc2: Vec<f32>,
     /// Batch size `N` seen by the last `forward_batch` (0 = none yet —
     /// the marker `backward_batch` checks to reject ordering violations).
     pub batch: usize,
@@ -126,6 +136,7 @@ impl LayerWs {
             + self.gemm_a.capacity()
             + self.gemm_c.capacity()
             + self.acc.capacity()
+            + self.acc2.capacity()
     }
 }
 

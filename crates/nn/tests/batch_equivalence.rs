@@ -199,6 +199,50 @@ proptest! {
     }
 }
 
+/// The batched ≡ serial contract survives pooled execution: the same
+/// forward/backward comparison as the proptests above, pinned under
+/// injected worker pools of 1, 2 and 7 executors (the per-sample conv
+/// scatter, pooled GEMM bands and fixed-order `dW` merges all engage on
+/// the threaded backend; the other backends must simply not care).
+#[test]
+fn pooled_execution_preserves_batched_equals_serial() {
+    let spec = NetworkSpec::micro(12, 1, 5);
+    let (batched_x, samples) = batch_input(4, 12, 99);
+    for be in GemmBackend::ALL {
+        let mut serial = spec.build(21);
+        serial.set_gemm_backend(be);
+        let mut serial_out = Vec::new();
+        for s in &samples {
+            let y = serial.forward(s);
+            serial.backward(&Tensor::filled(y.shape(), 1.0));
+            serial_out.extend_from_slice(y.data());
+        }
+        let serial_grads = all_param_grads(&serial);
+
+        for pool_threads in [1usize, 2, 7] {
+            let pool = mramrl_nn::pool::ThreadPool::new(pool_threads);
+            let _installed = pool.install();
+            let mut batched = spec.build(21);
+            batched.set_gemm_backend(be);
+            let mut ws = Workspace::for_spec(&spec);
+            let q = batched.forward_batch(&batched_x, &mut ws).clone();
+            assert_eq!(
+                bits(&serial_out),
+                bits(q.data()),
+                "forward {be} pool={pool_threads}"
+            );
+            batched
+                .backward_batch(&Tensor::filled(&[4, 5], 1.0), &mut ws)
+                .expect("forward ran");
+            assert_eq!(
+                bits(&serial_grads),
+                bits(&all_param_grads(&batched)),
+                "grads {be} pool={pool_threads}"
+            );
+        }
+    }
+}
+
 /// Steady-state reuse: after the first iteration, repeated batched
 /// passes neither grow the workspace nor move its cached buffers.
 #[test]

@@ -119,6 +119,30 @@ proptest! {
     }
 }
 
+/// The raw-kernel bitwise contract survives pooled execution, special
+/// values included: `Threaded` now scatters its row bands over the
+/// persistent `mramrl_nn::pool`, so re-pin `matmul`/`matmul_at_b`
+/// against the oracle under injected pools of 1, 2 and 7 executors on
+/// shapes that force the fan-out (≥ `PAR_MIN_MACS` MACs).
+#[test]
+fn threaded_kernels_bitwise_equal_under_injected_pools() {
+    let (m, k, n) = (40usize, 80usize, 90usize);
+    assert!(m * k * n >= 1 << 18, "shape must force the fan-out");
+    let a = fill(m * k, 31, true);
+    let b = fill(k * n, 32, true);
+    let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
+    let bt = fill(m * n, 33, true);
+    let want_t = GemmBackend::Naive.matmul_at_b(&a, &bt, m, k, n);
+    for pool_threads in [1usize, 2, 7] {
+        let pool = mramrl_nn::pool::ThreadPool::new(pool_threads);
+        let _installed = pool.install();
+        let got = GemmBackend::Threaded.matmul(&a, &b, m, k, n);
+        assert_eq!(bits(&want), bits(&got), "matmul pool={pool_threads}");
+        let got_t = GemmBackend::Threaded.matmul_at_b(&a, &bt, m, k, n);
+        assert_eq!(bits(&want_t), bits(&got_t), "at_b pool={pool_threads}");
+    }
+}
+
 /// `0.0 × NaN` must be `NaN` on every backend: the reference kernels
 /// have no zero-skip, so an exact-zero row element cannot silently drop
 /// a `NaN` (or `-0.0` rounding contribution) that the blocked/threaded

@@ -1,0 +1,184 @@
+//! Pooled-execution equivalence suite: the persistent worker pool must
+//! never change a bit.
+//!
+//! The batched conv passes (per-sample pool tasks + fixed-order `dW`/`db`
+//! partial merges), the pooled GEMM row bands and the whole-network
+//! batched drivers are compared against the serial single-image oracle
+//! under **injected pools of 1, 2 and 7 executors** — the
+//! `NN_POOL_THREADS` sweep the issue demands, driven through
+//! `ThreadPool::install` so one process covers every size — on all three
+//! GEMM backends.
+
+use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::pool::ThreadPool;
+use mramrl_nn::{Conv2d, Layer, LayerWs, NetworkSpec, Tensor, Workspace};
+use proptest::prelude::*;
+
+/// The pool sizes every pooled contract is swept over (1 = the serial
+/// oracle schedule, 2 = minimal real fan-out, 7 = more workers than most
+/// test batches have samples).
+const POOL_SIZES: [usize; 3] = [1, 2, 7];
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut h = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 31;
+            (h % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// Batched conv forward/backward — the pooled per-sample scatter with
+    /// its ascending-sample `dW`/`db` partial merge — is bit-identical to
+    /// N serial single-image passes on every backend and pool size.
+    #[test]
+    fn pooled_conv_dw_batched_equals_serial(
+        hw in 5usize..10,
+        n in 1usize..5,
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        seed in 0u64..1 << 40,
+    ) {
+        let k = 3usize;
+        let (stride, pad) = (1 + (seed % 2) as usize, (seed % 2) as usize);
+        let xs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_vec(&[in_c, hw, hw], fill(in_c * hw * hw, seed ^ i as u64)))
+            .collect();
+        let mut batched_data = Vec::new();
+        for x in &xs {
+            batched_data.extend_from_slice(x.data());
+        }
+        let batched_x = Tensor::from_vec(&[n, in_c, hw, hw], batched_data);
+        let out_hw = (hw + 2 * pad - k) / stride + 1;
+        let gdata = fill(n * out_c * out_hw * out_hw, seed ^ 0xF00D);
+
+        for be in GemmBackend::ALL {
+            // Serial oracle: N single-image passes, fresh per backend.
+            let mut serial = Conv2d::new("c", in_c, out_c, k, stride, pad, 11);
+            serial.set_gemm_backend(be);
+            let mut serial_out = Vec::new();
+            let mut serial_gi = Vec::new();
+            let plane = out_c * out_hw * out_hw;
+            for (i, x) in xs.iter().enumerate() {
+                let y = serial.forward(x);
+                serial_out.extend_from_slice(y.data());
+                let g = Tensor::from_vec(y.shape(), gdata[i * plane..(i + 1) * plane].to_vec());
+                serial_gi.extend_from_slice(serial.backward(&g).data());
+            }
+            let serial_gw = serial.params()[0].grad.clone();
+            let serial_gb = serial.params()[1].grad.clone();
+
+            for pool_threads in POOL_SIZES {
+                let pool = ThreadPool::new(pool_threads);
+                let _installed = pool.install();
+                let mut conv = Conv2d::new("c", in_c, out_c, k, stride, pad, 11);
+                conv.set_gemm_backend(be);
+                let mut ws = LayerWs::new();
+                conv.forward_batch(&batched_x, &mut ws);
+                prop_assert_eq!(
+                    bits(&serial_out),
+                    bits(ws.out.as_ref().unwrap().data()),
+                    "fwd {} pool={} n={}", be, pool_threads, n
+                );
+                let grad = Tensor::from_vec(&[n, out_c, out_hw, out_hw], gdata.clone());
+                conv.backward_batch(&grad, &mut ws).expect("forward ran");
+                prop_assert_eq!(
+                    bits(serial_gw.data()),
+                    bits(conv.params()[0].grad.data()),
+                    "dW {} pool={} n={}", be, pool_threads, n
+                );
+                prop_assert_eq!(
+                    bits(serial_gb.data()),
+                    bits(conv.params()[1].grad.data()),
+                    "db {} pool={} n={}", be, pool_threads, n
+                );
+                prop_assert_eq!(
+                    bits(&serial_gi),
+                    bits(ws.grad_in.as_ref().unwrap().data()),
+                    "dX {} pool={} n={}", be, pool_threads, n
+                );
+            }
+        }
+    }
+}
+
+/// A whole batched network pass (conv + pool + FC stack, forward and
+/// accumulated gradients) is bit-identical across pool sizes on every
+/// backend — the end-to-end version of the per-layer contract above.
+#[test]
+fn pooled_network_pass_identical_across_pool_sizes() {
+    let spec = NetworkSpec::micro(16, 1, 5);
+    let x = Tensor::from_vec(&[3, 1, 16, 16], fill(3 * 256, 77));
+    let grad = Tensor::from_vec(&[3, 5], fill(15, 78));
+    for be in GemmBackend::ALL {
+        let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+        for pool_threads in POOL_SIZES {
+            let pool = ThreadPool::new(pool_threads);
+            let _installed = pool.install();
+            let mut net = spec.build(5);
+            net.set_gemm_backend(be);
+            let mut ws = Workspace::for_spec(&spec);
+            let out = bits(net.forward_batch(&x, &mut ws).data());
+            net.backward_batch(&grad, &mut ws).expect("forward ran");
+            let grads: Vec<f32> = net
+                .layers()
+                .flat_map(|l| l.params().into_iter().flat_map(|p| p.grad.data().to_vec()))
+                .collect();
+            let grads = bits(&grads);
+            match &reference {
+                None => reference = Some((out, grads)),
+                Some((ro, rg)) => {
+                    assert_eq!(ro, &out, "{be} pool={pool_threads} forward");
+                    assert_eq!(rg, &grads, "{be} pool={pool_threads} grads");
+                }
+            }
+        }
+    }
+}
+
+/// Forced pooled GEMM fan-out (shapes above `PAR_MIN_MACS`) stays
+/// bitwise equal to the naive oracle at every pool size — the row-band
+/// scatter contract, now on the persistent pool instead of per-call
+/// spawned threads.
+#[test]
+fn pooled_gemm_bands_bitwise_equal_at_every_pool_size() {
+    for (m, k, n) in [(67usize, 70usize, 65usize), (20, 30, 600)] {
+        assert!(m * k * n >= 1 << 18, "shape must force the fan-out");
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
+        for pool_threads in POOL_SIZES {
+            let pool = ThreadPool::new(pool_threads);
+            let _installed = pool.install();
+            let got = GemmBackend::Threaded.matmul(&a, &b, m, k, n);
+            assert_eq!(
+                bits(&want),
+                bits(&got),
+                "pool={pool_threads} m={m} k={k} n={n}"
+            );
+        }
+    }
+    for (m, k, n) in [(70usize, 67usize, 65usize), (600, 30, 20)] {
+        let a = fill(m * k, 3);
+        let b = fill(m * n, 4);
+        let want = GemmBackend::Naive.matmul_at_b(&a, &b, m, k, n);
+        for pool_threads in POOL_SIZES {
+            let pool = ThreadPool::new(pool_threads);
+            let _installed = pool.install();
+            let got = GemmBackend::Threaded.matmul_at_b(&a, &b, m, k, n);
+            assert_eq!(
+                bits(&want),
+                bits(&got),
+                "at_b pool={pool_threads} m={m} k={k} n={n}"
+            );
+        }
+    }
+}

@@ -174,29 +174,64 @@ impl QAgent {
     /// every network pass is a single batched GEMM chain instead of `N`
     /// serial ones. Returns the per-sample TD errors.
     ///
+    /// The target net's TD-target pass and the online net's pass touch
+    /// disjoint networks and workspaces, so their schedule is a pure
+    /// performance choice: when each pass is serial inside
+    /// (naive/blocked kernels) [`mramrl_nn::pool::join2`] overlaps the
+    /// two on the persistent pool; on the threaded backend they run
+    /// sequentially so each pass gets the whole pool for its batch-axis
+    /// fan-out. Neither schedule affects a single bit of either result.
+    ///
     /// From zeroed gradient accumulators (the batch boundary,
     /// i.e. right after [`QAgent::apply_update`]), the accumulated
     /// gradients and returned TD errors are **bit-identical** to calling
     /// [`QAgent::accumulate_td`] serially on the same transitions in
-    /// order, on every [`GemmBackend`] — the equivalence proptests pin
-    /// this.
+    /// order, on every [`GemmBackend`] and at any `NN_POOL_THREADS` —
+    /// the equivalence proptests pin this.
     pub fn accumulate_td_batch(&mut self, batch: &TransitionBatch) -> Vec<f32> {
         let n = batch.len();
+        let Self {
+            net,
+            target,
+            ws,
+            target_ws,
+            ..
+        } = self;
 
-        // Double-DQN: the online net picks a* per sample (overwrites the
-        // online workspace — harmless, the state forward below re-fills
-        // it, exactly as the serial path re-runs forward).
-        let a_star: Option<Vec<usize>> = if self.double_q {
-            let nq = self.net.forward_batch(&batch.next_states, &mut self.ws);
-            Some((0..n).map(|i| argmax(nq.sample(i))).collect())
-        } else {
-            None
+        // The target net's TD-target forward is independent of the online
+        // net's next pass. Double-DQN: the online net picks a* per sample
+        // (overwrites the online workspace — harmless, the state forward
+        // below re-fills it, exactly as the serial path re-runs forward);
+        // vanilla: the online forward over the *states* runs instead, and
+        // its activations are exactly what the backward below consumes.
+        //
+        // Scheduling (bit-identical either way — the passes share no
+        // state): when each pass is serial inside (naive/blocked, or a
+        // 1-executor pool) the pool overlaps the two via `join2`; on the
+        // threaded backend with real executors the passes run
+        // sequentially instead, because each one already fans out across
+        // the batch axis — overlapping would pin one forward to a single
+        // worker (nested pool calls run inline) and serialize its N
+        // per-sample tasks, costing more than the 2-way overlap buys.
+        let inner_parallel = net.gemm_backend() == Some(GemmBackend::Threaded)
+            && mramrl_nn::pool::current_threads() > 1;
+        let mut run_target = || target.forward_batch(&batch.next_states, target_ws).clone();
+        let mut run_online = || {
+            if self.double_q {
+                net.forward_batch(&batch.next_states, ws).clone()
+            } else {
+                net.forward_batch(&batch.states, ws).clone()
+            }
         };
+        let (next_q, online_out) = if inner_parallel {
+            (run_target(), run_online())
+        } else {
+            mramrl_nn::pool::join2(run_target, run_online)
+        };
+        let a_star: Option<Vec<usize>> = self
+            .double_q
+            .then(|| (0..n).map(|i| argmax(online_out.sample(i))).collect());
 
-        // TD targets from one batched target-network forward.
-        let next_q = self
-            .target
-            .forward_batch(&batch.next_states, &mut self.target_ws);
         let mut y = vec![0.0f32; n];
         for i in 0..n {
             y[i] = if batch.terminals[i] {
@@ -213,8 +248,14 @@ impl QAgent {
             };
         }
 
-        // One batched online forward + backward.
-        let q = self.net.forward_batch(&batch.states, &mut self.ws);
+        // One batched online forward + backward (the double-Q branch must
+        // re-run forward over the states; the vanilla branch already has
+        // the right activations cached in the workspace).
+        let q = if self.double_q {
+            self.net.forward_batch(&batch.states, &mut self.ws)
+        } else {
+            &online_out
+        };
         let actions = q.shape()[1];
         let mut td = vec![0.0f32; n];
         let mut grad = Tensor::zeros(&[n, actions]);

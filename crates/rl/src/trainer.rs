@@ -6,6 +6,14 @@
 //! feeds the networks whole observation batches — same Q-learning, every
 //! hot pass batched ([`QAgent::q_values_batch`],
 //! [`QAgent::accumulate_td_batch`]).
+//!
+//! With `TrainerConfig::backend = GemmBackend::Threaded` and more than
+//! one executor on the persistent `mramrl_nn::pool`, the whole vec-step
+//! runs multi-core: lane rendering fans out inside [`VecEnv::step`],
+//! the TD batch's per-sample conv passes and GEMM row bands fan out
+//! inside the layers, and the agent overlaps its independent
+//! target/online forwards — all bit-identical to the serial schedule at
+//! any `NN_POOL_THREADS` (see `docs/threading.md`).
 
 use mramrl_env::{Action, DroneEnv, EnvKind, Image, VecEnv};
 use mramrl_nn::{GemmBackend, Sgd, Tensor};
@@ -242,7 +250,10 @@ impl Trainer {
     ///
     /// Size the `VecEnv` with [`Trainer::build_vec_env`] (which reads
     /// [`TrainerConfig::num_envs`]); a hand-built `venv` also works —
-    /// its lane count wins.
+    /// its lane count wins. Lane stepping and (on the `Threaded`
+    /// backend) every batched network pass parallelise on the
+    /// persistent `mramrl_nn::pool` without changing a single bit of
+    /// the trajectory — determinism stays seed-only.
     pub fn run_vec(&self, agent: &mut QAgent, venv: &mut VecEnv) -> TrainLog {
         let cfg = &self.cfg;
         agent.set_gemm_backend(cfg.backend);
