@@ -16,7 +16,6 @@ pub(crate) enum LayerGeom {
 }
 
 impl LayerGeom {
-    #[allow(dead_code)]
     pub(crate) fn name(&self) -> &str {
         match self {
             LayerGeom::Conv { name, .. } | LayerGeom::Fc { name, .. } => name,

@@ -72,6 +72,47 @@ impl PlatformModel {
         &self.spec
     }
 
+    /// Per-layer `(name, weight_bytes)` this model's update/write-back
+    /// costs charge for, at the platform's 16-bit precision (weights +
+    /// biases), parameterised layers in forward order — the same
+    /// accounting the `mramrl_mem` placement planner consumes.
+    pub fn layer_weight_bytes(&self) -> Vec<(String, u64)> {
+        geometry(&self.spec)
+            .iter()
+            .map(|g| (g.name().to_string(), g.weight_bytes()))
+            .collect()
+    }
+
+    /// Cross-checks this cost model against a Q8.8 engine snapshot
+    /// ([`mramrl_nn::QuantizedNet`]): every byte the model charges for a
+    /// layer must be a byte the engine actually stores, name for name.
+    /// This is the contract that keeps the analytical numbers (Fig. 12
+    /// latencies, §III-D update traffic) attached to the executable
+    /// datapath instead of to a separate hand-kept table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching layer.
+    pub fn verify_engine_bytes(&self, engine: &mramrl_nn::QuantizedNet) -> Result<(), String> {
+        let ours = self.layer_weight_bytes();
+        let theirs = engine.layer_weight_bytes();
+        if ours.len() != theirs.len() {
+            return Err(format!(
+                "layer count mismatch: model charges {} parameterised layers, engine stores {}",
+                ours.len(),
+                theirs.len()
+            ));
+        }
+        for ((on, ob), (en, eb)) in ours.iter().zip(&theirs) {
+            if on != en || ob != eb {
+                return Err(format!(
+                    "layer byte mismatch: model {on}={ob} B vs engine {en}={eb} B"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The Fig. 12(a) forward table.
     pub fn forward_table(&self) -> &[LayerCost] {
         &self.fwd
@@ -340,5 +381,30 @@ mod tests {
         );
         assert!(m.forward_ms() > 0.0);
         assert!(m.per_image(Topology::E2E).total_ms() > m.per_image(Topology::L2).total_ms());
+    }
+
+    #[test]
+    fn per_layer_bytes_match_quantised_engine() {
+        // The cost model's byte accounting is pinned to the executable
+        // Q8.8 engine: same layers, same names, same bytes.
+        let spec = NetworkSpec::micro(40, 1, 5);
+        let net = spec.build(11);
+        let engine = mramrl_nn::QuantizedNet::from_network(&spec, &net).unwrap();
+        let m = PlatformModel::with_spec(spec, SystemParams::date19(), Calibration::ideal());
+        m.verify_engine_bytes(&engine).unwrap();
+        let total: u64 = m.layer_weight_bytes().iter().map(|(_, b)| *b).sum();
+        assert_eq!(total, engine.weight_bytes());
+    }
+
+    #[test]
+    fn engine_byte_mismatch_is_reported() {
+        // An engine snapshotted from a *different* architecture must be
+        // rejected with a descriptive error, not silently costed.
+        let spec = NetworkSpec::micro(40, 1, 5);
+        let other = NetworkSpec::micro(16, 1, 5);
+        let engine = mramrl_nn::QuantizedNet::from_network(&other, &other.build(0)).unwrap();
+        let m = PlatformModel::with_spec(spec, SystemParams::date19(), Calibration::ideal());
+        let err = m.verify_engine_bytes(&engine).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
     }
 }

@@ -31,11 +31,23 @@ fn bench_nn(c: &mut Criterion) {
 
     let qspec = NetworkSpec::micro(16, 1, 5);
     let net3 = qspec.build(3);
-    let qnet = mramrl_nn::quant::QuantizedNet::from_network(&qspec, &net3).unwrap();
+    let mut qnet = mramrl_nn::quant::QuantizedNet::from_network(&qspec, &net3).unwrap();
     let x16 = Tensor::filled(&[1, 16, 16], 0.4);
     c.bench_function("quantized_forward_16px", |b| {
         b.iter(|| qnet.forward(black_box(&x16)))
     });
+    // The batched engine, per integer backend (per-image cost at N=8;
+    // bench_batch_json records the full batch × backend × pool matrix).
+    let xb = Tensor::filled(&[8, 1, 16, 16], 0.4);
+    for qbe in mramrl_nn::QGemmBackend::ALL {
+        qnet.set_backend(qbe);
+        let mut qws = mramrl_nn::QWorkspace::for_net(&qnet);
+        c.bench_function(&format!("quantized_forward_batch8_16px_{qbe}"), |b| {
+            b.iter(|| {
+                let _ = qnet.forward_batch(black_box(&xb), &mut qws);
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench_nn);

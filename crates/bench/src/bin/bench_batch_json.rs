@@ -19,6 +19,14 @@
 //! backend at one thread, and — on a multi-core runner — threaded
 //! batched(32) ≥ 1.5× blocked batched(32) at the same pool size.
 //!
+//! A **quantised-inference cell family** rides along (modes
+//! `infer-f32` / `infer-q8.8` / `infer-q8.8-serial`): the Q8.8
+//! deployment engine (`mramrl_nn::quant`, `docs/fixed_point.md`) at
+//! batch 1/8/32 per integer backend (naive/blocked/pooled) and pool
+//! size, next to the float forward on the same weights and frames. The
+//! JSON records the per-backend `q8.8 batched(32) / serial(32)` speedup
+//! (bar: ≥ 4× on blocked) and the float-vs-Q8.8 throughput ratio.
+//!
 //! Flags: `--reps N` (timed repetitions per cell, default 10),
 //! `--backend <name>` narrows to one backend, `--pool-threads N` sets
 //! the multi-thread cell count (default: the global pool size, i.e.
@@ -29,11 +37,13 @@
 use std::time::Instant;
 
 use mramrl_bench::{
-    arg_u64, batch_td_agent, batch_td_spec, batch_td_spec_tiny, batch_td_transitions, fmt,
-    save_bench_json, Table, BATCH_TD_SIZES,
+    arg_u64, batch_td_agent, batch_td_obs, batch_td_qnet, batch_td_spec, batch_td_spec_tiny,
+    batch_td_transitions, fmt, save_bench_json, Table, BATCH_TD_SIZES,
 };
 use mramrl_nn::backend::GemmBackend;
 use mramrl_nn::pool::ThreadPool;
+use mramrl_nn::quant::QWorkspace;
+use mramrl_nn::Workspace;
 use mramrl_rl::{Transition, TransitionBatch};
 
 /// Times `reps` runs of `work` (after one warm-up), returning mean
@@ -120,6 +130,57 @@ fn main() {
                 ns_per_transition: ns,
             });
         }
+
+        // Quantised-inference cell family: the Q8.8 deployment engine
+        // (batch 1/8/32 × integer backend) next to the float forward on
+        // the same weights and frames, plus the serial-32 baseline
+        // (32 × the batch-of-1 wrapper, workspace churn included — the
+        // pre-engine per-image deployment pattern).
+        for &be in &backends {
+            let qnet = batch_td_qnet(&spec, be);
+            let qbe = qnet.backend();
+            let mut fnet = spec.build(42);
+            fnet.set_gemm_backend(be);
+            for n in BATCH_TD_SIZES {
+                let obs = batch_td_obs(&ts, n);
+                let mut fws = Workspace::for_spec(&spec);
+                let ns = time_ns(reps, || {
+                    let _ = fnet.forward_batch(&obs, &mut fws);
+                }) / n as f64;
+                cells.push(Cell {
+                    backend: be.name(),
+                    mode: "infer-f32",
+                    batch: n,
+                    threads,
+                    ns_per_transition: ns,
+                });
+                let mut qws = QWorkspace::for_net(&qnet);
+                let ns = time_ns(reps, || {
+                    let _ = qnet.forward_batch(&obs, &mut qws);
+                }) / n as f64;
+                cells.push(Cell {
+                    backend: qbe.name(),
+                    mode: "infer-q8.8",
+                    batch: n,
+                    threads,
+                    ns_per_transition: ns,
+                });
+            }
+            let singles: Vec<mramrl_nn::Tensor> =
+                (0..ts.len()).map(|i| ts[i].state.clone()).collect();
+            let ns = time_ns(reps, || {
+                for s in &singles {
+                    let _ = qnet.forward(s);
+                }
+            }) / singles.len() as f64;
+            cells.push(Cell {
+                backend: qbe.name(),
+                mode: "infer-q8.8-serial",
+                batch: singles.len(),
+                threads,
+                ns_per_transition: ns,
+            });
+        }
     }
 
     let mut table = Table::new(
@@ -154,6 +215,7 @@ fn main() {
             })
             .map(|c| c.ns_per_transition)
     };
+    let qname = |be: GemmBackend| mramrl_nn::QGemmBackend::from_gemm(be).name();
 
     // Speedup of batched(32) over serial(32), per backend, single thread.
     let mut speedups = Vec::new();
@@ -165,6 +227,42 @@ fn main() {
             let s = s32 / b32;
             println!("speedup batched(32) vs serial(32) on {be}: {s:.2}x");
             speedups.push((be.name().to_string(), s));
+        }
+    }
+    // Quantised acceptance bar: batched(32) engine inference over the
+    // serial-32 batch-of-1 wrapper, per integer backend, single thread
+    // (the ≥ 4× bar is on the blocked backend).
+    let mut q_speedups = Vec::new();
+    for &be in &backends {
+        if let (Some(b32), Some(s32)) = (
+            ns_of(qname(be), "infer-q8.8", 1),
+            ns_of(qname(be), "infer-q8.8-serial", 1),
+        ) {
+            let s = s32 / b32;
+            println!(
+                "speedup q8.8 batched(32) vs q8.8 serial(32) on {}: {s:.2}x",
+                qname(be)
+            );
+            q_speedups.push((qname(be).to_string(), s));
+        }
+    }
+    // Float-vs-Q8.8 throughput ratio at the deployment operating point
+    // (batched 32, single thread): how many float inferences fit in one
+    // fixed-point inference's time — the software cost of modelling the
+    // silicon datapath bit-exactly.
+    let mut fq_ratios = Vec::new();
+    for &be in &backends {
+        if let (Some(qns), Some(fns)) = (
+            ns_of(qname(be), "infer-q8.8", 1),
+            ns_of(be.name(), "infer-f32", 1),
+        ) {
+            let r = qns / fns;
+            println!(
+                "float-vs-q8.8 throughput ratio, batched(32) on {}/{}: {r:.2}x",
+                be.name(),
+                qname(be)
+            );
+            fq_ratios.push((be.name().to_string(), r));
         }
     }
     // The multi-core bar: threaded batched(32) against blocked
@@ -204,6 +302,20 @@ fn main() {
     for (i, (backend, s)) in speedups.iter().enumerate() {
         json.push_str(&format!(
             "{}\"{backend}\": {s:.3}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    json.push_str("},\n  \"speedup_q_batched32_vs_q_serial32\": {");
+    for (i, (backend, s)) in q_speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{backend}\": {s:.3}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    json.push_str("},\n  \"float_vs_q8_8_throughput_ratio_batched32\": {");
+    for (i, (backend, r)) in fq_ratios.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{backend}\": {r:.3}",
             if i == 0 { "" } else { ", " }
         ));
     }

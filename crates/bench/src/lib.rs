@@ -291,6 +291,34 @@ pub fn batch_td_agent(
     a
 }
 
+/// The Q8.8 deployment-mode engine snapshot of the batch-TD workload
+/// net, on the integer backend matching `backend` (naive→naive,
+/// blocked→blocked, threaded→pooled) — what the quantised-inference
+/// bench cells drive. Shares seed 42 with [`batch_td_agent`] so the
+/// float and fixed-point cells measure the same weights.
+pub fn batch_td_qnet(
+    spec: &mramrl_nn::NetworkSpec,
+    backend: mramrl_nn::GemmBackend,
+) -> mramrl_nn::QuantizedNet {
+    let net = spec.build(42);
+    let mut q =
+        mramrl_nn::QuantizedNet::from_network(spec, &net).expect("spec-built net always snapshots");
+    q.set_backend(mramrl_nn::QGemmBackend::from_gemm(backend));
+    q
+}
+
+/// Stacks the first `n` transitions' states into one `[n, 1, hw, hw]`
+/// observation batch (the inference-cell input).
+pub fn batch_td_obs(ts: &[mramrl_rl::Transition], n: usize) -> mramrl_nn::Tensor {
+    let mut shape = vec![n];
+    shape.extend_from_slice(ts[0].state.shape());
+    let mut data = Vec::with_capacity(n * ts[0].state.len());
+    for t in &ts[..n] {
+        data.extend_from_slice(t.state.data());
+    }
+    mramrl_nn::Tensor::from_vec(&shape, data)
+}
+
 /// Formats a float with `digits` decimals, trimming to a compact cell.
 pub fn fmt(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")

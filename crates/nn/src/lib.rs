@@ -24,8 +24,12 @@
 //!   conv passes, `VecEnv` lanes, concurrent agent forwards), sized by
 //!   `NN_POOL_THREADS` and bit-identical to serial execution at any
 //!   thread count (see `docs/threading.md`);
-//! * a 16-bit fixed-point inference path ([`quant`]) mirroring the
-//!   platform's Q8.8 datapath with wide MAC accumulation;
+//! * a batch-first 16-bit fixed-point inference **engine** ([`quant`])
+//!   mirroring the platform's Q8.8 datapath with wide MAC accumulation:
+//!   pluggable integer GEMM backends ([`qgemm`] — naive oracle,
+//!   blocked, pooled row bands, all bit-identical), Q8.8 im2col
+//!   packing, and a caller-owned [`quant::QWorkspace`] mirroring the
+//!   float [`Workspace`] (see `docs/fixed_point.md`);
 //! * weight (de)serialisation for the transfer-learning hand-off.
 //!
 //! The paper trains with **batch-size-N gradient accumulation** (§III-D);
@@ -72,6 +76,7 @@ mod lrn;
 mod maxpool;
 mod network;
 pub mod pool;
+pub mod qgemm;
 pub mod quant;
 mod relu;
 mod serialize;
@@ -92,6 +97,8 @@ pub use loss::Loss;
 pub use lrn::Lrn;
 pub use maxpool::MaxPool2d;
 pub use network::Network;
+pub use qgemm::QGemmBackend;
+pub use quant::{QWorkspace, QuantizedNet};
 pub use relu::Relu;
 pub use sgd::Sgd;
 pub use spec::{LayerSpec, NetworkSpec};

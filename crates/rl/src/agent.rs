@@ -3,9 +3,32 @@
 // `argmax` is the stack's single first-on-ties rule: batched action
 // selection must never diverge from `Tensor::argmax`-based serial
 // selection on ties.
-use mramrl_nn::{argmax, GemmBackend, Loss, Network, NetworkSpec, Sgd, Tensor, Workspace};
+use mramrl_nn::{
+    argmax, GemmBackend, Loss, Network, NetworkSpec, QGemmBackend, QWorkspace, QuantizedNet, Sgd,
+    Tensor, Workspace,
+};
 
 use crate::replay::{Transition, TransitionBatch};
+
+/// Numeric precision the agent *acts* with (Q-value evaluation for
+/// action selection). Training math — TD targets, gradients, SGD — is
+/// always float: the paper trains in float-equivalent wide arithmetic
+/// and deploys inference on the 16-bit datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActingPrecision {
+    /// Act on the float online network (the training default).
+    #[default]
+    Float32,
+    /// Deployment mode: act through a Q8.8 [`QuantizedNet`] snapshot of
+    /// the online network, batched — the software mirror of the drone
+    /// fleet running the silicon's 16-bit inference datapath. The
+    /// snapshot is (re)taken lazily and invalidated whenever the online
+    /// weights can change ([`QAgent::apply_update`],
+    /// [`QAgent::load_transfer`], [`QAgent::net_mut`], ...), so acting
+    /// always reflects the current weights; frozen-policy evaluation
+    /// quantises exactly once.
+    FixedQ8_8,
+}
 
 /// A Q-learning agent: online network + target network + Bellman updates.
 ///
@@ -29,10 +52,19 @@ use crate::replay::{Transition, TransitionBatch};
 pub struct QAgent {
     net: Network,
     target: Network,
+    /// The spec both networks were built from (kept for Q8.8 snapshots).
+    spec: NetworkSpec,
     /// Reusable scratch for the online net's batched passes.
     ws: Workspace,
     /// Reusable scratch for the target net's TD-target forwards.
     target_ws: Workspace,
+    /// Which datapath action selection runs on.
+    acting: ActingPrecision,
+    /// Lazily-built Q8.8 snapshot of the online net (deployment mode);
+    /// `None` whenever the online weights may have changed since.
+    qsnap: Option<QuantizedNet>,
+    /// Reusable scratch for the snapshot's batched passes.
+    qws: QWorkspace,
     gamma: f32,
     loss: Loss,
     double_q: bool,
@@ -55,13 +87,60 @@ impl QAgent {
         Self {
             net,
             target,
+            spec: spec.clone(),
             ws,
             target_ws,
+            acting: ActingPrecision::Float32,
+            qsnap: None,
+            qws: QWorkspace::new(),
             gamma: Self::DEFAULT_GAMMA,
             loss: Loss::SquaredError,
             double_q: false,
             steps_since_sync: 0,
         }
+    }
+
+    /// Selects the acting datapath (builder form of
+    /// [`QAgent::set_acting_precision`]).
+    #[must_use]
+    pub fn with_acting_precision(mut self, p: ActingPrecision) -> Self {
+        self.set_acting_precision(p);
+        self
+    }
+
+    /// Switches the acting datapath: [`ActingPrecision::FixedQ8_8`]
+    /// routes [`QAgent::q_values`], [`QAgent::q_values_batch`],
+    /// [`QAgent::greedy_action`] and [`QAgent::greedy_actions`] through
+    /// a Q8.8 snapshot of the online network — deployment-mode acting,
+    /// as the silicon would run it. TD accumulation stays float.
+    pub fn set_acting_precision(&mut self, p: ActingPrecision) {
+        self.acting = p;
+    }
+
+    /// The acting datapath currently selected.
+    pub fn acting_precision(&self) -> ActingPrecision {
+        self.acting
+    }
+
+    /// The current Q8.8 snapshot of the online network, (re)building it
+    /// if the weights changed since the last one — the engine behind
+    /// [`ActingPrecision::FixedQ8_8`], exposed for fidelity measurements
+    /// and deployment tooling (weight-byte accounting, cost models).
+    pub fn quantized_snapshot(&mut self) -> &QuantizedNet {
+        if self.qsnap.is_none() {
+            let mut snap = QuantizedNet::from_network(&self.spec, &self.net)
+                .expect("agent's network is built from its own spec");
+            snap.set_backend(QGemmBackend::from_gemm(
+                self.net.gemm_backend().unwrap_or_default(),
+            ));
+            self.qsnap = Some(snap);
+        }
+        self.qsnap.as_ref().expect("just built")
+    }
+
+    /// Drops the Q8.8 snapshot; the next quantised act re-snapshots.
+    fn invalidate_quantized(&mut self) {
+        self.qsnap = None;
     }
 
     /// Selects the TD loss (squared error by default; Huber for bounded
@@ -100,7 +179,10 @@ impl QAgent {
     }
 
     /// Mutable online network (topology application, weight loading).
+    /// Invalidates any Q8.8 acting snapshot — the caller may mutate
+    /// weights through the returned reference.
     pub fn net_mut(&mut self) -> &mut Network {
+        self.invalidate_quantized();
         &mut self.net
     }
 
@@ -115,6 +197,9 @@ impl QAgent {
     pub fn set_gemm_backend(&mut self, backend: GemmBackend) {
         self.net.set_gemm_backend(backend);
         self.target.set_gemm_backend(backend);
+        // The snapshot mirrors the float backend choice (naive→naive,
+        // blocked→blocked, threaded→pooled); rebuild on next use.
+        self.invalidate_quantized();
     }
 
     /// Discount factor.
@@ -122,9 +207,28 @@ impl QAgent {
         self.gamma
     }
 
-    /// Q-values for an observation.
+    /// Q-values for an observation, on the selected acting datapath
+    /// (float network, or the Q8.8 snapshot in deployment mode).
     pub fn q_values(&mut self, obs: &Tensor) -> Tensor {
-        self.net.forward(obs)
+        match self.acting {
+            ActingPrecision::Float32 => self.net.forward(obs),
+            ActingPrecision::FixedQ8_8 => {
+                // Batch-of-1 through the agent's reusable workspace —
+                // unlike the engine's throwaway-workspace `forward`
+                // wrapper, serial deployment acting (every env step of
+                // `Trainer::evaluate`/`run`) stays allocation-free in
+                // the steady state. Bit-identical to the wrapper by the
+                // batched ≡ serial contract.
+                self.quantized_snapshot();
+                let Self { qsnap, qws, .. } = self;
+                qsnap
+                    .as_ref()
+                    .expect("ensured above")
+                    .forward_batch(&obs.clone().unsqueezed0(), qws)
+                    .clone()
+                    .squeezed0()
+            }
+        }
     }
 
     /// Greedy action for an observation.
@@ -132,18 +236,45 @@ impl QAgent {
         self.q_values(obs).argmax()
     }
 
-    /// Q-values for a batch of observations `[N, ...]` → `[N, actions]`.
+    /// Q-values for a batch of observations `[N, ...]` → `[N, actions]`,
+    /// on the selected acting datapath.
     ///
-    /// One batched network pass against the agent's reusable workspace;
-    /// row `i` is bit-identical to `q_values(obs_i)`.
+    /// One batched pass against the agent's reusable workspace; row `i`
+    /// is bit-identical to `q_values(obs_i)` on either datapath.
     pub fn q_values_batch(&mut self, obs: &Tensor) -> Tensor {
-        self.net.forward_batch(obs, &mut self.ws).clone()
+        match self.acting {
+            ActingPrecision::Float32 => self.net.forward_batch(obs, &mut self.ws).clone(),
+            ActingPrecision::FixedQ8_8 => {
+                self.quantized_snapshot();
+                let Self { qsnap, qws, .. } = self;
+                qsnap
+                    .as_ref()
+                    .expect("ensured above")
+                    .q_values_batch(obs, qws)
+                    .clone()
+            }
+        }
     }
 
-    /// Greedy action per sample for a batch of observations.
+    /// Greedy action per sample for a batch of observations, on the
+    /// selected acting datapath (the deployment-mode batched act: a
+    /// `VecEnv` fleet choosing actions through the quantised net).
     pub fn greedy_actions(&mut self, obs: &Tensor) -> Vec<usize> {
-        let q = self.net.forward_batch(obs, &mut self.ws);
-        (0..q.batch()).map(|i| argmax(q.sample(i))).collect()
+        match self.acting {
+            ActingPrecision::Float32 => {
+                let q = self.net.forward_batch(obs, &mut self.ws);
+                (0..q.batch()).map(|i| argmax(q.sample(i))).collect()
+            }
+            ActingPrecision::FixedQ8_8 => {
+                self.quantized_snapshot();
+                let Self { qsnap, qws, .. } = self;
+                let q = qsnap
+                    .as_ref()
+                    .expect("ensured above")
+                    .q_values_batch(obs, qws);
+                (0..q.batch()).map(|i| argmax(q.sample(i))).collect()
+            }
+        }
     }
 
     /// Accumulates one Bellman gradient step for a transition; returns the
@@ -274,6 +405,8 @@ impl QAgent {
     /// update) and advances the target-sync counter.
     pub fn apply_update(&mut self, sgd: &Sgd, batch_size: usize, target_sync: u64) {
         self.net.apply_sgd(sgd, batch_size);
+        // Online weights changed: a Q8.8 acting snapshot is stale now.
+        self.invalidate_quantized();
         self.steps_since_sync += 1;
         if self.steps_since_sync >= target_sync {
             self.sync_target();
@@ -296,6 +429,7 @@ impl QAgent {
     /// Propagates [`mramrl_nn::NnError`] on structural mismatch.
     pub fn load_transfer(&mut self, bytes: &[u8]) -> Result<(), mramrl_nn::NnError> {
         self.net.load_weights(bytes)?;
+        self.invalidate_quantized();
         self.sync_target();
         Ok(())
     }

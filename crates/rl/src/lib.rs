@@ -14,7 +14,11 @@
 //!   layers — the axis the whole hardware co-design exploits;
 //! * the TL → online-RL experiment driver ([`experiment`]) and the
 //!   metrics of Fig. 10/11: cumulative reward, per-episode return and
-//!   safe flight distance ([`metrics`]).
+//!   safe flight distance ([`metrics`]);
+//! * deployment-mode acting ([`ActingPrecision::FixedQ8_8`]): action
+//!   selection through a batched Q8.8 snapshot of the online network —
+//!   the 16-bit datapath the silicon flies with (`docs/fixed_point.md`)
+//!   — while TD training stays float.
 //!
 //! # Examples
 //!
@@ -38,7 +42,7 @@ mod policy;
 mod replay;
 mod trainer;
 
-pub use agent::QAgent;
+pub use agent::{ActingPrecision, QAgent};
 pub use experiment::{EnvRun, Fig10Experiment, TransferCache};
 pub use metrics::{MovingAverage, SafeFlightTracker};
 pub use mramrl_nn::Topology;

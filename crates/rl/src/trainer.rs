@@ -422,6 +422,14 @@ pub fn evaluate(
 /// batched Q forward per vec-step. `steps` counts total environment
 /// steps across all lanes (rounded up to a whole vec-step).
 ///
+/// **Deployment-mode fixed-point evaluation**: set the agent to
+/// [`crate::ActingPrecision::FixedQ8_8`] first and every batched Q
+/// forward here runs through the agent's Q8.8 snapshot instead of the
+/// float network — `K` lanes acting through the quantised engine, as a
+/// drone fleet on the 16-bit silicon datapath would. The policy is
+/// frozen, so the snapshot is quantised exactly once for the whole
+/// evaluation (see `docs/fixed_point.md`).
+///
 /// # Panics
 ///
 /// Panics if `steps` is zero or `eps` is outside `[0, 1]`.

@@ -92,6 +92,62 @@ impl FcArraySim {
         accs.iter().map(|a| a.to_q::<8>().to_f32()).collect()
     }
 
+    /// Batched Fig. 7 forward: `n` input vectors (`xs` is `[n × in_f]`
+    /// row-major) through the same stationary tiles, returning
+    /// `[n × out_f]` dequantised outputs.
+    ///
+    /// On the array, batching amortises what dominates FC traversal
+    /// cost: each 32×32 weight tile is loaded once and every resident
+    /// vector streams through it before the next tile is fetched
+    /// (vectors broadcast row-wise, one pSUM column per (vector,
+    /// output) pair). The *cycle* model stays per-vector —
+    /// [`crate::FcMapping`] charges ingest-bound tile loads that
+    /// batching does not change per image, only overlaps — but the
+    /// *numerics* of the batch are exactly `n` independent accumulator
+    /// chains: per (vector, output) the MAC order is still ascending
+    /// `in_i` across ascending `tile_r`, so row `i` of the result is
+    /// **bit-identical** to [`FcArraySim::forward`] on vector `i`, and
+    /// to the `mramrl_nn::qgemm` engine's ascending-`k` contract — the
+    /// property that lets the functional model and the batched Q8.8
+    /// inference engine be compared in one test
+    /// (`tests/quantized_engine.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` length is not a multiple of `in_f`.
+    // Indexed loops keep the row/column symmetry with `forward` visible.
+    #[allow(clippy::needless_range_loop)]
+    pub fn forward_batch(&self, xs: &[f32]) -> Vec<f32> {
+        assert_eq!(xs.len() % self.in_f, 0, "input batch length");
+        let n = xs.len() / self.in_f;
+        let xq: Vec<Q8_8> = xs.iter().map(|&v| Q8_8::from_f32(v)).collect();
+        // One wide accumulator per (vector, output neuron).
+        let mut accs: Vec<Acc32> = (0..n)
+            .flat_map(|_| self.bias.iter().map(|&b| Acc32::from_q(b)))
+            .collect();
+
+        for tile_r in (0..self.in_f).step_by(self.rows) {
+            let r_end = (tile_r + self.rows).min(self.in_f);
+            for tile_c in (0..self.out_f).step_by(self.cols) {
+                let c_end = (tile_c + self.cols).min(self.out_f);
+                // The tile is stationary; every resident vector streams
+                // through it before the next tile load.
+                for v in 0..n {
+                    let xv = &xq[v * self.in_f..(v + 1) * self.in_f];
+                    let av = &mut accs[v * self.out_f..(v + 1) * self.out_f];
+                    for out_j in tile_c..c_end {
+                        let mut acc = av[out_j];
+                        for in_i in tile_r..r_end {
+                            acc = acc.mac(self.weights[out_j * self.in_f + in_i], xv[in_i]);
+                        }
+                        av[out_j] = acc;
+                    }
+                }
+            }
+        }
+        accs.iter().map(|a| a.to_q::<8>().to_f32()).collect()
+    }
+
     /// Fig. 8 transposed product: `g_in = Wᵀ·g_out`, with the vector
     /// driven down columns and pSUMs accumulated row-wise — no transpose
     /// of the stationary tiles. Returns dequantised input gradients
@@ -215,6 +271,33 @@ mod tests {
             (lhs - rhs).abs() < 0.02 * lhs.abs().max(0.1),
             "{lhs} vs {rhs}"
         );
+    }
+
+    #[test]
+    fn batched_forward_rows_match_per_vector_forward_bitwise() {
+        // Batched tile-resident streaming reorders *which* accumulator
+        // advances when, but never the MAC order within one — rows must
+        // equal per-vector passes exactly, tile boundaries included.
+        for (in_f, out_f, n) in [(33usize, 31usize, 3usize), (100, 70, 4), (8, 5, 1)] {
+            let (w, b, _) = test_data(in_f, out_f, 11);
+            let sim = FcArraySim::load(&ArraySpec::date19(), in_f, out_f, &w, &b);
+            let xs: Vec<f32> = (0..n * in_f)
+                .map(|i| ((i % 101) as f32 - 50.0) / 256.0)
+                .collect();
+            let batched = sim.forward_batch(&xs);
+            assert_eq!(batched.len(), n * out_f);
+            for v in 0..n {
+                let single = sim.forward(&xs[v * in_f..(v + 1) * in_f]);
+                assert_eq!(
+                    single.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    batched[v * out_f..(v + 1) * out_f]
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{in_f}x{out_f} vector {v}"
+                );
+            }
+        }
     }
 
     #[test]
