@@ -153,6 +153,36 @@ fn bench_batch_json_runs_tiny() {
 }
 
 #[test]
+fn bench_serve_json_runs_tiny() {
+    let dir = results_dir("serve_json");
+    let stdout = run(
+        env!("CARGO_BIN_EXE_bench_serve_json"),
+        &["--tiny", "--clients", "4", "--requests", "3"],
+        &dir,
+    );
+    assert!(stdout.contains('|'), "no table:\n{stdout}");
+    assert!(
+        stdout.contains("speedup coalesced vs batch1"),
+        "no speedup line:\n{stdout}"
+    );
+    assert!(csv_count(&dir) > 0, "no CSV in {dir:?}");
+    let json = std::fs::read_to_string(dir.join("BENCH_serve.json"))
+        .expect("BENCH_serve.json written into MRAMRL_RESULTS");
+    for needle in [
+        "\"bench\": \"serve\"",
+        "\"mode\": \"coalesced\"",
+        "\"mode\": \"batch1\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"decisions_per_sec\"",
+        "\"speedup_coalesced_vs_batch1\"",
+    ] {
+        assert!(json.contains(needle), "JSON missing {needle}:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn make_report_writes_report() {
     let dir = results_dir("report");
     run(env!("CARGO_BIN_EXE_make_report"), &[], &dir);

@@ -43,7 +43,10 @@ pub struct VecEnv {
 }
 
 impl VecEnv {
-    /// Builds `k` lanes of `kind`, lane `i` seeded `base_seed + i`.
+    /// Builds `k` lanes of `kind`, lane `i` seeded
+    /// `base_seed.wrapping_add(i)` — wrapping, so lane seeding stays
+    /// well-defined (and equal to a serial env seeded the same way)
+    /// even when `base_seed` sits within `k` of `u64::MAX`.
     ///
     /// # Panics
     ///

@@ -67,6 +67,42 @@ proptest! {
     }
 }
 
+/// Lane seeding at the top of the `u64` range: `base_seed + i` must
+/// wrap, not panic (debug builds) or diverge from the serial
+/// `DroneEnv::new(kind, base.wrapping_add(i))` stream. With
+/// `base = u64::MAX - 1` and 4 lanes, lanes 2 and 3 wrap to seeds 0
+/// and 1 — the boundary the satellite audit pins.
+#[test]
+fn lane_seeding_wraps_at_u64_max() {
+    let kind = EnvKind::OutdoorForest;
+    let base = u64::MAX - 1;
+    let k = 4usize;
+    let mut venv = VecEnv::new(kind, base, k);
+    let mut serial: Vec<DroneEnv> = (0..k)
+        .map(|i| DroneEnv::new(kind, base.wrapping_add(i as u64)))
+        .collect();
+
+    let vobs = venv.reset_all();
+    for (i, env) in serial.iter_mut().enumerate() {
+        assert_eq!(vobs[i], env.reset(), "boundary reset lane {i}");
+    }
+    for step in 0..40 {
+        let actions: Vec<Action> = (0..k).map(|i| Action::from_index((i + step) % 5)).collect();
+        let vres = venv.step(&actions);
+        for (i, env) in serial.iter_mut().enumerate() {
+            let sres = env.step(actions[i]);
+            assert_eq!(vres[i], sres, "boundary step {step} lane {i}");
+            if sres.crashed {
+                assert_eq!(venv.reset(i), env.reset(), "boundary post-crash lane {i}");
+            }
+        }
+    }
+    // The wrapped lanes really did wrap: lane 2 ≡ a fresh seed-0 env.
+    let mut wrapped = DroneEnv::new(kind, 0);
+    let mut lane2 = DroneEnv::new(kind, base.wrapping_add(2));
+    assert_eq!(wrapped.reset(), lane2.reset());
+}
+
 /// Pooled lane stepping is a pure fan-out: under injected worker pools
 /// of 1, 2 and 7 executors the whole trajectory (observations, rewards,
 /// crashes, post-crash resets) stays bit-identical to the serial

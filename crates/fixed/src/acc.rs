@@ -79,6 +79,16 @@ impl Acc32 {
 
     /// Re-quantises the accumulated sum to `Q<OUT_FRAC>` with
     /// round-to-nearest and saturation.
+    ///
+    /// Rounding is the hardware drain idiom — add half an output LSB,
+    /// then arithmetic-shift — which resolves exact ties toward **+∞**.
+    /// This deliberately differs from the float→fixed *entry* policy
+    /// ([`Q::from_f32`] / [`Q::snap_f32`]: ties away from zero). Entry
+    /// quantisation regularly sees exact half-LSB ties (values on the
+    /// `0.5/2^FRAC` grid), while a MAC drain only ties when the dropped
+    /// bits of the wide sum are exactly half an output LSB; both
+    /// policies are pinned by tests and documented in
+    /// `docs/fixed_point.md`.
     #[inline]
     pub fn to_q<const OUT_FRAC: u32>(self) -> Q<OUT_FRAC> {
         if self.frac == 0 {
@@ -166,6 +176,22 @@ mod tests {
         let _ = Acc32::zero()
             .mac(Q8_8::ONE, Q8_8::ONE)
             .mac(crate::Q4_12::ONE, crate::Q4_12::ONE);
+    }
+
+    #[test]
+    fn drain_ties_round_toward_positive_infinity() {
+        // A raw sum of ±384 at 16 fractional bits is exactly ±1.5
+        // output LSBs for `to_q::<8>`. The drain's add-half-then-shift
+        // sends both ties toward +∞: +1.5 → +2 (where half-up and
+        // half-away agree) but −1.5 → −1, unlike the entry rounding
+        // (`Q8_8::from_f32(-1.5 / 256.0)` gives raw −2).
+        let pos = Acc32::zero().mac(Q8_8::from_raw(24), Q8_8::from_raw(16));
+        assert_eq!(pos.raw_sum(), 384);
+        assert_eq!(pos.to_q::<8>().raw(), 2);
+        let neg = Acc32::zero().mac(Q8_8::from_raw(-24), Q8_8::from_raw(16));
+        assert_eq!(neg.raw_sum(), -384);
+        assert_eq!(neg.to_q::<8>().raw(), -1);
+        assert_eq!(Q8_8::from_f32(-1.5 / 256.0).raw(), -2);
     }
 
     #[test]

@@ -71,6 +71,42 @@ impl<const FRAC: u32> Q<FRAC> {
         Self::from_f64(f64::from(value))
     }
 
+    /// Snaps an `f32` onto the `Q<FRAC>` grid and returns it as `f32`:
+    /// [`Q::from_f32`] followed by the exact [`Q::to_f32`] — **the**
+    /// shared rounding helper for code that needs "the float the
+    /// quantised engine will actually compute with" (weight
+    /// pre-snapping, test reference models).
+    ///
+    /// One documented policy covers every float→fixed *entry* in the
+    /// workspace: scale by `2^FRAC` **in f64**, round half away from
+    /// zero (`f64::round`), saturate to the raw `i16` range, flush
+    /// `NaN` to zero. Ad-hoc snaps of the form
+    /// `(v * 256.0).round() / 256.0` agree with this on in-range finite
+    /// values (a power-of-two scale is exact in f32 and f64 alike, and
+    /// both `round`s resolve ties away from zero) but silently diverge
+    /// outside the representable range (no saturation) and on
+    /// non-finite inputs — the inconsistency this helper closes.
+    ///
+    /// Deliberate contrast with [`crate::Acc32::to_q`], the MAC *exit*
+    /// requantisation: that path rounds exact ties toward **+∞**
+    /// (add-half-then-arithmetic-shift, the hardware drain idiom).
+    /// Entry quantisation regularly sees exact `.5/2^FRAC` ties, so its
+    /// tie rule is pinned here; see `docs/fixed_point.md`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mramrl_fixed::Q8_8;
+    ///
+    /// assert_eq!(Q8_8::snap_f32(0.3), 0.30078125); // 77/256
+    /// assert_eq!(Q8_8::snap_f32(200.0), Q8_8::MAX.to_f32()); // saturates
+    /// assert_eq!(Q8_8::snap_f32(f32::NAN), 0.0); // DSP flush
+    /// ```
+    #[inline]
+    pub fn snap_f32(value: f32) -> f32 {
+        Self::from_f32(value).to_f32()
+    }
+
     /// Converts from `f64`, rounding to nearest and saturating.
     #[inline]
     pub fn from_f64(value: f64) -> Self {
@@ -417,5 +453,51 @@ mod tests {
         let s = format!("{:?}", Q8_8::from_f32(1.25));
         assert!(s.contains("Q8.8"));
         assert_eq!(format!("{}", Q8_8::from_f32(1.25)), "1.25");
+    }
+
+    #[test]
+    fn half_ulp_ties_round_away_from_zero() {
+        // ±(k + 0.5)/256 is exact in f32 for these k (k + 0.5 fits the
+        // mantissa, /256 only shifts the exponent), so entry rounding
+        // sees an exact half-LSB tie and must resolve away from zero.
+        for k in [0i32, 1, 2, 76, 127, 255, 4095, 32_766] {
+            #[allow(clippy::cast_precision_loss)]
+            let v = (k as f32 + 0.5) / 256.0;
+            assert_eq!(Q8_8::from_f32(v).raw() as i32, k + 1, "+tie k={k}");
+            assert_eq!(Q8_8::from_f32(-v).raw() as i32, -(k + 1), "-tie k={k}");
+        }
+    }
+
+    #[test]
+    fn snap_f32_is_idempotent_and_agrees_with_from_f32() {
+        let vals = [
+            0.0f32,
+            0.2998,
+            -0.2998,
+            1.0 / 3.0,
+            -127.4,
+            127.996,
+            55.5 / 256.0,
+            -55.5 / 256.0,
+        ];
+        for &v in &vals {
+            let s = Q8_8::snap_f32(v);
+            assert_eq!(Q8_8::from_f32(s), Q8_8::from_f32(v), "grid point for {v}");
+            assert_eq!(Q8_8::snap_f32(s), s, "idempotence for {v}");
+        }
+    }
+
+    #[test]
+    fn snap_f32_saturates_and_flushes_unlike_raw_f32_snap() {
+        // The ad-hoc f32-domain snap this helper replaced leaves
+        // out-of-range and non-finite values untouched; the shared
+        // helper must saturate/flush exactly like `from_f32`.
+        let raw_snap = |v: f32| (v * 256.0).round() / 256.0;
+        assert_eq!(raw_snap(200.0), 200.0); // the pre-fix hazard
+        assert_eq!(Q8_8::snap_f32(200.0), Q8_8::MAX.to_f32());
+        assert_eq!(Q8_8::snap_f32(-200.0), Q8_8::MIN.to_f32());
+        assert_eq!(Q8_8::snap_f32(f32::INFINITY), Q8_8::MAX.to_f32());
+        assert_eq!(Q8_8::snap_f32(f32::NEG_INFINITY), Q8_8::MIN.to_f32());
+        assert_eq!(Q8_8::snap_f32(f32::NAN), 0.0);
     }
 }

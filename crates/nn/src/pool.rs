@@ -233,6 +233,32 @@ impl Drop for InstallGuard<'_> {
     }
 }
 
+/// Makes `handle` the [`current`] pool for the calling thread until the
+/// returned guard drops — the owner-agnostic form of
+/// [`ThreadPool::install`] for threads that cannot borrow the owning
+/// pool, e.g. a long-lived serving worker adopting the pool handed to
+/// it by the service owner. If the owning [`ThreadPool`] is dropped
+/// while the handle is still installed, submitted work degrades to
+/// inline execution on the caller (the [`PoolHandle::run`] drain
+/// contract) — results are unchanged, only parallelism is lost.
+pub fn install_handle(handle: PoolHandle) -> HandleInstallGuard {
+    INSTALLED.with(|s| s.borrow_mut().push(handle));
+    HandleInstallGuard { _priv: () }
+}
+
+/// Un-installs the pool pushed by [`install_handle`] on drop.
+pub struct HandleInstallGuard {
+    _priv: (),
+}
+
+impl Drop for HandleInstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
 /// Internal push/pop guard binding the *executing* pool into the
 /// thread-local stack for the duration of one task (or one inline run).
 /// Drop-based so a panicking task cannot leave a stale handle behind.
@@ -515,6 +541,34 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn install_handle_binds_pool_on_a_foreign_thread() {
+        // A thread that never saw the owning ThreadPool adopts its
+        // handle (the serving-worker pattern) and `current()` resolves
+        // to it; on guard drop the thread falls back to the inline pool.
+        let pool = ThreadPool::new(3);
+        let handle = pool.handle();
+        std::thread::spawn(move || {
+            let depth = || INSTALLED.with(|s| s.borrow().len());
+            assert_eq!(depth(), 0, "fresh thread has no installed pool");
+            {
+                let _g = install_handle(handle);
+                assert_eq!(depth(), 1);
+                assert_eq!(current_threads(), 3);
+                let mut out = vec![0u64; 33];
+                current().scatter_chunks(&mut out, 4, |ci, chunk| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (ci * 4 + j) as u64;
+                    }
+                });
+                assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+            }
+            assert_eq!(depth(), 0, "guard must pop the handle");
+        })
+        .join()
+        .expect("worker thread");
     }
 
     #[test]

@@ -656,11 +656,12 @@ mod tests {
         // agreement (conv/fc arithmetic is exact when values fit).
         let spec = NetworkSpec::micro(16, 1, 5);
         let mut net = spec.build(77);
-        // Snap every weight to the Q8.8 grid.
+        // Snap every weight to the Q8.8 grid with the shared entry
+        // rounding helper (one documented policy; see Q8_8::snap_f32).
         for l in net.layers_vec_mut() {
             for p in l.params_mut() {
                 for v in p.value.data_mut() {
-                    *v = (*v * 256.0).round() / 256.0;
+                    *v = Q8_8::snap_f32(*v);
                 }
             }
         }

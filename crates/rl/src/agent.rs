@@ -62,7 +62,7 @@ pub struct QAgent {
     acting: ActingPrecision,
     /// Lazily-built Q8.8 snapshot of the online net (deployment mode);
     /// `None` whenever the online weights may have changed since.
-    qsnap: Option<QuantizedNet>,
+    qsnap: Option<std::sync::Arc<QuantizedNet>>,
     /// Reusable scratch for the snapshot's batched passes.
     qws: QWorkspace,
     gamma: f32,
@@ -133,9 +133,22 @@ impl QAgent {
             snap.set_backend(QGemmBackend::from_gemm(
                 self.net.gemm_backend().unwrap_or_default(),
             ));
-            self.qsnap = Some(snap);
+            self.qsnap = Some(std::sync::Arc::new(snap));
         }
         self.qsnap.as_ref().expect("just built")
+    }
+
+    /// [`QAgent::quantized_snapshot`] as a shared, owned handle — the
+    /// snapshot handoff API for serving. The returned `Arc` is the
+    /// agent's own cached snapshot (no extra quantisation or copy), so
+    /// a serving layer can publish it to in-flight inference workers
+    /// while online learning continues: the agent drops *its* reference
+    /// on the next weight change, but every handed-out clone keeps the
+    /// frozen generation alive until its last batch completes (see
+    /// `mramrl_serve::SnapshotStore` and `docs/serving.md`).
+    pub fn quantized_snapshot_shared(&mut self) -> std::sync::Arc<QuantizedNet> {
+        self.quantized_snapshot();
+        self.qsnap.clone().expect("just built")
     }
 
     /// Drops the Q8.8 snapshot; the next quantised act re-snapshots.

@@ -52,11 +52,20 @@ impl EpsilonSchedule {
     }
 
     /// ε at `step`.
+    ///
+    /// The interpolation fraction is computed in **f64**: casting the
+    /// step counter to f32 quantises above 2²⁴, which made schedules
+    /// longer than 2²⁴ steps collapse runs of nearby steps onto one ε
+    /// and land on the boundary value several steps early. Moving the
+    /// division to f64 was a documented one-time rounding change (any
+    /// given ε may shift by ≤ 1 ulp); the shape of the schedule and the
+    /// short-schedule doctest values are unchanged.
+    #[allow(clippy::cast_precision_loss)]
     pub fn value(&self, step: u64) -> f32 {
         if step >= self.decay_steps {
             return self.end;
         }
-        let f = step as f32 / self.decay_steps as f32;
+        let f = (step as f64 / self.decay_steps as f64) as f32;
         self.start + (self.end - self.start) * f
     }
 
@@ -114,6 +123,47 @@ mod tests {
         }
         // Every action gets explored.
         assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn long_schedule_keeps_decaying_near_the_boundary() {
+        // decay_steps > 2^24: with the fraction computed via `step as
+        // f32`, steps `decay-2` and `decay-1` both rounded to the same
+        // f32 (33554436) and produced the same ε — the pre-fix code
+        // fails the strict inequality below. In f64 the fractions stay
+        // distinct through the final cast.
+        let decay = (1u64 << 25) + 5;
+        let e = EpsilonSchedule::new(1.0, 0.05, decay);
+        assert!(
+            e.value(decay - 2) > e.value(decay - 1),
+            "{} vs {}",
+            e.value(decay - 2),
+            e.value(decay - 1)
+        );
+
+        // Monotone non-increasing across the whole >2^24-step schedule,
+        // never below `end`.
+        let steps = [
+            0,
+            1,
+            1 << 20,
+            (1 << 24) - 1,
+            1 << 24,
+            (1 << 24) + 1,
+            decay / 2,
+            decay - 4,
+            decay - 2,
+            decay - 1,
+            decay,
+            decay + 7,
+        ];
+        let mut prev = f32::INFINITY;
+        for &s in &steps {
+            let v = e.value(s);
+            assert!(v <= prev, "ε increased at step {s}: {prev} -> {v}");
+            assert!(v >= e.value(decay), "ε dipped below end at step {s}: {v}");
+            prev = v;
+        }
     }
 
     #[test]

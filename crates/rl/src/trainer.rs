@@ -146,8 +146,8 @@ impl Trainer {
 
     /// Builds the [`VecEnv`] this configuration asks for:
     /// [`TrainerConfig::num_envs`] lanes of `kind`, lane `i` seeded
-    /// `cfg.seed + i` — the canonical way to size the fleet for
-    /// [`Trainer::run_vec`].
+    /// `cfg.seed.wrapping_add(i)` — the canonical way to size the fleet
+    /// for [`Trainer::run_vec`].
     ///
     /// # Panics
     ///
@@ -174,6 +174,7 @@ impl Trainer {
         let mut episode_reward_sum = 0.0f32;
         let mut episode_actions = 0u64;
         let mut accumulated = 0usize;
+        let mut next_log = 0u64;
 
         let mut obs = to_tensor(&env.reset());
         for iter in 0..cfg.iters {
@@ -215,12 +216,18 @@ impl Trainer {
                 obs = next;
             }
 
-            if iter % cfg.log_every == 0 || iter + 1 == cfg.iters {
+            // Exactly one curve point per `log_every` window: log the
+            // first iteration at or past each window start (for serial
+            // stepping, the multiples of `log_every`). End-of-run state
+            // lives in `TrainLog::final_reward`, so no extra final
+            // point is emitted.
+            if iter >= next_log {
                 curve.push(CurvePoint {
                     iter,
                     cumulative_reward: cum_reward.value(),
                     avg_return: return_ma.value(),
                 });
+                next_log = (iter / cfg.log_every + 1) * cfg.log_every;
             }
         }
         // Censored final episode still informs SFD.
@@ -270,6 +277,7 @@ impl Trainer {
         let mut ep_reward = vec![0.0f32; k];
         let mut ep_actions = vec![0u64; k];
         let mut accumulated = 0usize;
+        let mut next_log = 0u64;
 
         let mut obs: Vec<Tensor> = venv.reset_all().iter().map(to_tensor).collect();
         let mut iter = 0u64;
@@ -312,15 +320,23 @@ impl Trainer {
                 accumulated = 0;
             }
 
-            let next_iter = iter + k as u64;
-            if iter % cfg.log_every < k as u64 || next_iter >= cfg.iters {
+            // Same cadence as `run`: exactly one curve point per
+            // `log_every` window — the first vec-step at or past each
+            // window start. (The old `iter % log_every < k` gate
+            // double-logged a window whenever `k ∤ log_every` put two
+            // vec-steps inside its first `k` iterations, and the
+            // unconditional final-step clause duplicated the last
+            // window's point; end-of-run state lives in
+            // `TrainLog::final_reward`.)
+            if iter >= next_log {
                 curve.push(CurvePoint {
                     iter,
                     cumulative_reward: cum_reward.value(),
                     avg_return: return_ma.value(),
                 });
+                next_log = (iter / cfg.log_every + 1) * cfg.log_every;
             }
-            iter = next_iter;
+            iter += k as u64;
         }
         // Censored final episodes still inform SFD, lane by lane.
         for i in 0..k {
@@ -562,6 +578,64 @@ mod tests {
         let (a, b) = (run(3), run(3));
         assert_eq!(a.final_reward, b.final_reward);
         assert_eq!(a.episodes, b.episodes);
+    }
+
+    #[test]
+    fn run_logs_once_per_log_window() {
+        // iters = 11 with log_every = 3: the pre-fix unconditional
+        // final-iteration clause logged window 3 twice (curve iters
+        // [0, 3, 6, 9, 10]); the cadence contract is one point per
+        // window, at its first iteration.
+        let mut env = tiny_env();
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 1);
+        let mut cfg = TrainerConfig::online(11, 1);
+        cfg.log_every = 3;
+        let log = Trainer::new(cfg).run(&mut agent, &mut env);
+        let iters: Vec<u64> = log.curve.iter().map(|p| p.iter).collect();
+        assert_eq!(iters, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn run_vec_logs_once_per_log_window() {
+        // k = 2 lanes with log_every = 3 (k does not divide log_every):
+        // the pre-fix `iter % log_every < k` gate fired on both iter 6
+        // (6 % 3 = 0) and iter 4 (4 % 3 = 1), and the final-step clause
+        // added iter 8 — curve iters [0, 4, 6, 8], logging window 2
+        // twice. Post-fix: the first vec-step at or past each window
+        // start, once per window.
+        let mut venv = mramrl_env::VecEnv::from_envs(vec![tiny_env(), tiny_env()]);
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 1);
+        let mut cfg = TrainerConfig::online(10, 1);
+        cfg.num_envs = 2;
+        cfg.log_every = 3;
+        let log = Trainer::new(cfg).run_vec(&mut agent, &mut venv);
+        let iters: Vec<u64> = log.curve.iter().map(|p| p.iter).collect();
+        assert_eq!(iters, vec![0, 4, 6]);
+        let windows: Vec<u64> = iters.iter().map(|i| i / 3).collect();
+        for w in windows.windows(2) {
+            assert!(w[0] < w[1], "duplicate or out-of-order log window");
+        }
+    }
+
+    #[test]
+    fn run_vec_k1_matches_run_cadence() {
+        // A 1-lane vectorized run must reproduce the serial driver's
+        // curve exactly — same iterations logged, same trajectory.
+        let mut cfg = TrainerConfig::online(50, 9);
+        cfg.log_every = 7;
+        let serial = {
+            let mut env = tiny_env();
+            let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 9);
+            Trainer::new(cfg).run(&mut agent, &mut env)
+        };
+        let vec1 = {
+            let mut venv = mramrl_env::VecEnv::from_envs(vec![tiny_env()]);
+            let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 9);
+            Trainer::new(cfg).run_vec(&mut agent, &mut venv)
+        };
+        let it = |l: &TrainLog| l.curve.iter().map(|p| p.iter).collect::<Vec<_>>();
+        assert_eq!(it(&serial), it(&vec1));
+        assert_eq!(serial.final_reward, vec1.final_reward);
     }
 
     #[test]

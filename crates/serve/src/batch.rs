@@ -1,0 +1,154 @@
+//! The shared flush body: one coalesced engine pass over a batch of
+//! per-drone observation requests.
+
+use mramrl_nn::{QWorkspace, QuantizedNet, Tensor};
+
+/// One drone's observation, submitted for an action decision.
+#[derive(Debug, Clone)]
+pub struct ObsRequest {
+    /// Caller-chosen drone identity, echoed back on the [`Decision`].
+    pub drone_id: u64,
+    /// The `[C, H, W]` observation (must match the served net's
+    /// [`mramrl_nn::NetworkSpec::input_shape`]).
+    pub obs: Tensor,
+}
+
+/// The action decided for one [`ObsRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The request's drone identity.
+    pub drone_id: u64,
+    /// Greedy action index (per-row argmax of the batched Q-values,
+    /// first-wins tie-break via [`mramrl_nn::argmax`]).
+    pub action: usize,
+    /// The snapshot generation that produced this decision — every
+    /// decision of a flush carries the same one (no torn reads).
+    pub generation: u64,
+}
+
+/// Decides a whole coalesced batch with **one** engine pass: stacks the
+/// observations into a `[N, C, H, W]` batch, runs
+/// [`QuantizedNet::q_values_batch`], and takes each row's argmax.
+///
+/// This is the single flush body shared by the live [`crate::Service`]
+/// worker and [`crate::replay_trace`], which is what makes their
+/// decisions the same code path. Because the engine pins batched ≡
+/// serial bit-identity (row `i` of a batch equals the batch-of-1
+/// forward of sample `i` — see `docs/fixed_point.md`), **how requests
+/// are grouped into batches cannot change any drone's action**, only
+/// how fast the decisions arrive. That is the load-bearing fact behind
+/// the serving determinism contract.
+///
+/// Returns one [`Decision`] per request, in request order, all stamped
+/// with `generation`. An empty batch returns an empty vec without
+/// touching the engine.
+///
+/// # Panics
+///
+/// Panics if the requests carry mixed observation shapes, or if the
+/// observation shape does not match the net's input (the engine's own
+/// shape check).
+pub fn decide_batch(
+    net: &QuantizedNet,
+    generation: u64,
+    reqs: &[ObsRequest],
+    ws: &mut QWorkspace,
+) -> Vec<Decision> {
+    if reqs.is_empty() {
+        return Vec::new();
+    }
+    let q = net.q_values_batch(&stack_observations(reqs), ws);
+    reqs.iter()
+        .enumerate()
+        .map(|(i, r)| Decision {
+            drone_id: r.drone_id,
+            action: mramrl_nn::argmax(q.sample(i)),
+            generation,
+        })
+        .collect()
+}
+
+/// Stacks per-request observations `[C,H,W]` into one `[N,C,H,W]` batch.
+fn stack_observations(reqs: &[ObsRequest]) -> Tensor {
+    let first = reqs[0].obs.shape();
+    let mut shape = Vec::with_capacity(first.len() + 1);
+    shape.push(reqs.len());
+    shape.extend_from_slice(first);
+    let mut data = Vec::with_capacity(reqs.len() * reqs[0].obs.len());
+    for r in reqs {
+        assert_eq!(
+            r.obs.shape(),
+            first,
+            "mixed observation shapes in one serving batch (drone {})",
+            r.drone_id
+        );
+        data.extend_from_slice(r.obs.data());
+    }
+    Tensor::from_vec(&shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mramrl_nn::NetworkSpec;
+    use std::sync::Arc;
+
+    fn qnet(seed: u64) -> Arc<QuantizedNet> {
+        let spec = NetworkSpec::micro(16, 1, 5);
+        Arc::new(QuantizedNet::from_network(&spec, &spec.build(seed)).expect("valid spec"))
+    }
+
+    fn obs(fill: f32) -> Tensor {
+        Tensor::filled(&[1, 16, 16], fill)
+    }
+
+    #[test]
+    fn batch_decisions_equal_serial_forwards() {
+        let net = qnet(11);
+        let reqs: Vec<ObsRequest> = (0..7)
+            .map(|d| ObsRequest {
+                drone_id: d,
+                obs: obs(0.1 + 0.1 * d as f32),
+            })
+            .collect();
+        let mut ws = QWorkspace::new();
+        let got = decide_batch(&net, 3, &reqs, &mut ws);
+        assert_eq!(got.len(), reqs.len());
+        for (d, r) in got.iter().zip(&reqs) {
+            let serial = net.forward(&r.obs);
+            assert_eq!(
+                d.action,
+                mramrl_nn::argmax(serial.data()),
+                "drone {}",
+                r.drone_id
+            );
+            assert_eq!(d.drone_id, r.drone_id);
+            assert_eq!(d.generation, 3);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let net = qnet(1);
+        let mut ws = QWorkspace::new();
+        assert!(decide_batch(&net, 0, &[], &mut ws).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed observation shapes")]
+    fn mixed_shapes_panic() {
+        let net = qnet(1);
+        let mut ws = QWorkspace::new();
+        let reqs = vec![
+            ObsRequest {
+                drone_id: 0,
+                obs: obs(0.5),
+            },
+            ObsRequest {
+                drone_id: 1,
+                obs: Tensor::filled(&[1, 8, 8], 0.5),
+            },
+        ];
+        let _ = decide_batch(&net, 0, &reqs, &mut ws);
+    }
+}

@@ -1,0 +1,96 @@
+//! The generation-counted snapshot holder the serving layer acts through.
+
+use std::sync::{Arc, Mutex};
+
+use mramrl_nn::QuantizedNet;
+use mramrl_rl::QAgent;
+
+/// A double-buffered, generation-counted holder for the currently
+/// served Q8.8 snapshot.
+///
+/// "Double-buffered" here is the `Arc` form of the hardware idiom: the
+/// store holds one reference to the live snapshot, and every in-flight
+/// batch holds its own — publishing swaps the store's reference without
+/// touching the snapshot a worker is mid-batch on, so a batch is always
+/// produced entirely by one generation (the no-torn-reads contract,
+/// pinned in `crates/serve/tests/determinism.rs`).
+///
+/// The generation counter starts at 0 for the snapshot the store is
+/// built with and increments once per publish. Workers load
+/// `(net, generation)` with **one** [`SnapshotStore::snapshot`] call per
+/// flush, so the generation they stamp on responses is exactly the
+/// snapshot they computed with.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: Mutex<Slot>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    net: Arc<QuantizedNet>,
+    generation: u64,
+}
+
+impl SnapshotStore {
+    /// Creates a store serving `initial` as generation 0.
+    pub fn new(initial: Arc<QuantizedNet>) -> Self {
+        Self {
+            current: Mutex::new(Slot {
+                net: initial,
+                generation: 0,
+            }),
+        }
+    }
+
+    /// The live snapshot and its generation, as one atomic pair.
+    ///
+    /// Callers serving a batch must call this **once per flush** and
+    /// use both values together — that is what makes the stamped
+    /// generation authoritative for every decision in the batch.
+    pub fn snapshot(&self) -> (Arc<QuantizedNet>, u64) {
+        let slot = self.current.lock().expect("snapshot store poisoned");
+        (Arc::clone(&slot.net), slot.generation)
+    }
+
+    /// Publishes `net` as the new live snapshot and returns its
+    /// generation.
+    ///
+    /// The swap happens under a short lock; the previous snapshot stays
+    /// alive for exactly as long as in-flight batches still reference
+    /// it.
+    pub fn publish(&self, net: Arc<QuantizedNet>) -> u64 {
+        let mut slot = self.current.lock().expect("snapshot store poisoned");
+        slot.generation += 1;
+        slot.net = net;
+        slot.generation
+    }
+
+    /// Publishes the agent's current Q8.8 snapshot — the online-learning
+    /// handoff. This is
+    /// [`QAgent::quantized_snapshot_shared`] followed by
+    /// [`SnapshotStore::publish`]: the agent's cached snapshot is shared
+    /// (no copy) and served until the next publish, while training keeps
+    /// mutating the float weights underneath.
+    pub fn publish_agent(&self, agent: &mut QAgent) -> u64 {
+        self.publish(agent.quantized_snapshot_shared())
+    }
+
+    /// The current generation counter.
+    pub fn generation(&self) -> u64 {
+        self.current
+            .lock()
+            .expect("snapshot store poisoned")
+            .generation
+    }
+
+    /// The `[C, H, W]` observation shape the live snapshot expects —
+    /// what each [`crate::ObsRequest`] observation must match.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.current
+            .lock()
+            .expect("snapshot store poisoned")
+            .net
+            .spec()
+            .input_shape
+    }
+}

@@ -195,8 +195,9 @@ mod tests {
     fn reference_forward(w: &[f32], b: &[f32], x: &[f32], in_f: usize, out_f: usize) -> Vec<f32> {
         (0..out_f)
             .map(|j| {
-                // Quantised reference: snap operands to Q8.8 like the sim.
-                let snap = |v: f32| (v * 256.0).round() / 256.0;
+                // Quantised reference: snap operands to the Q8.8 grid
+                // with the shared entry rounding helper.
+                let snap = mramrl_fixed::Q8_8::snap_f32;
                 let mut acc = snap(b[j]);
                 for i in 0..in_f {
                     acc += snap(w[j * in_f + i]) * snap(x[i]);
@@ -244,7 +245,7 @@ mod tests {
         let g: Vec<f32> = (0..out_f).map(|i| ((i % 9) as f32 - 4.0) / 64.0).collect();
         let sim = FcArraySim::load(&ArraySpec::date19(), in_f, out_f, &w, &b);
         let got = sim.transposed(&g);
-        let snap = |v: f32| (v * 256.0).round() / 256.0;
+        let snap = mramrl_fixed::Q8_8::snap_f32;
         for i in 0..in_f {
             let mut expect = 0.0f32;
             for j in 0..out_f {

@@ -11,6 +11,8 @@
 //! * [`nn`] — from-scratch CNN library (the paper's modified AlexNet).
 //! * [`env`](mod@env) — procedural drone worlds + ray-cast stereo-depth camera.
 //! * [`rl`] — Q-learning, transfer learning, the L2/L3/L4/E2E topologies.
+//! * [`serve`] — fleet inference serving: dynamic request batching over
+//!   hot-swappable Q8.8 snapshots.
 //! * [`mem`] — STT-MRAM stack, SRAM buffers, placement, endurance.
 //! * [`systolic`] — the 32×32 PE array and its Type I/II/III mappings.
 //! * [`accel`] — the latency/energy/power model (Fig. 12/13).
@@ -36,6 +38,7 @@ pub use mramrl_fixed as fixed;
 pub use mramrl_mem as mem;
 pub use mramrl_nn as nn;
 pub use mramrl_rl as rl;
+pub use mramrl_serve as serve;
 pub use mramrl_systolic as systolic;
 
 pub use mramrl_core::{
