@@ -27,6 +27,14 @@
 //! JSON records the per-backend `q8.8 batched(32) / serial(32)` speedup
 //! (bar: ≥ 4× on blocked) and the float-vs-Q8.8 throughput ratio.
 //!
+//! A **raw certified-GEMM cell family** (mode `qgemm-conv1`) times the
+//! integer kernel alone on the paper's CONV1 product (96×363×3025 —
+//! the full-size AlexNet's first im2col GEMM; 32×363×256 under
+//! `--tiny`) on the `blocked` and `simd` integer backends, recording
+//! GMAC/s and the `speedup_qgemm_simd_vs_blocked` key (bar: ≥ 1.5× on
+//! AVX2 hosts; honestly recorded either way — on non-x86 hosts `simd`
+//! falls back to the pooled kernel and the ratio documents that).
+//!
 //! Flags: `--reps N` (timed repetitions per cell, default 10),
 //! `--backend <name>` narrows to one backend, `--pool-threads N` sets
 //! the multi-thread cell count (default: the global pool size, i.e.
@@ -181,6 +189,35 @@ fn main() {
                 ns_per_transition: ns,
             });
         }
+
+        // Raw certified-GEMM cell family: the integer kernel alone on
+        // the paper's CONV1 im2col product, blocked vs simd — the
+        // head-to-head the SIMD tier's acceptance bar is read from.
+        // `ns_per_transition` holds ns per whole GEMM call here.
+        let (qm, qk, qn) = if tiny {
+            (32usize, 363usize, 256usize)
+        } else {
+            (96, 363, 3025)
+        };
+        let qa = mramrl_nn::difftest::qfill(qm * qk, 1001);
+        let qbt = mramrl_nn::difftest::qfill(qn * qk, 1002);
+        let qbias = mramrl_nn::difftest::qfill(qm, 1003);
+        let mut qc = vec![mramrl_fixed::Q8_8::from_raw(0); qm * qn];
+        for qbe in [
+            mramrl_nn::QGemmBackend::Blocked,
+            mramrl_nn::QGemmBackend::Simd,
+        ] {
+            let ns = time_ns(reps, || {
+                qbe.matmul_bt_bias_requant_into(&mut qc, &qa, &qbt, &qbias, qm, qk, qn);
+            });
+            cells.push(Cell {
+                backend: qbe.name(),
+                mode: "qgemm-conv1",
+                batch: qm,
+                threads,
+                ns_per_transition: ns,
+            });
+        }
     }
 
     let mut table = Table::new(
@@ -265,6 +302,38 @@ fn main() {
             fq_ratios.push((be.name().to_string(), r));
         }
     }
+    // The SIMD acceptance bar: the raw certified-GEMM head-to-head on
+    // the paper's CONV1 shape, single thread. GMAC/s uses the whole
+    // m·k·n product over the per-call time.
+    let (qm, qk, qn) = if tiny {
+        (32usize, 363usize, 256usize)
+    } else {
+        (96, 363, 3025)
+    };
+    let qgemm_ns = |backend: &str| {
+        cells
+            .iter()
+            .find(|c| c.backend == backend && c.mode == "qgemm-conv1" && c.threads == 1)
+            .map(|c| c.ns_per_transition)
+    };
+    let macs = (qm * qk * qn) as f64;
+    let mut qgemm_gmacs = Vec::new();
+    for backend in ["blocked", "simd"] {
+        if let Some(ns) = qgemm_ns(backend) {
+            let g = macs / ns;
+            println!("qgemm conv1 ({qm}x{qk}x{qn}) on {backend}: {g:.2} GMAC/s");
+            qgemm_gmacs.push((backend.to_string(), g));
+        }
+    }
+    let qgemm_speedup = match (qgemm_ns("blocked"), qgemm_ns("simd")) {
+        (Some(bl), Some(si)) => {
+            let s = bl / si;
+            println!("speedup qgemm simd vs blocked (conv1 shape): {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
+
     // The multi-core bar: threaded batched(32) against blocked
     // batched(32) at the SAME pool size (blocked also gets the pool's
     // join2 forward overlap, so same-size cells are the fair baseline).
@@ -319,7 +388,23 @@ fn main() {
             if i == 0 { "" } else { ", " }
         ));
     }
-    json.push_str("},\n  \"speedup_threaded_batched32_vs_blocked_batched32\": {");
+    json.push_str("},\n  \"qgemm_conv1_gmacs\": {");
+    for (i, (backend, g)) in qgemm_gmacs.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{backend}\": {g:.3}",
+            if i == 0 { "" } else { ", " }
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"qgemm_conv1_shape\": [{qm}, {qk}, {qn}],\n  \"simd_available\": {},\n",
+        mramrl_nn::simd::available()
+    ));
+    json.push_str(&format!(
+        "  \"speedup_qgemm_simd_vs_blocked\": {},\n",
+        qgemm_speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
+    ));
+    json.push_str("  \"speedup_threaded_batched32_vs_blocked_batched32\": {");
     for (i, (t, s)) in multicore.iter().enumerate() {
         json.push_str(&format!(
             "{}\"{t}\": {s:.3}",

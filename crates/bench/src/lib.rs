@@ -185,7 +185,7 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
 }
 
 /// Resolves the GEMM backend for a figure binary: `--backend <name>` or
-/// `--backend=<name>` (`naive|blocked|threaded`) wins, else the
+/// `--backend=<name>` (`naive|blocked|threaded|simd`) wins, else the
 /// `NN_GEMM_BACKEND` env knob (default `blocked`). The choice is
 /// exported back into `NN_GEMM_BACKEND` so every network built later in
 /// the process — and any child process — picks it up; call this
@@ -200,7 +200,7 @@ pub fn init_gemm_backend() -> mramrl_nn::GemmBackend {
     let args: Vec<String> = std::env::args().collect();
     let chosen: Option<String> = args.iter().position(|a| *a == "--backend").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("error: --backend needs a value (naive|blocked|threaded)");
+            eprintln!("error: --backend needs a value (naive|blocked|threaded|simd)");
             std::process::exit(2);
         })
     });
@@ -293,7 +293,8 @@ pub fn batch_td_agent(
 
 /// The Q8.8 deployment-mode engine snapshot of the batch-TD workload
 /// net, on the integer backend matching `backend` (naive→naive,
-/// blocked→blocked, threaded→pooled) — what the quantised-inference
+/// blocked→blocked, threaded→pooled, simd→simd) — what the
+/// quantised-inference
 /// bench cells drive. Shares seed 42 with [`batch_td_agent`] so the
 /// float and fixed-point cells measure the same weights.
 pub fn batch_td_qnet(

@@ -146,9 +146,22 @@ fn bench_batch_json_runs_tiny() {
         "\"bench\": \"batch_td\"",
         "\"speedup_batched32_vs_serial32\"",
         "\"backend\": \"blocked\"",
+        // The SIMD tier's cells and acceptance keys (schema-pinned:
+        // present even when the host has no AVX2 — the simd backend
+        // then measures its blocked/pooled fallback).
+        "\"backend\": \"simd\"",
+        "\"mode\": \"qgemm-conv1\"",
+        "\"qgemm_conv1_gmacs\"",
+        "\"qgemm_conv1_shape\": [32, 363, 256]",
+        "\"simd_available\"",
+        "\"speedup_qgemm_simd_vs_blocked\"",
     ] {
         assert!(json.contains(needle), "JSON missing {needle}:\n{json}");
     }
+    assert!(
+        stdout.contains("speedup qgemm simd vs blocked"),
+        "no qgemm speedup line:\n{stdout}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

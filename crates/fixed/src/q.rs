@@ -15,6 +15,11 @@ use crate::error::FixedRangeError;
 /// `FRAC` must be in `1..=15`; this is checked at compile time through the
 /// `RESOLUTION` constant used by every constructor.
 ///
+/// The layout is `repr(transparent)` over the raw `i16`: a `&[Q<FRAC>]`
+/// slice is guaranteed to have exactly the memory layout of `&[i16]`,
+/// which is what lets the SIMD kernel tier (`mramrl_nn::simd`) feed
+/// certified Q8.8 rows straight into 16-bit lane loads without copying.
+///
 /// # Examples
 ///
 /// ```
@@ -26,6 +31,7 @@ use crate::error::FixedRangeError;
 /// assert_eq!(Q8_8::MAX.saturating_add(Q8_8::ONE), Q8_8::MAX);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
 pub struct Q<const FRAC: u32> {
     raw: i16,
 }

@@ -10,27 +10,43 @@
 //! | [`GemmBackend::Naive`]    | reference triple loops ([`crate::gemm::matmul`]) | correctness oracle |
 //! | [`GemmBackend::Blocked`]  | k-panel packed, `MR×NR` register-tiled kernel   | default |
 //! | [`GemmBackend::Threaded`] | row bands on the persistent [`crate::pool`] over the blocked kernel | large shapes / multi-core |
+//! | [`GemmBackend::Simd`]     | explicit AVX2+FMA lane kernel ([`crate::simd`]), pool row bands, blocked fallback | max single-core throughput |
 //!
 //! # Summation-order contract (exactness policy)
 //!
-//! All three backends compute every output element with a **single
-//! accumulator** and add contributions in **ascending order of the
-//! contraction index** (`k` for `A·B`, the shared row index `i` for
-//! `Aᵀ·B`). Rust never re-associates float arithmetic and no FMA
-//! contraction is emitted from safe code here, so the three backends are
-//! **bit-for-bit identical** — signed zeros included, and with `NaN`s in
-//! exactly the same positions. The single carve-out: `NaN` *payload*
-//! bits are unspecified by IEEE-754 (LLVM may commute float operands),
-//! so only `NaN`-ness, not the payload, is guaranteed. The equivalence
+//! The [`GemmBackend::BITWISE`] backends (naive/blocked/threaded)
+//! compute every output element with a **single accumulator** and add
+//! contributions in **ascending order of the contraction index** (`k`
+//! for `A·B`, the shared row index `i` for `Aᵀ·B`). Rust never
+//! re-associates float arithmetic and no FMA contraction is emitted
+//! from safe code here, so those three backends are **bit-for-bit
+//! identical** — signed zeros included, and with `NaN`s in exactly the
+//! same positions. The single carve-out: `NaN` *payload* bits are
+//! unspecified by IEEE-754 (LLVM may commute float operands), so only
+//! `NaN`-ness, not the payload, is guaranteed. The equivalence
 //! proptests in `crates/nn/tests/gemm_backends.rs` assert this with
 //! payload-canonicalised `f32::to_bits`. See `docs/gemm_backends.md`
 //! for the full blocking/packing writeup.
 //!
+//! [`GemmBackend::Simd`] keeps the same ascending-`k` single-chain
+//! contract but **fuses** each multiply-add (one rounding instead of
+//! two), so it sits in a documented *tolerance tier* relative to the
+//! bitwise family — equal to rounding, never to the bit — while
+//! remaining bitwise **self**-consistent across batch sizes, row
+//! bands and pool sizes (the chain of an output element depends only
+//! on its own row/column pair). See `docs/gemm_backends.md` for the
+//! tier policy and [`crate::simd`] for the kernels.
+//!
 //! # Environment knobs
 //!
-//! * `NN_GEMM_BACKEND` — `naive` | `blocked` | `threaded`; the
-//!   process-wide default returned by [`default_backend`] (default:
-//!   `blocked`).
+//! * `NN_GEMM_BACKEND` — `naive` | `blocked` | `threaded` | `simd`;
+//!   the process-wide default returned by [`default_backend`]
+//!   (default: `blocked`). Parsed by [`env_backend_knob`], which warns
+//!   on stderr for unknown values instead of silently defaulting.
+//! * `NN_SIMD` — `auto` (default) | `off`: forces
+//!   [`GemmBackend::Simd`] onto its blocked scalar fallback even where
+//!   feature detection would pick the lane kernels
+//!   ([`crate::simd::simd_active`]).
 //! * `NN_GEMM_THREADS` — row-band count for [`GemmBackend::Threaded`]
 //!   (default: the [`crate::pool`]'s executor count, i.e.
 //!   `NN_POOL_THREADS` or the machine's available parallelism). Parsed
@@ -105,12 +121,31 @@ pub enum GemmBackend {
     /// the pool's executor count). Also unlocks batch-level sample
     /// parallelism in the batched conv passes.
     Threaded,
+    /// Explicit AVX2+FMA lane kernel ([`crate::simd`]) with the same
+    /// pool row-band scatter as `Threaded`, under the documented FMA
+    /// **tolerance tier** (equal to the bitwise family to rounding,
+    /// bitwise self-consistent across batch/band/pool). Falls back to
+    /// the blocked kernel — bit for bit — when the host lacks
+    /// AVX2+FMA, when `NN_SIMD=off`, or under a test's
+    /// [`crate::simd::force_scalar`] guard.
+    Simd,
 }
 
 impl GemmBackend {
     /// All backends, oracle first — handy for benches and equivalence
     /// tests.
-    pub const ALL: [GemmBackend; 3] = [
+    pub const ALL: [GemmBackend; 4] = [
+        GemmBackend::Naive,
+        GemmBackend::Blocked,
+        GemmBackend::Threaded,
+        GemmBackend::Simd,
+    ];
+
+    /// The backends under the bit-for-bit summation-order contract
+    /// (everything but the FMA tolerance tier) — the sweep cross-backend
+    /// bitwise tests run over. [`GemmBackend::Simd`] is excluded: it is
+    /// bitwise only against itself, and equal to these to rounding.
+    pub const BITWISE: [GemmBackend; 3] = [
         GemmBackend::Naive,
         GemmBackend::Blocked,
         GemmBackend::Threaded,
@@ -122,22 +157,15 @@ impl GemmBackend {
             GemmBackend::Naive => "naive",
             GemmBackend::Blocked => "blocked",
             GemmBackend::Threaded => "threaded",
+            GemmBackend::Simd => "simd",
         }
     }
 
-    /// Reads `NN_GEMM_BACKEND`, falling back to [`GemmBackend::Blocked`]
-    /// (unknown values warn on stderr and fall back too).
+    /// Reads `NN_GEMM_BACKEND` via [`env_backend_knob`], falling back
+    /// to [`GemmBackend::Blocked`] when unset or unrecognised (the
+    /// latter warns on stderr).
     pub fn from_env() -> Self {
-        match std::env::var("NN_GEMM_BACKEND") {
-            Ok(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!(
-                    "warning: NN_GEMM_BACKEND={v:?} not recognised \
-                     (naive|blocked|threaded); using blocked"
-                );
-                GemmBackend::Blocked
-            }),
-            Err(_) => GemmBackend::Blocked,
-        }
+        env_backend_knob("NN_GEMM_BACKEND").unwrap_or_default()
     }
 
     /// Dense row-major `C[m×n] = A[m×k] · B[k×n]` with this backend.
@@ -167,6 +195,7 @@ impl GemmBackend {
             GemmBackend::Naive => crate::gemm::matmul_into(c, a, b, m, k, n),
             GemmBackend::Blocked => matmul_blocked_into(c, a, b, m, k, n),
             GemmBackend::Threaded => matmul_threaded_into(c, a, b, m, k, n),
+            GemmBackend::Simd => matmul_simd_into(c, a, b, m, k, n),
         }
     }
 
@@ -206,7 +235,15 @@ impl GemmBackend {
                 c.fill(0.0);
                 at_b_band(c, a, b, m, k, n, 0, k);
             }
-            GemmBackend::Threaded => matmul_at_b_threaded_into(c, a, b, m, k, n),
+            // The backward contraction stays in the bitwise family:
+            // `Aᵀ·B` is a rank-1-update sweep (no contiguous dots to
+            // hand the FMA lanes without changing its ascending-`i`
+            // chain shape), so `Simd` delegates to the pooled blocked
+            // kernel — batched-training gradients keep the exact bits
+            // PR 3/4 pinned, and only forwards ride the tolerance tier.
+            GemmBackend::Threaded | GemmBackend::Simd => {
+                matmul_at_b_threaded_into(c, a, b, m, k, n)
+            }
         }
     }
 }
@@ -219,8 +256,9 @@ impl FromStr for GemmBackend {
             "naive" => Ok(GemmBackend::Naive),
             "blocked" => Ok(GemmBackend::Blocked),
             "threaded" => Ok(GemmBackend::Threaded),
+            "simd" => Ok(GemmBackend::Simd),
             other => Err(format!(
-                "unknown GEMM backend {other:?} (expected naive|blocked|threaded)"
+                "unknown GEMM backend {other:?} (expected naive|blocked|threaded|simd)"
             )),
         }
     }
@@ -237,6 +275,29 @@ impl core::fmt::Display for GemmBackend {
 pub fn default_backend() -> GemmBackend {
     static DEFAULT: OnceLock<GemmBackend> = OnceLock::new();
     *DEFAULT.get_or_init(GemmBackend::from_env)
+}
+
+/// Parses a GEMM-backend env knob (the one documented route for
+/// `NN_GEMM_BACKEND` and the bench binaries' `--backend` override).
+/// Returns `None` when the variable is unset; a set-but-unknown value
+/// **warns on stderr** and returns `None` — the same
+/// complain-then-fall-back policy as [`crate::pool::env_thread_knob`],
+/// so a typo'd backend can no longer silently run blocked.
+pub fn env_backend_knob(var: &str) -> Option<GemmBackend> {
+    parse_backend_knob(var, &std::env::var(var).ok()?)
+}
+
+/// The parse half of [`env_backend_knob`], split out so tests can cover
+/// the accept/warn behaviour without mutating process env (concurrent
+/// `setenv`/`getenv` from parallel test threads is UB on glibc).
+fn parse_backend_knob(var: &str, v: &str) -> Option<GemmBackend> {
+    match v.parse::<GemmBackend>() {
+        Ok(be) => Some(be),
+        Err(e) => {
+            eprintln!("warning: {var}: {e}; using blocked");
+            None
+        }
+    }
 }
 
 /// Row-band count for [`GemmBackend::Threaded`]: `NN_GEMM_THREADS`
@@ -362,6 +423,30 @@ fn matmul_threaded_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize,
         let rows = cband.len() / n;
         let aband = &a[t * band_rows * k..(t * band_rows + rows) * k];
         matmul_band(cband, aband, b, rows, k, n);
+    });
+}
+
+/// `A·B` on the explicit lane kernel: [`crate::simd::matmul_band_f32`]
+/// over pool row bands (the `Threaded` scatter, same thresholds).
+/// Every element is one ascending-`k` FMA chain wherever it lands, so
+/// banding is invisible to the bits; with the SIMD gate closed
+/// ([`crate::simd::simd_active`] false) the whole product runs the
+/// blocked kernel and the backend is bit-identical to `Blocked`.
+fn matmul_simd_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    if !crate::simd::simd_active() {
+        matmul_blocked_into(c, a, b, m, k, n);
+        return;
+    }
+    let threads = thread_count().min(m.max(1));
+    if threads <= 1 || m * k * n < PAR_MIN_MACS || n < 8 {
+        crate::simd::matmul_band_f32(c, a, b, m, k, n);
+        return;
+    }
+    let band_rows = m.div_ceil(threads);
+    crate::pool::current().scatter_chunks(c, band_rows * n, |t, cband| {
+        let rows = cband.len() / n;
+        let aband = &a[t * band_rows * k..(t * band_rows + rows) * k];
+        crate::simd::matmul_band_f32(cband, aband, b, rows, k, n);
     });
 }
 
@@ -525,6 +610,45 @@ mod tests {
             GemmBackend::Blocked
         );
         assert!("gpu".parse::<GemmBackend>().is_err());
+    }
+
+    #[test]
+    fn backend_knob_accepts_and_warns() {
+        // The parse half is covered directly (no env mutation — see
+        // `parse_backend_knob`'s doc); unknown values warn + None so
+        // `from_env` falls back to the default instead of silently
+        // misreading a typo.
+        assert_eq!(parse_backend_knob("K", "simd"), Some(GemmBackend::Simd));
+        assert_eq!(
+            parse_backend_knob("K", " Threaded "),
+            Some(GemmBackend::Threaded)
+        );
+        assert_eq!(parse_backend_knob("K", "gpu"), None);
+        assert_eq!(parse_backend_knob("K", ""), None);
+        assert_eq!(env_backend_knob("NN_TEST_BACKEND_KNOB_UNSET"), None);
+    }
+
+    #[test]
+    fn simd_forced_fallback_is_blocked_bitwise() {
+        // Under a force_scalar guard the Simd backend *is* the blocked
+        // kernel — both GEMM shapes, all elements, to the bit.
+        let _g = crate::simd::force_scalar();
+        let (m, k, n) = (13usize, 57usize, 33usize);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let want = GemmBackend::Blocked.matmul(&a, &b, m, k, n);
+        let got = GemmBackend::Simd.matmul(&a, &b, m, k, n);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        let b2 = fill(m * n, 7);
+        let want = GemmBackend::Blocked.matmul_at_b(&a, &b2, m, k, n);
+        let got = GemmBackend::Simd.matmul_at_b(&a, &b2, m, k, n);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -56,15 +56,20 @@
 //! ```
 
 // `deny` rather than `forbid`: the whole crate is `#![deny(unsafe_code)]`
-// except for one audited lifetime-erasure site inside [`pool`] (the
-// persistent worker pool must dispatch borrowed closures, exactly like
-// `crossbeam::scope` does internally). Every other module rejects
-// `unsafe` at compile time.
+// except for two audited modules that opt back in with a module-level
+// `allow` — [`pool`] (one lifetime-erasure site: the persistent worker
+// pool must dispatch borrowed closures, exactly like `crossbeam::scope`
+// does internally) and [`simd`] (the `core::arch` lane kernels:
+// `target_feature` calls behind runtime detection, bounded unaligned
+// vector loads, and the `repr(transparent)` `&[Q8_8]` → `&[i16]`
+// reinterpret, each with its own safety comment). Every other module
+// rejects `unsafe` at compile time.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
 mod conv;
+pub mod difftest;
 mod error;
 mod fc;
 mod flatten;
@@ -81,6 +86,7 @@ pub mod quant;
 mod relu;
 mod serialize;
 mod sgd;
+pub mod simd;
 pub mod spec;
 mod tensor;
 mod topology;

@@ -12,6 +12,7 @@
 //! | [`QGemmBackend::Naive`]   | reference triple loops over [`Acc32`] | correctness oracle |
 //! | [`QGemmBackend::Blocked`] | certified-no-overflow contiguous-dot tiles | default |
 //! | [`QGemmBackend::Pooled`]  | row bands on the persistent [`crate::pool`] over the blocked kernel | multi-core |
+//! | [`QGemmBackend::Simd`]    | explicit `pmaddwd` lanes ([`crate::simd`]) on certified rows, pooled bands | max throughput — still bit-identical |
 //!
 //! # The `A·Bᵀ` contract
 //!
@@ -35,25 +36,36 @@
 //! step, re-quantised once ([`Acc32::to_q`]). The blocked kernel keeps
 //! the identical bits two ways:
 //!
-//! * rows whose overflow certificate (`row_safe`, the L1 bound) proves
-//!   the clamp can never fire run on plain wrapping adds — associative
-//!   in `Z/2³²`, so
+//! * rows whose overflow certificate ([`row_safe`], the L1 bound)
+//!   proves the clamp can never fire run on plain wrapping adds —
+//!   associative in `Z/2³²`, so
 //!   vectorisation and column-grouping are free, and equal to the
 //!   saturating chain because no step can leave the `i32` range;
 //! * rows that could saturate (and skinny `n < 4` products, which gain
 //!   nothing from tiling — mirroring the float backend's `n < 8`
 //!   fallback) take the exact ascending-`k` saturating chain.
 //!
+//! [`QGemmBackend::Simd`] is the same kernel with the certified rows'
+//! wrapping adds made **explicitly** lane-parallel
+//! (`_mm256_madd_epi16`, the `pmaddwd` pairing this contract was
+//! designed for — see [`crate::simd`]): any lane grouping of wrapping
+//! adds computes the same value mod 2³², and the certificate bounds
+//! every partial sum below `i32::MAX`, so the lanes reproduce the
+//! saturating oracle's exact bits. Uncertified and skinny rows take
+//! the identical scalar chains as `Blocked`; hosts without AVX2 (or
+//! with `NN_SIMD=off`) fall back to the blocked kernel wholesale.
+//!
 //! The result is bit-for-bit identical across backends and pool sizes —
-//! `crates/nn/tests/quant_equivalence.rs` pins this. See
+//! `crates/nn/tests/quant_equivalence.rs` and
+//! `crates/nn/tests/simd_equivalence.rs` pin this. See
 //! `docs/fixed_point.md` for the full datapath writeup.
 //!
 //! # Backend selection
 //!
 //! Quantised layers default to the float stack's `NN_GEMM_BACKEND` knob
 //! through [`default_backend`] (`naive → Naive`, `blocked → Blocked`,
-//! `threaded → Pooled`), so the CI backend × pool matrix exercises the
-//! integer kernels on every configuration.
+//! `threaded → Pooled`, `simd → Simd`), so the CI backend × pool
+//! matrix exercises the integer kernels on every configuration.
 //!
 //! # Examples
 //!
@@ -112,14 +124,25 @@ pub enum QGemmBackend {
     /// [`crate::pool`], each band running the blocked kernel. Disjoint
     /// scatter — bit-identical to serial at any pool size.
     Pooled,
+    /// The blocked kernel with certified rows on explicit
+    /// `_mm256_madd_epi16` lanes ([`crate::simd`]) and the same pooled
+    /// row-band scatter — **still bit-identical** to the oracle (the
+    /// certificate makes wrapping lane adds exact; uncertified rows
+    /// keep the scalar saturating chain). Falls back to the blocked
+    /// kernel when AVX2 is absent, `NN_SIMD=off`, or a
+    /// [`crate::simd::force_scalar`] guard is live.
+    Simd,
 }
 
 impl QGemmBackend {
     /// All backends, oracle first — for benches and equivalence tests.
-    pub const ALL: [QGemmBackend; 3] = [
+    /// Unlike the float side, **every** integer backend (the `Simd`
+    /// lane kernel included) is in the bitwise family.
+    pub const ALL: [QGemmBackend; 4] = [
         QGemmBackend::Naive,
         QGemmBackend::Blocked,
         QGemmBackend::Pooled,
+        QGemmBackend::Simd,
     ];
 
     /// Stable lowercase name.
@@ -128,17 +151,21 @@ impl QGemmBackend {
             QGemmBackend::Naive => "naive",
             QGemmBackend::Blocked => "blocked",
             QGemmBackend::Pooled => "pooled",
+            QGemmBackend::Simd => "simd",
         }
     }
 
     /// The integer backend matching a float [`crate::GemmBackend`]: the
     /// naive oracle stays the oracle, `Threaded` maps to `Pooled` (both
-    /// put row bands on the persistent pool).
+    /// put row bands on the persistent pool), `Simd` to `Simd` (both
+    /// explicit lane kernels — though only the float side trades bits
+    /// for it).
     pub fn from_gemm(backend: crate::backend::GemmBackend) -> Self {
         match backend {
             crate::backend::GemmBackend::Naive => QGemmBackend::Naive,
             crate::backend::GemmBackend::Blocked => QGemmBackend::Blocked,
             crate::backend::GemmBackend::Threaded => QGemmBackend::Pooled,
+            crate::backend::GemmBackend::Simd => QGemmBackend::Simd,
         }
     }
 
@@ -178,6 +205,7 @@ impl QGemmBackend {
             QGemmBackend::Naive => qmatmul_naive(c, a, bt, bias, m, k, n),
             QGemmBackend::Blocked => qmatmul_band(c, a, bt, bias, m, k, n),
             QGemmBackend::Pooled => qmatmul_pooled(c, a, bt, bias, m, k, n),
+            QGemmBackend::Simd => qmatmul_simd(c, a, bt, bias, m, k, n),
         }
     }
 }
@@ -190,8 +218,9 @@ impl FromStr for QGemmBackend {
             "naive" => Ok(QGemmBackend::Naive),
             "blocked" => Ok(QGemmBackend::Blocked),
             "pooled" => Ok(QGemmBackend::Pooled),
+            "simd" => Ok(QGemmBackend::Simd),
             other => Err(format!(
-                "unknown integer GEMM backend {other:?} (expected naive|blocked|pooled)"
+                "unknown integer GEMM backend {other:?} (expected naive|blocked|pooled|simd)"
             )),
         }
     }
@@ -284,11 +313,16 @@ fn qdot_sat(arow: &[Q8_8], brow: &[Q8_8], bias: Q8_8) -> Q8_8 {
 /// compute the ascending-`k` chain's exact bits, and (2) those adds are
 /// associative in `Z` within range, so the compiler may reorder and
 /// vectorise them freely (`pmaddwd` pairing included) without changing
-/// a bit. Rows that fail the certificate take [`qdot_sat`]. Real
+/// a bit. Rows that fail the certificate take `qdot_sat`. Real
 /// network activations sit orders of magnitude below the bound, so the
 /// certified path is the steady state; the certificate is what keeps it
 /// honest.
-fn row_safe(arow: &[Q8_8], bias: Q8_8, max_b: i64) -> bool {
+///
+/// Public so the certificate-boundary tests
+/// (`crates/nn/tests/simd_equivalence.rs`) can construct rows sitting
+/// exactly at, one unit below, and one unit above the threshold and
+/// assert both verdicts and bits.
+pub fn row_safe(arow: &[Q8_8], bias: Q8_8, max_b: i64) -> bool {
     let l1: i64 = arow.iter().map(|q| i64::from(q.raw()).abs()).sum();
     i64::from(bias.raw()).abs() * 256 + l1 * max_b < i64::from(i32::MAX)
 }
@@ -372,6 +406,110 @@ fn qmatmul_band(
             *cv = qdot_fast(arow, &bt[j * k..(j + 1) * k], bias[i]);
         }
     }
+}
+
+/// The `Simd` band kernel: [`qmatmul_band`]'s structure with the
+/// certified rows' `QJ`-column dot groups on explicit `pmaddwd` lanes
+/// ([`crate::simd::qdot4`] / [`crate::simd::qdot1`]). The skinny
+/// fallback, the certification decision and the uncertified saturating
+/// chains are **the same code paths** as the blocked kernel; only the
+/// arithmetic engine of already-reassociable (certified) dots changes,
+/// and the certificate makes that change invisible to the bits.
+///
+/// Must only be called with [`crate::simd::simd_active`] true (the
+/// lane primitives' caller contract).
+fn qmatmul_band_simd(
+    c: &mut [Q8_8],
+    a: &[Q8_8],
+    bt: &[Q8_8],
+    bias: &[Q8_8],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    if n < QMIN_N {
+        for i in 0..rows {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                c[i * n + j] = qdot_sat(arow, &bt[j * k..(j + 1) * k], bias[i]);
+            }
+        }
+        return;
+    }
+    let max_b: i64 = bt
+        .iter()
+        .map(|q| i64::from(q.raw()).abs())
+        .max()
+        .unwrap_or(0);
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        if !row_safe(arow, bias[i], max_b) {
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = qdot_sat(arow, &bt[j * k..(j + 1) * k], bias[i]);
+            }
+            continue;
+        }
+        let seed = bias_raw(bias[i]);
+        let mut j = 0;
+        while j + QJ <= n {
+            let s = crate::simd::qdot4(
+                arow,
+                &bt[j * k..(j + 1) * k],
+                &bt[(j + 1) * k..(j + 2) * k],
+                &bt[(j + 2) * k..(j + 3) * k],
+                &bt[(j + 3) * k..(j + 4) * k],
+                seed,
+            );
+            crow[j] = requant_raw(s[0]);
+            crow[j + 1] = requant_raw(s[1]);
+            crow[j + 2] = requant_raw(s[2]);
+            crow[j + 3] = requant_raw(s[3]);
+            j += QJ;
+        }
+        for (j, cv) in crow.iter_mut().enumerate().skip(j) {
+            *cv = requant_raw(crate::simd::qdot1(arow, &bt[j * k..(j + 1) * k], seed));
+        }
+    }
+}
+
+/// The `Simd` dispatch: [`qmatmul_band_simd`] over the same pooled
+/// row-band scatter (and the same thresholds) as [`qmatmul_pooled`];
+/// with the SIMD gate closed ([`crate::simd::simd_active`] false) the
+/// whole product runs the pooled blocked kernel — same bits either
+/// way, by the certificate argument.
+fn qmatmul_simd(
+    c: &mut [Q8_8],
+    a: &[Q8_8],
+    bt: &[Q8_8],
+    bias: &[Q8_8],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if !crate::simd::simd_active() {
+        qmatmul_pooled(c, a, bt, bias, m, k, n);
+        return;
+    }
+    let threads = crate::pool::current_threads().min(m.max(1));
+    if threads <= 1 || m * k * n < QPAR_MIN_MACS {
+        qmatmul_band_simd(c, a, bt, bias, m, k, n);
+        return;
+    }
+    let band_rows = m.div_ceil(threads);
+    crate::pool::current().scatter_chunks(c, band_rows * n, |t, cband| {
+        let rows = cband.len() / n;
+        let r0 = t * band_rows;
+        qmatmul_band_simd(
+            cband,
+            &a[r0 * k..(r0 + rows) * k],
+            bt,
+            &bias[r0..r0 + rows],
+            rows,
+            k,
+            n,
+        );
+    });
 }
 
 /// Pooled kernel: contiguous row bands of `C` scattered over the
@@ -490,7 +628,11 @@ mod tests {
             let bias = qfill(m, 3);
             let mut want = vec![Q8_8::ZERO; m * n];
             QGemmBackend::Naive.matmul_bt_bias_requant_into(&mut want, &a, &bt, &bias, m, k, n);
-            for be in [QGemmBackend::Blocked, QGemmBackend::Pooled] {
+            for be in [
+                QGemmBackend::Blocked,
+                QGemmBackend::Pooled,
+                QGemmBackend::Simd,
+            ] {
                 let mut got = vec![Q8_8::MAX; m * n]; // dirty: must be overwritten
                 be.matmul_bt_bias_requant_into(&mut got, &a, &bt, &bias, m, k, n);
                 assert_eq!(
@@ -539,7 +681,11 @@ mod tests {
         let mut want = vec![Q8_8::ZERO; 4];
         QGemmBackend::Naive.matmul_bt_bias_requant_into(&mut want, &a, &bt, &bias, 1, k, 4);
         assert_eq!(want[0], Q8_8::MIN, "chain must end clamped, not cancelled");
-        for be in [QGemmBackend::Blocked, QGemmBackend::Pooled] {
+        for be in [
+            QGemmBackend::Blocked,
+            QGemmBackend::Pooled,
+            QGemmBackend::Simd,
+        ] {
             let mut got = vec![Q8_8::ZERO; 4];
             be.matmul_bt_bias_requant_into(&mut got, &a, &bt, &bias, 1, k, 4);
             assert_eq!(want, got, "{be}");
@@ -564,7 +710,11 @@ mod tests {
         let bias = qfill(m, 23);
         let mut want = vec![Q8_8::ZERO; m * n];
         QGemmBackend::Naive.matmul_bt_bias_requant_into(&mut want, &a, &bt, &bias, m, k, n);
-        for be in [QGemmBackend::Blocked, QGemmBackend::Pooled] {
+        for be in [
+            QGemmBackend::Blocked,
+            QGemmBackend::Pooled,
+            QGemmBackend::Simd,
+        ] {
             let mut got = vec![Q8_8::ZERO; m * n];
             be.matmul_bt_bias_requant_into(&mut got, &a, &bt, &bias, m, k, n);
             assert_eq!(
@@ -627,5 +777,18 @@ mod tests {
             QGemmBackend::from_gemm(GemmBackend::Threaded),
             QGemmBackend::Pooled
         );
+        assert_eq!(
+            QGemmBackend::from_gemm(GemmBackend::Simd),
+            QGemmBackend::Simd
+        );
+        // Totality both ways: every float backend maps to some integer
+        // backend (the match is exhaustive by construction), and the
+        // names agree wherever both sides define them.
+        for be in GemmBackend::ALL {
+            let q = QGemmBackend::from_gemm(be);
+            if be.name() != "threaded" {
+                assert_eq!(q.name(), be.name());
+            }
+        }
     }
 }

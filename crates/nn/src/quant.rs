@@ -390,7 +390,17 @@ impl QuantizedNet {
                 // slabs, concatenated — position rows are the
                 // contiguous tap vectors the weight rows dot against.
                 let cols_all = reuse_qbuf(&mut slot.cols, n * taps * positions);
-                if self.backend == QGemmBackend::Pooled && n > 1 {
+                // The two pool-scattering backends take batch-axis
+                // parallelism; the per-sample product keeps each one's
+                // own arithmetic engine (Simd stays on the lane
+                // kernel — nested pool calls run inline, and the bits
+                // are backend-invariant anyway).
+                let per_sample = match self.backend {
+                    QGemmBackend::Pooled => Some(QGemmBackend::Blocked),
+                    QGemmBackend::Simd => Some(QGemmBackend::Simd),
+                    _ => None,
+                };
+                if let (Some(sample_be), true) = (per_sample, n > 1) {
                     // Batch-axis parallelism: one pool task per sample
                     // packs its own slab and runs its own W·colsᵢᵀ
                     // product straight into its disjoint out chunk —
@@ -407,7 +417,7 @@ impl QuantizedNet {
                         let x_i = &input[i * in_plane..(i + 1) * in_plane];
                         tasks.push(Box::new(move || {
                             qim2col_slice_into(cols_i, x_i, in_c, in_h, in_w, k, stride, pad);
-                            QGemmBackend::Blocked.matmul_bt_bias_requant_into(
+                            sample_be.matmul_bt_bias_requant_into(
                                 out_i, weight, cols_i, bias, out_c, taps, positions,
                             );
                         }));

@@ -1,59 +1,34 @@
-//! Backend equivalence suite: `Blocked` and `Threaded` vs the `Naive`
-//! oracle.
+//! Backend equivalence suite: the float summation-order family
+//! (`Blocked`, `Threaded`) vs the `Naive` oracle, plus the tolerance
+//! tiers (`Simd` and conv-vs-GEMM).
 //!
-//! Two tiers of guarantees are asserted (see `docs/gemm_backends.md`):
+//! Generators and comparators come from the shared
+//! [`mramrl_nn::difftest`] harness. Two tiers of guarantees are
+//! asserted (see `docs/gemm_backends.md`):
 //!
-//! 1. **Bitwise** for the raw kernels (`matmul`, `matmul_at_b`) and for
-//!    the whole im2col GEMM conv path: every backend accumulates each
-//!    output element in the same order, so results must agree to the
-//!    bit — including signed zeros, and with `NaN`s in exactly the same
-//!    positions. (`NaN` *payload* bits are the one exception: IEEE-754
-//!    leaves them unspecified and LLVM may commute float operands, so
-//!    equality is `NaN`-position-aware rather than raw `to_bits`.)
-//! 2. **Tolerance** between the GEMM conv path and the direct
-//!    [`Conv2d`] loops (different algorithm ⇒ different associativity).
+//! 1. **Bitwise** across [`GemmBackend::BITWISE`] for the raw kernels
+//!    (`matmul`, `matmul_at_b`) and for the whole im2col GEMM conv
+//!    path: every backend in that family accumulates each output
+//!    element in the same order, so results must agree to the bit —
+//!    including signed zeros, and with `NaN`s in exactly the same
+//!    positions.
+//! 2. **Tolerance** where the arithmetic differs: the GEMM conv path
+//!    vs the direct [`Conv2d`] loops (different algorithm), and the
+//!    `Simd` backend vs the rest (FMA keeps products unrounded, see
+//!    `docs/gemm_backends.md`). `Simd`'s own bitwise story — forced
+//!    fallback ≡ `Blocked`, batched ≡ serial within the backend —
+//!    lives in `simd_equivalence.rs`.
 
 use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::difftest::{assert_close, bits, fill, sweep_pools};
 use mramrl_nn::gemm::{conv2d_gemm_backward_with, conv2d_gemm_with};
 use mramrl_nn::{Conv2d, Layer, Tensor};
 use proptest::prelude::*;
 
-/// Deterministic value stream; every ~13th value is a special
-/// (`NaN`, `±0.0`, `±∞`) when `specials` is set, to exercise the
-/// propagation corners the old `a == 0.0` skip used to hide.
-fn fill(len: usize, seed: u64, specials: bool) -> Vec<f32> {
-    (0..len)
-        .map(|i| {
-            let mut h = (i as u64)
-                .wrapping_add(seed)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h ^= h >> 31;
-            if specials && h % 13 == 0 {
-                match h % 5 {
-                    0 => f32::NAN,
-                    1 => -0.0,
-                    2 => 0.0,
-                    3 => f32::INFINITY,
-                    _ => f32::NEG_INFINITY,
-                }
-            } else {
-                (h % 2000) as f32 / 1000.0 - 1.0
-            }
-        })
-        .collect()
-}
-
-/// Bit pattern with NaN payloads canonicalised (IEEE-754 leaves NaN
-/// payloads unspecified; everything else must match exactly).
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter()
-        .map(|x| if x.is_nan() { 0x7FC0_0000 } else { x.to_bits() })
-        .collect()
-}
-
 proptest! {
-    /// `matmul` is bitwise identical across backends over ragged shapes
-    /// (including 0- and 1-sized dimensions) and special values.
+    /// `matmul` is bitwise identical across the summation-order family
+    /// over ragged shapes (including 0- and 1-sized dimensions) and
+    /// special values.
     #[test]
     fn matmul_bitwise_equal(
         m in 0usize..20,
@@ -65,13 +40,15 @@ proptest! {
         let a = fill(m * k, seed, specials);
         let b = fill(k * n, seed ^ 0xABCD, specials);
         let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
-        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        for be in GemmBackend::BITWISE {
             let got = be.matmul(&a, &b, m, k, n);
             prop_assert_eq!(bits(&want), bits(&got), "{} m={} k={} n={}", be, m, k, n);
         }
     }
 
-    /// `matmul_at_b` is bitwise identical across backends.
+    /// `matmul_at_b` is bitwise identical across every backend —
+    /// `Simd` included, because the backward contraction deliberately
+    /// stays on the bitwise family (see `docs/gemm_backends.md`).
     #[test]
     fn matmul_at_b_bitwise_equal(
         m in 0usize..40,
@@ -83,14 +60,15 @@ proptest! {
         let a = fill(m * k, seed, specials);
         let b = fill(m * n, seed ^ 0x1234, specials);
         let want = GemmBackend::Naive.matmul_at_b(&a, &b, m, k, n);
-        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        for be in GemmBackend::ALL {
             let got = be.matmul_at_b(&a, &b, m, k, n);
             prop_assert_eq!(bits(&want), bits(&got), "{} m={} k={} n={}", be, m, k, n);
         }
     }
 
     /// The full conv-as-GEMM forward/backward path is bitwise identical
-    /// across backends (same algorithm, different kernels).
+    /// across the summation-order family (same algorithm, different
+    /// kernels).
     #[test]
     fn conv_gemm_path_bitwise_equal(
         hw in 3usize..10,
@@ -108,7 +86,7 @@ proptest! {
         let grad = Tensor::from_vec(fwd.shape(), fill(fwd.len(), seed ^ 3, false));
         let (gw, gb, gi) =
             conv2d_gemm_backward_with(GemmBackend::Naive, &x, &w, &grad, stride, pad);
-        for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+        for be in GemmBackend::BITWISE {
             let f2 = conv2d_gemm_with(be, &x, &w, &bias, stride, pad);
             prop_assert_eq!(bits(fwd.data()), bits(f2.data()), "fwd {}", be);
             let (gw2, gb2, gi2) = conv2d_gemm_backward_with(be, &x, &w, &grad, stride, pad);
@@ -120,10 +98,11 @@ proptest! {
 }
 
 /// The raw-kernel bitwise contract survives pooled execution, special
-/// values included: `Threaded` now scatters its row bands over the
+/// values included: `Threaded` scatters its row bands over the
 /// persistent `mramrl_nn::pool`, so re-pin `matmul`/`matmul_at_b`
-/// against the oracle under injected pools of 1, 2 and 7 executors on
-/// shapes that force the fan-out (≥ `PAR_MIN_MACS` MACs).
+/// against the oracle under injected pools of every
+/// [`mramrl_nn::difftest::POOL_SIZES`] width on shapes that force the
+/// fan-out (≥ `PAR_MIN_MACS` MACs).
 #[test]
 fn threaded_kernels_bitwise_equal_under_injected_pools() {
     let (m, k, n) = (40usize, 80usize, 90usize);
@@ -133,14 +112,12 @@ fn threaded_kernels_bitwise_equal_under_injected_pools() {
     let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
     let bt = fill(m * n, 33, true);
     let want_t = GemmBackend::Naive.matmul_at_b(&a, &bt, m, k, n);
-    for pool_threads in [1usize, 2, 7] {
-        let pool = mramrl_nn::pool::ThreadPool::new(pool_threads);
-        let _installed = pool.install();
+    sweep_pools(|pool_threads| {
         let got = GemmBackend::Threaded.matmul(&a, &b, m, k, n);
         assert_eq!(bits(&want), bits(&got), "matmul pool={pool_threads}");
         let got_t = GemmBackend::Threaded.matmul_at_b(&a, &bt, m, k, n);
         assert_eq!(bits(&want_t), bits(&got_t), "at_b pool={pool_threads}");
-    }
+    });
 }
 
 /// `0.0 × NaN` must be `NaN` on every backend: the reference kernels
@@ -154,7 +131,7 @@ fn nan_and_signed_zero_propagate_identically() {
     let b = [f32::NAN, -0.0, 3.0, f32::INFINITY]; // 2×2
     let want = GemmBackend::Naive.matmul(&a, &b, 2, 2, 2);
     assert!(want[0].is_nan(), "0·NaN + 1·3 must be NaN");
-    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+    for be in GemmBackend::BITWISE {
         let got = be.matmul(&a, &b, 2, 2, 2);
         assert_eq!(bits(&want), bits(&got), "{be}");
         let want_t = GemmBackend::Naive.matmul_at_b(&a, &b, 2, 2, 2);
@@ -164,10 +141,16 @@ fn nan_and_signed_zero_propagate_identically() {
     // Signed zero: the accumulator starts at +0.0, so (+0.0) + (-0.0·1.0)
     // rounds to +0.0 under IEEE-754 — whereas the old zero-skip left the
     // untouched +0.0 by a different route. Whatever the value, all
-    // backends must produce the same bits.
+    // backends must produce the same bits. `Simd` keeps the property
+    // too: its chains are also seeded at +0.0, and `fma(-0.0, 1.0, +0.0)`
+    // rounds to +0.0 just like the unfused chain.
     let z = GemmBackend::Naive.matmul(&[-0.0f32], &[1.0f32], 1, 1, 1);
     assert_eq!(z[0].to_bits(), 0.0f32.to_bits());
-    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+    for be in [
+        GemmBackend::Blocked,
+        GemmBackend::Threaded,
+        GemmBackend::Simd,
+    ] {
         assert_eq!(
             be.matmul(&[-0.0f32], &[1.0f32], 1, 1, 1)[0].to_bits(),
             z[0].to_bits()
@@ -176,8 +159,9 @@ fn nan_and_signed_zero_propagate_identically() {
 }
 
 /// Regression: conv-via-GEMM still matches the direct `Conv2d` loops —
-/// under every backend — to the documented tolerance (different
-/// algorithm, so only float-rounding-level agreement is guaranteed).
+/// under every backend, `Simd` included — to the documented tolerance
+/// (different algorithm, so only float-rounding-level agreement is
+/// guaranteed).
 #[test]
 fn conv_gemm_matches_direct_conv_under_every_backend() {
     for (in_c, out_c, k, stride, pad, hw) in [
@@ -204,25 +188,18 @@ fn conv_gemm_matches_direct_conv_under_every_backend() {
             let gi2 = conv.backward(&grad);
             let gw2 = conv.params()[0].grad.clone();
             let gb2 = conv.params()[1].grad.clone();
-            for (tag, want, got) in [
-                ("fwd", y.data(), y2.data()),
-                ("dX", gi.data(), gi2.data()),
-                ("dW", gw.data(), gw2.data()),
-                ("db", gb.data(), gb2.data()),
-            ] {
-                for (a, b) in want.iter().zip(got) {
-                    assert!(
-                        (a - b).abs() < 1e-4,
-                        "{tag} {be} k={k} s={stride} p={pad}: {a} vs {b}"
-                    );
-                }
-            }
+            let tag = format!("{be} k={k} s={stride} p={pad}");
+            assert_close(&format!("fwd {tag}"), y.data(), y2.data(), 1e-4, 0.0);
+            assert_close(&format!("dX {tag}"), gi.data(), gi2.data(), 1e-4, 0.0);
+            assert_close(&format!("dW {tag}"), gw.data(), gw2.data(), 1e-4, 0.0);
+            assert_close(&format!("db {tag}"), gb.data(), gb2.data(), 1e-4, 0.0);
         }
     }
 }
 
-/// A whole network forward/backward agrees across backends to float
-/// tolerance, and `set_gemm_backend` reaches every conv/FC layer.
+/// A whole network forward agrees across every backend — `Simd`
+/// included — to float tolerance, and `set_gemm_backend` reaches every
+/// conv/FC layer.
 #[test]
 fn network_forward_close_across_backends() {
     use mramrl_nn::NetworkSpec;
@@ -231,13 +208,11 @@ fn network_forward_close_across_backends() {
     let mut reference = spec.build(3);
     reference.set_gemm_backend(GemmBackend::Naive);
     let want = reference.forward(&x);
-    for be in [GemmBackend::Blocked, GemmBackend::Threaded] {
+    for be in GemmBackend::ALL {
         let mut net = spec.build(3);
         net.set_gemm_backend(be);
         assert_eq!(net.gemm_backend(), Some(be));
         let got = net.forward(&x);
-        for (a, b) in want.data().iter().zip(got.data()) {
-            assert!((a - b).abs() < 1e-4, "{be}: {a} vs {b}");
-        }
+        assert_close(&format!("{be}"), want.data(), got.data(), 1e-4, 0.0);
     }
 }

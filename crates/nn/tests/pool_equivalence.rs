@@ -4,35 +4,24 @@
 //! The batched conv passes (per-sample pool tasks + fixed-order `dW`/`db`
 //! partial merges), the pooled GEMM row bands and the whole-network
 //! batched drivers are compared against the serial single-image oracle
-//! under **injected pools of 1, 2 and 7 executors** — the
-//! `NN_POOL_THREADS` sweep the issue demands, driven through
-//! `ThreadPool::install` so one process covers every size — on all three
-//! GEMM backends.
+//! under injected pools of every [`mramrl_nn::difftest::POOL_SIZES`]
+//! width — the `NN_POOL_THREADS` sweep the issue demands, driven through
+//! `ThreadPool::install` so one process covers every size — on every
+//! GEMM backend, `Simd` included (its per-element FMA chains make
+//! pooled row-banding invisible, see `docs/gemm_backends.md`).
+//! Generators and comparators come from the shared
+//! [`mramrl_nn::difftest`] harness.
 
 use mramrl_nn::backend::GemmBackend;
+use mramrl_nn::difftest::{bits, sweep_backends, sweep_pools, POOL_SIZES};
 use mramrl_nn::pool::ThreadPool;
 use mramrl_nn::{Conv2d, Layer, LayerWs, NetworkSpec, Tensor, Workspace};
 use proptest::prelude::*;
 
-/// The pool sizes every pooled contract is swept over (1 = the serial
-/// oracle schedule, 2 = minimal real fan-out, 7 = more workers than most
-/// test batches have samples).
-const POOL_SIZES: [usize; 3] = [1, 2, 7];
-
+/// Specials-free value stream (the pool contracts are about scheduling,
+/// not IEEE corners — those live in `gemm_backends.rs`).
 fn fill(len: usize, seed: u64) -> Vec<f32> {
-    (0..len)
-        .map(|i| {
-            let mut h = (i as u64)
-                .wrapping_add(seed)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h ^= h >> 31;
-            (h % 2000) as f32 / 1000.0 - 1.0
-        })
-        .collect()
-}
-
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
+    mramrl_nn::difftest::fill(len, seed, false)
 }
 
 proptest! {
@@ -118,11 +107,9 @@ fn pooled_network_pass_identical_across_pool_sizes() {
     let spec = NetworkSpec::micro(16, 1, 5);
     let x = Tensor::from_vec(&[3, 1, 16, 16], fill(3 * 256, 77));
     let grad = Tensor::from_vec(&[3, 5], fill(15, 78));
-    for be in GemmBackend::ALL {
+    sweep_backends(|be| {
         let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
-        for pool_threads in POOL_SIZES {
-            let pool = ThreadPool::new(pool_threads);
-            let _installed = pool.install();
+        sweep_pools(|pool_threads| {
             let mut net = spec.build(5);
             net.set_gemm_backend(be);
             let mut ws = Workspace::for_spec(&spec);
@@ -140,14 +127,15 @@ fn pooled_network_pass_identical_across_pool_sizes() {
                     assert_eq!(rg, &grads, "{be} pool={pool_threads} grads");
                 }
             }
-        }
-    }
+        });
+    });
 }
 
 /// Forced pooled GEMM fan-out (shapes above `PAR_MIN_MACS`) stays
 /// bitwise equal to the naive oracle at every pool size — the row-band
 /// scatter contract, now on the persistent pool instead of per-call
-/// spawned threads.
+/// spawned threads. (The `Simd` backend's own row-band sweep lives in
+/// `simd_equivalence.rs`, where the oracle is its serial self.)
 #[test]
 fn pooled_gemm_bands_bitwise_equal_at_every_pool_size() {
     for (m, k, n) in [(67usize, 70usize, 65usize), (20, 30, 600)] {
@@ -155,30 +143,26 @@ fn pooled_gemm_bands_bitwise_equal_at_every_pool_size() {
         let a = fill(m * k, 1);
         let b = fill(k * n, 2);
         let want = GemmBackend::Naive.matmul(&a, &b, m, k, n);
-        for pool_threads in POOL_SIZES {
-            let pool = ThreadPool::new(pool_threads);
-            let _installed = pool.install();
+        sweep_pools(|pool_threads| {
             let got = GemmBackend::Threaded.matmul(&a, &b, m, k, n);
             assert_eq!(
                 bits(&want),
                 bits(&got),
                 "pool={pool_threads} m={m} k={k} n={n}"
             );
-        }
+        });
     }
     for (m, k, n) in [(70usize, 67usize, 65usize), (600, 30, 20)] {
         let a = fill(m * k, 3);
         let b = fill(m * n, 4);
         let want = GemmBackend::Naive.matmul_at_b(&a, &b, m, k, n);
-        for pool_threads in POOL_SIZES {
-            let pool = ThreadPool::new(pool_threads);
-            let _installed = pool.install();
+        sweep_pools(|pool_threads| {
             let got = GemmBackend::Threaded.matmul_at_b(&a, &b, m, k, n);
             assert_eq!(
                 bits(&want),
                 bits(&got),
                 "at_b pool={pool_threads} m={m} k={k} n={n}"
             );
-        }
+        });
     }
 }

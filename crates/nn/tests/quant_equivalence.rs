@@ -1,39 +1,26 @@
 //! Quantised batched ≡ serial equivalence suite (the fixed-point
 //! engine's contract) plus the argmax-fidelity measurement.
 //!
-//! Pins, on **all three** integer GEMM backends and under worker pools
-//! of 1, 2 and 7 executors:
+//! Generators and comparators come from the shared
+//! [`mramrl_nn::difftest`] harness. Pins, on **every** integer GEMM
+//! backend ([`QGemmBackend::ALL`] — `Simd` included, the whole integer
+//! datapath is bitwise) and under worker pools of every
+//! [`mramrl_nn::difftest::POOL_SIZES`] width:
 //!
 //! 1. `QuantizedNet::forward_batch` over `[N, ...]` is **bit-identical**
 //!    to `N` serial `QuantizedNet::forward` calls — and to the `Naive`
 //!    oracle — row for row. Integer saturation makes the MAC chain
-//!    order-sensitive, so this is a real constraint on the blocked and
-//!    pooled kernels, not a free property.
+//!    order-sensitive, so this is a real constraint on the blocked,
+//!    pooled and SIMD kernels, not a free property.
 //! 2. Greedy-action agreement between float and Q8.8 Q-values on random
 //!    nets stays above a pinned threshold (the paper's argmax-fidelity
 //!    claim, quantified instead of assumed).
 
+use mramrl_nn::difftest::{bits, fill01, sweep_pools, sweep_qbackends};
 use mramrl_nn::qgemm::QGemmBackend;
 use mramrl_nn::quant::{QWorkspace, QuantizedNet};
 use mramrl_nn::{NetworkSpec, Tensor};
 use proptest::prelude::*;
-
-/// Deterministic value stream in [0, 1) — depth-image-like inputs.
-fn fill01(len: usize, seed: u64) -> Vec<f32> {
-    (0..len)
-        .map(|i| {
-            let mut h = (i as u64)
-                .wrapping_add(seed)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h ^= h >> 31;
-            (h % 1000) as f32 / 1000.0
-        })
-        .collect()
-}
-
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
-}
 
 /// Batched input `[n, 1, hw, hw]` plus its per-sample views.
 fn batch_input(n: usize, hw: usize, seed: u64) -> (Tensor, Vec<Tensor>) {
@@ -113,9 +100,9 @@ proptest! {
 }
 
 /// The batched ≡ serial contract survives pooled execution: the same
-/// bitwise comparison pinned under injected worker pools of 1, 2 and 7
-/// executors (the per-sample conv scatter and the pooled FC row bands
-/// engage on the `Pooled` backend; the other backends must simply not
+/// bitwise comparison pinned under every injected pool width (the
+/// per-sample conv scatter and the pooled FC row bands engage on the
+/// `Pooled` and `Simd` backends; the other backends must simply not
 /// care).
 #[test]
 fn pooled_execution_preserves_batched_equals_serial() {
@@ -130,11 +117,9 @@ fn pooled_execution_preserves_batched_equals_serial() {
         serial_out.extend_from_slice(q.forward(s).data());
     }
 
-    for be in QGemmBackend::ALL {
+    sweep_qbackends(|be| {
         q.set_backend(be);
-        for pool_threads in [1usize, 2, 7] {
-            let pool = mramrl_nn::pool::ThreadPool::new(pool_threads);
-            let _installed = pool.install();
+        sweep_pools(|pool_threads| {
             let mut ws = QWorkspace::for_net(&q);
             let yb = q.forward_batch(&batched_x, &mut ws);
             assert_eq!(
@@ -142,8 +127,8 @@ fn pooled_execution_preserves_batched_equals_serial() {
                 bits(yb.data()),
                 "{be} pool={pool_threads}"
             );
-        }
-    }
+        });
+    });
 }
 
 /// Batch-of-1 through the engine equals the single-image wrapper, bit
@@ -156,11 +141,11 @@ fn batch_of_one_equals_single_image() {
     let mut q = QuantizedNet::from_network(&spec, &net).unwrap();
     let x = Tensor::from_vec(&[1, 12, 12], fill01(144, 5));
     let xb = Tensor::from_vec(&[1, 1, 12, 12], fill01(144, 5));
-    for be in QGemmBackend::ALL {
+    sweep_qbackends(|be| {
         q.set_backend(be);
         let y_single = q.forward(&x);
         let mut ws = QWorkspace::for_net(&q);
         let y_batch = q.forward_batch(&xb, &mut ws);
         assert_eq!(bits(y_single.data()), bits(y_batch.data()), "{be}");
-    }
+    });
 }

@@ -64,6 +64,7 @@ fn quantised_acting_matches_engine_bitwise() {
                 QGemmBackend::Naive => mramrl_nn::GemmBackend::Naive,
                 QGemmBackend::Blocked => mramrl_nn::GemmBackend::Blocked,
                 QGemmBackend::Pooled => mramrl_nn::GemmBackend::Threaded,
+                QGemmBackend::Simd => mramrl_nn::GemmBackend::Simd,
             });
             assert_eq!(
                 agent2.greedy_actions(&obs),
