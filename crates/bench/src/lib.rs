@@ -220,6 +220,25 @@ pub fn init_gemm_backend() -> mramrl_nn::GemmBackend {
     backend
 }
 
+/// Resolves the worker-pool size for a figure binary: `--pool-threads N`
+/// wins, else the ambient global pool (the `NN_POOL_THREADS` knob).
+/// Installs a fresh in-process [`mramrl_nn::pool::ThreadPool`] via
+/// [`mramrl_nn::pool::install_handle`] — the same injection
+/// `bench_batch_json` uses, no env-var games — and returns the pool with
+/// its install guard. Keep the returned pair alive for the whole of
+/// `main`; dropping it uninstalls the pool.
+pub fn init_pool_threads() -> (
+    mramrl_nn::pool::ThreadPool,
+    mramrl_nn::pool::HandleInstallGuard,
+) {
+    let threads =
+        arg_u64("pool-threads", mramrl_nn::pool::global().threads() as u64).max(1) as usize;
+    let pool = mramrl_nn::pool::ThreadPool::new(threads);
+    let guard = mramrl_nn::pool::install_handle(pool.handle());
+    eprintln!("pool threads: {}", pool.threads());
+    (pool, guard)
+}
+
 /// The batched-TD benchmark network: the 40×40 micro-AlexNet conv trunk
 /// with its FC tail re-proportioned to the paper's Fig. 3(a) census
 /// (~97 % of weights in the FC layers — the composition whose online

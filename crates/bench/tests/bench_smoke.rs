@@ -196,6 +196,59 @@ fn bench_serve_json_runs_tiny() {
 }
 
 #[test]
+fn scenario_matrix_runs_tiny() {
+    let dir = results_dir("scenario_matrix");
+    let stdout = run(
+        env!("CARGO_BIN_EXE_scenario_matrix"),
+        &[
+            "--iters",
+            "4",
+            "--tl",
+            "4",
+            "--eval-steps",
+            "8",
+            "--lanes",
+            "2",
+        ],
+        &dir,
+    );
+    assert!(stdout.contains('|'), "no table:\n{stdout}");
+    // The full grid: every world generator × every degradation level.
+    for needle in [
+        "narrow-corridor",
+        "cluttered-forest",
+        "height-band",
+        "nominal",
+        "degraded",
+        "severe",
+        "grid-mean SFD E2E",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "stdout missing {needle}:\n{stdout}"
+        );
+    }
+    assert!(csv_count(&dir) > 0, "no CSV in {dir:?}");
+    let json = std::fs::read_to_string(dir.join("BENCH_scenarios.json"))
+        .expect("BENCH_scenarios.json written into MRAMRL_RESULTS");
+    for needle in [
+        "\"bench\": \"scenario_matrix\"",
+        "\"acting_precision\": \"q8.8\"",
+        "\"worlds\": [\"indoor-apartment\", \"outdoor-forest\", \"outdoor-town\", \
+         \"narrow-corridor\", \"cluttered-forest\", \"height-band\"]",
+        "\"degradations\": [\"nominal\", \"degraded\", \"severe\"]",
+        "\"topology\": \"E2E\"",
+        "\"sfd_m\"",
+        "\"grid_mean_sfd_m\"",
+        "\"e2e_severe_retention\"",
+        "\"determinism\"",
+    ] {
+        assert!(json.contains(needle), "JSON missing {needle}:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn make_report_writes_report() {
     let dir = results_dir("report");
     run(env!("CARGO_BIN_EXE_make_report"), &[], &dir);

@@ -16,8 +16,10 @@ use crate::Image;
 /// the property the reward depends on).
 ///
 /// Rendering model: each image column casts one ray across the horizontal
-/// FOV. An obstacle of height `OBSTACLE_HEIGHT_M` at distance `d` subtends
-/// rows around the horizon proportionally to `1/d`; those rows take the
+/// FOV. An obstacle of height `h` (per-obstacle; see
+/// [`crate::world::World::add_with_height`], default
+/// [`crate::world::DEFAULT_OBSTACLE_HEIGHT_M`]) at distance `d` subtends
+/// rows around the horizon proportionally to `h/d`; those rows take the
 /// (normalised) obstacle depth, rows above/below take the background. This
 /// yields depth images whose 2-D structure a CNN can exploit, like the
 /// UE4 stereo pipeline's output.
@@ -40,10 +42,8 @@ pub struct DepthCamera {
     h_fov: f32,
     max_depth: f32,
     noise_frac: f32,
+    dropout: f32,
 }
-
-/// Assumed physical obstacle height for row projection (metres).
-const OBSTACLE_HEIGHT_M: f32 = 2.5;
 
 impl DepthCamera {
     /// Creates a camera.
@@ -64,7 +64,52 @@ impl DepthCamera {
             h_fov,
             max_depth,
             noise_frac,
+            dropout: 0.0,
         }
+    }
+
+    /// Overrides the range-proportional noise fraction — the
+    /// degraded-sensor axis ([`crate::DegradationSpec::noise_scale`]
+    /// multiplies the stock 2 % by this route).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_frac` is outside `[0, 0.5)`.
+    #[must_use]
+    pub fn with_noise_frac(mut self, noise_frac: f32) -> Self {
+        assert!(
+            (0.0..0.5).contains(&noise_frac),
+            "noise fraction in [0,0.5)"
+        );
+        self.noise_frac = noise_frac;
+        self
+    }
+
+    /// Sets the per-pixel dropout probability: each rendered pixel is
+    /// independently lost (reads max range, like a missing stereo
+    /// disparity) with probability `dropout`. Draws come from the same
+    /// per-lane noise RNG as the range noise, in a fixed per-pixel
+    /// order, so degraded-sensor runs stay lane-equivalent and
+    /// bit-exactly replayable. `0.0` (the default) consumes no RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropout` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_dropout(mut self, dropout: f32) -> Self {
+        assert!((0.0..1.0).contains(&dropout), "dropout in [0,1)");
+        self.dropout = dropout;
+        self
+    }
+
+    /// The range-proportional noise fraction.
+    pub fn noise_frac(&self) -> f32 {
+        self.noise_frac
+    }
+
+    /// The per-pixel dropout probability.
+    pub fn dropout(&self) -> f32 {
+        self.dropout
     }
 
     /// The reproduction's default: 40×40 px, 90° FOV, 20 m range, 2 %
@@ -109,7 +154,7 @@ impl DepthCamera {
             let frac = (col as f32 + 0.5) / self.width as f32 - 0.5;
             let angle = heading - frac * self.h_fov;
             let dir = Vec2::from_angle(angle);
-            let mut d = world.raycast(pos, dir);
+            let (mut d, obstacle_h) = world.raycast_height(pos, dir);
             // Stereo noise: zero-mean, σ proportional to range.
             if self.noise_frac > 0.0 {
                 let sigma = self.noise_frac * d;
@@ -121,17 +166,24 @@ impl DepthCamera {
 
             // Rows the obstacle column subtends: half-angle of the
             // obstacle's half-height at distance d.
-            let subtend = (OBSTACLE_HEIGHT_M / 2.0 / d.max(0.1)).atan();
+            let subtend = (obstacle_h / 2.0 / d.max(0.1)).atan();
             let half_rows = (subtend / (v_fov / 2.0) * horizon).min(horizon);
             let lo = (horizon - half_rows).floor().max(0.0) as usize;
             let hi = ((horizon + half_rows).ceil() as usize).min(self.height);
             for row in 0..self.height {
-                let v = if row >= lo && row < hi {
+                let mut v = if row >= lo && row < hi {
                     depth_norm
                 } else {
                     // Background: open sky/floor gradient toward far.
                     1.0
                 };
+                // Pixel dropout: a lost stereo return reads max range.
+                // Drawn per pixel in row-major order within the column,
+                // and only when enabled, so dropout-free runs consume
+                // the exact legacy RNG stream.
+                if self.dropout > 0.0 && rng.gen_range(0.0f32..1.0) < self.dropout {
+                    v = 1.0;
+                }
                 *img.at_mut(row, col) = v;
             }
         }
@@ -224,6 +276,26 @@ mod tests {
             &mut DepthCamera::noise_rng(5),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropout_blanks_pixels_deterministically() {
+        let mut w = empty_world();
+        w.add(Obstacle::Circle(Circle::new(Vec2::new(23.0, 20.0), 1.5)));
+        let pos = Vec2::new(20.0, 20.0);
+
+        let clean = noiseless().render(&w, pos, 0.0, &mut DepthCamera::noise_rng(9));
+        let cam = noiseless().with_dropout(0.5);
+        let holey = cam.render(&w, pos, 0.0, &mut DepthCamera::noise_rng(9));
+        // Roughly half of the obstacle pixels should now read max range.
+        let lost = (0..40)
+            .flat_map(|r| (0..40).map(move |c| (r, c)))
+            .filter(|&(r, c)| clean.at(r, c) < 0.9 && holey.at(r, c) >= 1.0)
+            .count();
+        assert!(lost > 50, "dropout should blank obstacle pixels: {lost}");
+        // Same seed ⇒ same holes.
+        let again = cam.render(&w, pos, 0.0, &mut DepthCamera::noise_rng(9));
+        assert_eq!(holey, again);
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl Drone {
         self.step_m
     }
 
+    /// Displaces the drone without changing heading — the wind-drift
+    /// hook. Drift is uncommanded motion: it does not count toward the
+    /// distance returned by [`Drone::apply`].
+    pub fn drift(&mut self, delta: Vec2) {
+        self.pos = self.pos + delta;
+    }
+
     /// Teleports the drone (episode reset).
     pub fn reset(&mut self, pos: Vec2, heading: f32) {
         self.pos = pos;

@@ -5,7 +5,9 @@ use rand::Rng;
 
 use crate::camera::DepthCamera;
 use crate::drone::{Action, Drone};
+use crate::geom::Vec2;
 use crate::reward::RewardConfig;
+use crate::scenario::ScenarioSpec;
 use crate::worlds::EnvKind;
 use crate::{Image, World};
 
@@ -47,6 +49,10 @@ pub struct DroneEnv {
     camera: DepthCamera,
     reward_cfg: RewardConfig,
     rng: SmallRng,
+    /// Logical episode time driving [`World::set_time`] (mover orbits).
+    tick: u64,
+    /// Per-step uncommanded drift vector, `None` when wind is off.
+    wind: Option<Vec2>,
     episode_distance: f32,
     episode_steps: u64,
     episodes: u64,
@@ -55,16 +61,35 @@ pub struct DroneEnv {
 impl DroneEnv {
     /// Builds the environment `kind` with deterministic `seed` (world
     /// layout, spawn jitter and sensor noise all derive from it).
+    ///
+    /// Equivalent to [`DroneEnv::from_spec`] with the baseline scenario
+    /// for `kind` — no movers, nominal sensors, the stock 40 px
+    /// [`DepthCamera::date19`] — so legacy call sites keep their exact
+    /// byte-level behaviour.
     pub fn new(kind: EnvKind, seed: u64) -> Self {
-        let world = kind.build(seed);
+        Self::from_spec(&ScenarioSpec::baseline(kind, seed), seed)
+    }
+
+    /// Builds a fully-specified scenario environment for one lane.
+    ///
+    /// `lane_seed` is the single entropy source for this instance:
+    /// world layout and mover placement, spawn-heading jitter, sensor
+    /// noise, pixel dropout and wind gusts all derive from it (see
+    /// `docs/scenarios.md`). VecEnv lanes pass
+    /// `spec.lane_seed(i) = spec.seed.wrapping_add(i)`, which is what
+    /// makes lane *i* bit-identical to a serial env seeded `base + i`.
+    pub fn from_spec(spec: &ScenarioSpec, lane_seed: u64) -> Self {
+        let world = spec.world.build(lane_seed);
         let drone = Drone::new(world.spawn(), world.spawn_heading());
         Self {
-            kind,
+            kind: spec.world.kind,
             world,
             drone,
-            camera: DepthCamera::date19(),
+            camera: spec.camera(),
             reward_cfg: RewardConfig::date19(),
-            rng: DepthCamera::noise_rng(seed),
+            rng: DepthCamera::noise_rng(lane_seed),
+            tick: 0,
+            wind: spec.degradation.wind_vector(lane_seed),
             episode_distance: 0.0,
             episode_steps: 0,
             episodes: 0,
@@ -109,6 +134,8 @@ impl DroneEnv {
         let spawn = self.world.spawn();
         let heading = self.world.spawn_heading() + self.rng.gen_range(-0.4..0.4f32);
         self.drone.reset(spawn, heading);
+        self.tick = 0;
+        self.world.set_time(0);
         self.episode_distance = 0.0;
         self.episode_steps = 0;
         self.observe()
@@ -128,6 +155,18 @@ impl DroneEnv {
     /// caller should [`DroneEnv::reset`].
     pub fn step(&mut self, action: Action) -> StepResult {
         let distance = self.drone.apply(action);
+        // Wind: uncommanded drift with a per-step gust factor. The gust
+        // draw is the first RNG use of the step (before any render
+        // noise) and happens only when wind is on, so wind-free runs
+        // consume the exact legacy stream.
+        if let Some(per_step) = self.wind {
+            let gust = 1.0 + self.rng.gen_range(-0.25..0.25f32);
+            self.drone.drift(per_step * gust);
+        }
+        // Advance logical time: movers orbit as a pure function of the
+        // tick, so replays are bit-exact with no RNG involved.
+        self.tick += 1;
+        self.world.set_time(self.tick);
         let crashed = self
             .world
             .collides(self.drone.position(), self.drone.radius());

@@ -36,6 +36,7 @@ mod episode;
 mod geom;
 mod render;
 mod reward;
+pub mod scenario;
 mod vecenv;
 mod world;
 pub mod worlds;
@@ -46,8 +47,9 @@ pub use episode::{DroneEnv, StepResult};
 pub use geom::{Aabb, Circle, Vec2};
 pub use render::ascii_map;
 pub use reward::RewardConfig;
+pub use scenario::{DegradationSpec, ScenarioSpec, WorldSpec, WORLD_AXIS};
 pub use vecenv::VecEnv;
-pub use world::{Obstacle, World};
+pub use world::{Mover, Obstacle, World, DEFAULT_OBSTACLE_HEIGHT_M};
 pub use worlds::EnvKind;
 
 /// Observation tensor re-export (the camera produces `mramrl_nn`-free

@@ -18,6 +18,7 @@
 
 use crate::drone::Action;
 use crate::episode::{DroneEnv, StepResult};
+use crate::scenario::ScenarioSpec;
 use crate::worlds::EnvKind;
 use crate::Image;
 
@@ -48,6 +49,16 @@ impl VecEnv {
     /// well-defined (and equal to a serial env seeded the same way)
     /// even when `base_seed` sits within `k` of `u64::MAX`.
     ///
+    /// **Seed-derivation rule.** The per-lane seed is the *single*
+    /// entropy source for everything that varies in that lane: world
+    /// layout and mover placement, spawn-heading jitter, depth-sensor
+    /// noise, pixel dropout and the wind gust stream all derive from it
+    /// (the sensor axes through one [`crate::DepthCamera::noise_rng`]
+    /// stream per lane, consumed in a fixed per-step order). That is
+    /// what makes lane `i` bit-identical to a serial env seeded
+    /// `base + i` even with every degradation axis enabled — see
+    /// `docs/scenarios.md` for the full contract.
+    ///
     /// # Panics
     ///
     /// Panics if `k` is zero.
@@ -56,6 +67,24 @@ impl VecEnv {
         Self {
             envs: (0..k)
                 .map(|i| DroneEnv::new(kind, base_seed.wrapping_add(i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Builds `k` lanes of one scenario: lane `i` is
+    /// [`DroneEnv::from_spec`] with seed `spec.lane_seed(i)` — the same
+    /// `wrapping_add` rule as [`VecEnv::new`], so the lane-vs-serial
+    /// bit-identity contract extends unchanged to scenarios with
+    /// movers, dropout and wind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn from_spec(spec: &ScenarioSpec, k: usize) -> Self {
+        assert!(k > 0, "vec env needs at least one lane");
+        Self {
+            envs: (0..k)
+                .map(|i| DroneEnv::from_spec(spec, spec.lane_seed(i)))
                 .collect(),
         }
     }

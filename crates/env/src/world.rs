@@ -1,6 +1,12 @@
-//! The world: bounds, obstacles, queries.
+//! The world: bounds, obstacles (static and moving), queries.
 
 use crate::geom::{Aabb, Circle, Vec2};
+
+/// Physical obstacle height (metres) assumed for camera row projection
+/// when a world does not assign per-obstacle heights — the single
+/// constant every pre-scenario world renders with. Height-band worlds
+/// override it per obstacle via [`World::add_with_height`].
+pub const DEFAULT_OBSTACLE_HEIGHT_M: f32 = 2.5;
 
 /// One obstacle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +35,47 @@ impl Obstacle {
     }
 }
 
+/// One moving obstacle: a circle orbiting a fixed anchor as a pure
+/// function of the world's **logical time** (the env's step counter).
+///
+/// `center(t) = anchor + orbit · (cos(ω·t + φ), sin(ω·t + φ))` — no
+/// hidden RNG, no wall-clock: the same tick always produces the same
+/// position, which is what keeps dynamic-obstacle scenarios bit-exactly
+/// replayable across VecEnv lane counts and pool sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mover {
+    /// Index of the obstacle slot this mover drives.
+    slot: usize,
+    /// Orbit centre.
+    anchor: Vec2,
+    /// Obstacle radius (the shape is a circle — pedestrian/vehicle/bird).
+    radius: f32,
+    /// Orbit radius in metres.
+    orbit: f32,
+    /// Angular velocity, radians per tick.
+    omega: f32,
+    /// Phase offset, radians.
+    phase: f32,
+}
+
+impl Mover {
+    /// Position of the orbiting centre at logical time `tick`.
+    fn center(&self, tick: u64) -> Vec2 {
+        let t = tick as f32;
+        self.anchor + Vec2::from_angle(self.omega * t + self.phase) * self.orbit
+    }
+
+    /// The orbit anchor (exposed for placement checks in tests).
+    pub fn anchor(&self) -> Vec2 {
+        self.anchor
+    }
+
+    /// The orbit radius in metres.
+    pub fn orbit(&self) -> f32 {
+        self.orbit
+    }
+}
+
 /// A flight arena: outer walls, obstacles, spawn pose, clutter metadata.
 ///
 /// # Examples
@@ -46,6 +93,11 @@ pub struct World {
     name: String,
     bounds: Aabb,
     obstacles: Vec<Obstacle>,
+    /// Per-obstacle physical heights, parallel to `obstacles` (camera
+    /// row projection); [`DEFAULT_OBSTACLE_HEIGHT_M`] unless a
+    /// height-band generator overrides it.
+    heights: Vec<f32>,
+    movers: Vec<Mover>,
     spawn: Vec2,
     spawn_heading: f32,
     d_min: f32,
@@ -65,6 +117,8 @@ impl World {
             name: name.into(),
             bounds,
             obstacles: Vec::new(),
+            heights: Vec::new(),
+            movers: Vec::new(),
             spawn,
             spawn_heading: 0.0,
             d_min,
@@ -91,9 +145,60 @@ impl World {
         &self.obstacles
     }
 
-    /// Adds an obstacle.
+    /// Adds an obstacle at the default height.
     pub fn add(&mut self, o: Obstacle) {
+        self.add_with_height(o, DEFAULT_OBSTACLE_HEIGHT_M);
+    }
+
+    /// Adds an obstacle with an explicit physical height (metres) — the
+    /// 2.5-D axis: the camera projects an obstacle's vertical subtense
+    /// from its height, so short stumps fill few rows and towers fill
+    /// many.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is not positive.
+    pub fn add_with_height(&mut self, o: Obstacle, height: f32) {
+        assert!(height > 0.0, "obstacle height must be positive");
         self.obstacles.push(o);
+        self.heights.push(height);
+    }
+
+    /// Adds a moving circular obstacle orbiting `anchor`: radius
+    /// `radius`, orbit radius `orbit`, angular velocity `omega` rad per
+    /// logical tick, phase `phase`. The obstacle is materialised at its
+    /// t = 0 position; [`World::set_time`] advances it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` or `orbit` is not positive.
+    pub fn add_mover(&mut self, anchor: Vec2, radius: f32, orbit: f32, omega: f32, phase: f32) {
+        assert!(radius > 0.0 && orbit > 0.0, "mover needs positive extents");
+        let mover = Mover {
+            slot: self.obstacles.len(),
+            anchor,
+            radius,
+            orbit,
+            omega,
+            phase,
+        };
+        self.add(Obstacle::Circle(Circle::new(mover.center(0), radius)));
+        self.movers.push(mover);
+    }
+
+    /// Moving obstacles (read-only).
+    pub fn movers(&self) -> &[Mover] {
+        &self.movers
+    }
+
+    /// Repositions every moving obstacle for logical time `tick`.
+    /// Deterministic: position is a pure function of `(mover, tick)`,
+    /// so replaying the same action sequence replays the same world.
+    /// A no-op for worlds without movers.
+    pub fn set_time(&mut self, tick: u64) {
+        for m in &self.movers {
+            self.obstacles[m.slot] = Obstacle::Circle(Circle::new(m.center(tick), m.radius));
+        }
     }
 
     /// Sets the spawn pose.
@@ -115,15 +220,26 @@ impl World {
     /// Distance from `origin` along `dir` to the first obstacle or the
     /// outer wall.
     pub fn raycast(&self, origin: Vec2, dir: Vec2) -> f32 {
+        self.raycast_height(origin, dir).0
+    }
+
+    /// Like [`World::raycast`], but also reports the physical height of
+    /// whatever the ray hit — the hit obstacle's assigned height, or
+    /// [`DEFAULT_OBSTACLE_HEIGHT_M`] for the outer wall. The camera
+    /// projects vertical subtense from this, which is what makes the
+    /// 2.5-D height band visible in depth images.
+    pub fn raycast_height(&self, origin: Vec2, dir: Vec2) -> (f32, f32) {
         let mut best = self.bounds.ray_exit(origin, dir);
-        for o in &self.obstacles {
+        let mut height = DEFAULT_OBSTACLE_HEIGHT_M;
+        for (o, &h) in self.obstacles.iter().zip(&self.heights) {
             if let Some(t) = o.ray_hit(origin, dir) {
                 if t < best {
                     best = t;
+                    height = h;
                 }
             }
         }
-        best
+        (best, height)
     }
 
     /// `true` if a drone of `radius` at `p` collides with an obstacle or
@@ -205,5 +321,39 @@ mod tests {
         let w = arena();
         assert_eq!(w.spawn(), Vec2::new(5.0, 5.0));
         assert_eq!(w.spawn_heading(), 0.0);
+    }
+
+    #[test]
+    fn mover_orbits_deterministically_and_returns_to_phase_zero() {
+        let mut w = arena();
+        let before = w.obstacles().len();
+        w.add_mover(Vec2::new(5.0, 8.0), 0.3, 1.0, 0.5, 0.0);
+        assert_eq!(w.obstacles().len(), before + 1);
+        let at0 = w.obstacles()[before];
+        w.set_time(7);
+        let at7 = w.obstacles()[before];
+        assert_ne!(at0, at7, "mover must move");
+        let mut w2 = arena();
+        w2.add_mover(Vec2::new(5.0, 8.0), 0.3, 1.0, 0.5, 0.0);
+        w2.set_time(7);
+        assert_eq!(at7, w2.obstacles()[before], "motion is pure in tick");
+        w.set_time(0);
+        assert_eq!(w.obstacles()[before], at0, "t=0 restores placement");
+    }
+
+    #[test]
+    fn raycast_height_reports_hit_height() {
+        let mut w = World::new(
+            "h",
+            Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0)),
+            1.0,
+        );
+        w.add_with_height(Obstacle::Circle(Circle::new(Vec2::new(7.0, 5.0), 0.5)), 4.0);
+        let (d, h) = w.raycast_height(Vec2::new(0.0, 5.0), Vec2::new(1.0, 0.0));
+        assert!((d - 6.5).abs() < 1e-4);
+        assert_eq!(h, 4.0);
+        // Wall hits fall back to the default height.
+        let (_, hw) = w.raycast_height(Vec2::new(0.0, 8.0), Vec2::new(1.0, 0.0));
+        assert_eq!(hw, DEFAULT_OBSTACLE_HEIGHT_M);
     }
 }

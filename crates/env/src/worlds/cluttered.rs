@@ -1,0 +1,144 @@
+//! Dense-clutter generators: cluttered forest and the 2.5-D height band.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geom::{Aabb, Circle, Vec2};
+use crate::world::{Obstacle, World};
+use crate::worlds::outdoor::scatter_trees;
+
+/// A 40×40 m forest packed far past Fig. 1(c) spacing: many trunks at
+/// d_min ≈ 1.2 m plus thin fallen logs lying between them. Navigable,
+/// but every sight line is short.
+pub fn cluttered_forest(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(6));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 40.0));
+    let mut w = World::new("cluttered-forest", bounds, 1.2);
+    let spawn = Vec2::new(20.0, 20.0);
+
+    scatter_trees(&mut w, &mut rng, 110, 0.18..0.45, spawn);
+
+    // Fallen logs: thin axis-aligned slabs (~0.15 m wide, 1.5–3 m long)
+    // dropped wherever they keep a half-metre of clearance.
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < 14 && attempts < 600 {
+        attempts += 1;
+        let c = Vec2::new(rng.gen_range(2.0..38.0), rng.gen_range(2.0..38.0));
+        let half_len = rng.gen_range(0.75..1.5);
+        let (hw, hh) = if rng.gen_bool(0.5) {
+            (half_len, 0.08)
+        } else {
+            (0.08, half_len)
+        };
+        if c.distance(spawn) < 3.0 + half_len {
+            continue;
+        }
+        let clear = w
+            .obstacles()
+            .iter()
+            .all(|o| o.distance_to(c) > 0.5 + half_len);
+        if clear {
+            w.add(Obstacle::Rect(Aabb::centered(c, hw, hh)));
+            placed += 1;
+        }
+    }
+
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+/// A 45×45 m forest on the 2.5-D axis: same circular trunks, but each
+/// carries a physical *height* drawn from 0.6–4.0 m. Short stumps fill
+/// only a few camera rows while towers fill most of the column, so the
+/// policy must read vertical extent, not just range. d_min ≈ 2 m.
+pub fn height_band(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(45.0, 45.0));
+    let mut w = World::new("height-band", bounds, 2.0);
+    let spawn = Vec2::new(22.5, 22.5);
+
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < 70 && attempts < 1500 {
+        attempts += 1;
+        let r = rng.gen_range(0.25..0.6);
+        let c = Vec2::new(rng.gen_range(1.5..43.5), rng.gen_range(1.5..43.5));
+        if c.distance(spawn) < 4.0 {
+            continue;
+        }
+        let clear = w
+            .obstacles()
+            .iter()
+            .all(|o| o.distance_to(c) > w.d_min() - r);
+        if clear {
+            let height = rng.gen_range(0.6..4.0);
+            w.add_with_height(Obstacle::Circle(Circle::new(c, r)), height);
+            placed += 1;
+        }
+    }
+
+    w.set_spawn(spawn, rng.gen_range(-0.6..0.6));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluttered_forest_is_denser_than_outdoor_forest() {
+        let dense = cluttered_forest(1);
+        let sparse = crate::worlds::EnvKind::OutdoorForest.build(1);
+        let density = |w: &World| {
+            let b = w.bounds();
+            w.obstacles().len() as f32 / ((b.max.x - b.min.x) * (b.max.y - b.min.y))
+        };
+        assert!(density(&dense) > 2.0 * density(&sparse));
+    }
+
+    #[test]
+    fn cluttered_forest_has_logs_and_trees() {
+        let w = cluttered_forest(4);
+        let circles = w
+            .obstacles()
+            .iter()
+            .filter(|o| matches!(o, Obstacle::Circle(_)))
+            .count();
+        let rects = w.obstacles().len() - circles;
+        assert!(circles > 60, "{circles} trees");
+        assert!(rects >= 8, "{rects} logs");
+    }
+
+    #[test]
+    fn height_band_heights_span_the_band() {
+        let w = height_band(2);
+        assert!(w.obstacles().len() > 50, "{}", w.obstacles().len());
+        // Sweep rays from the spawn; trunks that get hit report their own
+        // height, which must vary across the 0.6–4.0 m band.
+        let heights: Vec<f32> = (0..128)
+            .filter_map(|i| {
+                let ang = i as f32 / 128.0 * core::f32::consts::TAU;
+                let (d, h) = w.raycast_height(w.spawn(), Vec2::from_angle(ang));
+                // Only count obstacle hits, not the outer wall (which is
+                // > 20 m away from the central spawn in every direction).
+                (d < 18.0).then_some(h)
+            })
+            .collect();
+        assert!(heights.len() > 10, "{} obstacle hits", heights.len());
+        let lo = heights.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = heights.iter().cloned().fold(0.0f32, f32::max);
+        assert!(lo < 1.5, "shortest hit {lo}");
+        assert!(hi > 2.5, "tallest hit {hi}");
+    }
+
+    #[test]
+    fn spawns_are_clear() {
+        for seed in 0..6u64 {
+            let cf = cluttered_forest(seed);
+            assert!(!cf.collides(cf.spawn(), 0.3), "cluttered seed {seed}");
+            let hb = height_band(seed);
+            assert!(!hb.collides(hb.spawn(), 0.3), "height seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Narrow-corridor generator: the tight-clearance stress world.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geom::{Aabb, Vec2};
+use crate::world::World;
+use crate::worlds::indoor::add_vwall;
+
+/// A 36×9 m serpentine hall: vertical baffles every ~4.5 m, alternating
+/// the passage between the bottom and top edge, gap widths 1.2–2.0 m.
+/// d_min ≈ 0.6 m — tighter than any Fig. 1(c) environment, so this is
+/// the worst-case clutter cell of the scenario matrix.
+pub fn narrow_corridor(seed: u64) -> World {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+    const W: f32 = 36.0;
+    const H: f32 = 9.0;
+    let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(W, H));
+    let mut w = World::new("narrow-corridor", bounds, 0.6);
+
+    // Baffles start past the spawn area and alternate which edge the
+    // passage hugs, forcing S-turns at every wall.
+    let mut x = 4.5;
+    let mut gap_at_bottom = rng.gen_bool(0.5);
+    while x < W - 2.0 {
+        let gap_w = rng.gen_range(1.2..2.0);
+        let jitter = rng.gen_range(-0.6..0.6f32);
+        if gap_at_bottom {
+            // Passage along the bottom edge: wall spans [gap_w, H].
+            add_vwall(&mut w, x + jitter, 0.0, 0.0, H, gap_w);
+        } else {
+            // Passage along the top edge: wall spans [0, H − gap_w].
+            add_vwall(&mut w, x + jitter, 0.0, H - gap_w, H, H);
+        }
+        gap_at_bottom = !gap_at_bottom;
+        x += 4.5;
+    }
+
+    w.set_spawn(Vec2::new(2.0, H / 2.0), rng.gen_range(-0.3..0.3));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corridor_has_many_baffles_and_clear_spawn() {
+        for seed in 0..8u64 {
+            let w = narrow_corridor(seed);
+            assert!(w.obstacles().len() >= 6, "seed {seed}: too few baffles");
+            assert!(!w.collides(w.spawn(), 0.3), "seed {seed}: spawn blocked");
+        }
+    }
+
+    #[test]
+    fn every_baffle_leaves_a_flyable_gap() {
+        // Sweep a vertical scan line past each baffle x and check there's
+        // a y with ≥ 1 m clearance corridor (gap ≥ 1.2 m ⇒ holds).
+        for seed in 0..8u64 {
+            let w = narrow_corridor(seed);
+            for gx in 1..35 {
+                let x = gx as f32 + 0.5;
+                let clear = (1..18)
+                    .map(|gy| w.clearance(Vec2::new(x, gy as f32 * 0.5)))
+                    .fold(0.0f32, f32::max);
+                assert!(clear > 0.45, "seed {seed} x {x}: best clearance {clear}");
+            }
+        }
+    }
+
+    #[test]
+    fn passage_alternates_edges() {
+        // Consecutive baffles must not leave their gaps at the same edge:
+        // at least one baffle gap near the bottom AND one near the top.
+        let w = narrow_corridor(3);
+        let probe = |y: f32| {
+            (4..34)
+                .filter(|&gx| w.clearance(Vec2::new(gx as f32, y)) > 0.5)
+                .count()
+        };
+        assert!(probe(0.7) > 0, "no bottom-edge passages");
+        assert!(probe(8.3) > 0, "no top-edge passages");
+    }
+}

@@ -15,11 +15,14 @@
 //! shows the largest degradation"). [`EnvKind::MetaOutdoorRich`] adds the
 //! missing structures for the richer-meta ablation the paper suggests.
 
+mod cluttered;
+mod corridor;
 mod indoor;
 mod meta;
 mod outdoor;
 
 use core::fmt;
+use core::str::FromStr;
 
 use crate::world::World;
 
@@ -40,6 +43,16 @@ pub enum EnvKind {
     MetaOutdoor,
     /// Richer outdoor meta for the §VI-B ablation (adds town structures).
     MetaOutdoorRich,
+    /// Serpentine corridor with baffle gaps down to 1.2 m — the
+    /// tightest-clutter stress world of the scenario matrix
+    /// (d_min ≈ 0.6 m).
+    NarrowCorridor,
+    /// Dense forest with fallen logs: trees far past Fig. 1(c) spacing
+    /// plus thin rectangular deadfall (d_min ≈ 1.2 m).
+    ClutteredForest,
+    /// 2.5-D forest whose obstacle *heights* vary 0.6–4 m: stumps
+    /// subtend few camera rows, towers many (d_min ≈ 2 m).
+    HeightBand,
 }
 
 impl EnvKind {
@@ -55,7 +68,10 @@ impl EnvKind {
     pub fn is_indoor(self) -> bool {
         matches!(
             self,
-            EnvKind::IndoorApartment | EnvKind::IndoorHouse | EnvKind::MetaIndoor
+            EnvKind::IndoorApartment
+                | EnvKind::IndoorHouse
+                | EnvKind::MetaIndoor
+                | EnvKind::NarrowCorridor
         )
     }
 
@@ -77,6 +93,9 @@ impl EnvKind {
             EnvKind::OutdoorForest => 3.0,
             EnvKind::OutdoorTown => 4.0,
             EnvKind::MetaOutdoor | EnvKind::MetaOutdoorRich => 3.5,
+            EnvKind::NarrowCorridor => 0.6,
+            EnvKind::ClutteredForest => 1.2,
+            EnvKind::HeightBand => 2.0,
         }
     }
 
@@ -90,7 +109,41 @@ impl EnvKind {
             EnvKind::MetaIndoor => meta::indoor(seed),
             EnvKind::MetaOutdoor => meta::outdoor(seed, false),
             EnvKind::MetaOutdoorRich => meta::outdoor(seed, true),
+            EnvKind::NarrowCorridor => corridor::narrow_corridor(seed),
+            EnvKind::ClutteredForest => cluttered::cluttered_forest(seed),
+            EnvKind::HeightBand => cluttered::height_band(seed),
         }
+    }
+}
+
+/// Error for [`EnvKind::from_str`]: the name matched no generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEnvKind(String);
+
+impl fmt::Display for UnknownEnvKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown env kind `{}`", self.0)
+    }
+}
+
+impl FromStr for EnvKind {
+    type Err = UnknownEnvKind;
+
+    /// Parses the [`fmt::Display`] names (used by `ScenarioSpec::decode`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "indoor-apartment" => EnvKind::IndoorApartment,
+            "indoor-house" => EnvKind::IndoorHouse,
+            "outdoor-forest" => EnvKind::OutdoorForest,
+            "outdoor-town" => EnvKind::OutdoorTown,
+            "meta-indoor" => EnvKind::MetaIndoor,
+            "meta-outdoor" => EnvKind::MetaOutdoor,
+            "meta-outdoor-rich" => EnvKind::MetaOutdoorRich,
+            "narrow-corridor" => EnvKind::NarrowCorridor,
+            "cluttered-forest" => EnvKind::ClutteredForest,
+            "height-band" => EnvKind::HeightBand,
+            other => return Err(UnknownEnvKind(other.to_string())),
+        })
     }
 }
 
@@ -104,6 +157,9 @@ impl fmt::Display for EnvKind {
             EnvKind::MetaIndoor => "meta-indoor",
             EnvKind::MetaOutdoor => "meta-outdoor",
             EnvKind::MetaOutdoorRich => "meta-outdoor-rich",
+            EnvKind::NarrowCorridor => "narrow-corridor",
+            EnvKind::ClutteredForest => "cluttered-forest",
+            EnvKind::HeightBand => "height-band",
         };
         f.write_str(s)
     }
@@ -123,6 +179,9 @@ mod tests {
             EnvKind::MetaIndoor,
             EnvKind::MetaOutdoor,
             EnvKind::MetaOutdoorRich,
+            EnvKind::NarrowCorridor,
+            EnvKind::ClutteredForest,
+            EnvKind::HeightBand,
         ] {
             for seed in [0u64, 1, 42] {
                 let w = kind.build(seed);
@@ -173,6 +232,25 @@ mod tests {
                 .count()
         };
         assert!(rects(&rich) > rects(&plain));
+    }
+
+    #[test]
+    fn display_names_roundtrip_through_fromstr() {
+        for kind in [
+            EnvKind::IndoorApartment,
+            EnvKind::IndoorHouse,
+            EnvKind::OutdoorForest,
+            EnvKind::OutdoorTown,
+            EnvKind::MetaIndoor,
+            EnvKind::MetaOutdoor,
+            EnvKind::MetaOutdoorRich,
+            EnvKind::NarrowCorridor,
+            EnvKind::ClutteredForest,
+            EnvKind::HeightBand,
+        ] {
+            assert_eq!(kind.to_string().parse::<EnvKind>(), Ok(kind));
+        }
+        assert!("not-a-world".parse::<EnvKind>().is_err());
     }
 
     #[test]
