@@ -27,6 +27,17 @@
 //! JSON records the per-backend `q8.8 batched(32) / serial(32)` speedup
 //! (bar: ≥ 4× on blocked) and the float-vs-Q8.8 throughput ratio.
 //!
+//! A **train-throughput cell family** (modes `train-vec` /
+//! `train-parallel-f32` / `train-parallel-q8.8`) times the actor/learner
+//! driver (`Trainer::run_parallel`, `docs/training.md`) end to end —
+//! environments, acting, sharded replay and learning — per
+//! (topology × backend × fleet count × pool), `batch` holding the total
+//! lane count. The JSON records `speedup_train_parallel_vs_run_vec`
+//! (bar: best parallel cell ≥ 3× the best single-fleet `train-vec`
+//! cell in transitions/sec) and a `train_regimes` array giving each
+//! cell's learner-time fraction and its learner-bound vs actor-bound
+//! classification, so the crossover per topology is on record.
+//!
 //! A **raw certified-GEMM cell family** (mode `qgemm-conv1`) times the
 //! integer kernel alone on the paper's CONV1 product (96×363×3025 —
 //! the full-size AlexNet's first im2col GEMM; 32×363×256 under
@@ -46,13 +57,15 @@ use std::time::Instant;
 
 use mramrl_bench::{
     arg_u64, batch_td_agent, batch_td_obs, batch_td_qnet, batch_td_spec, batch_td_spec_tiny,
-    batch_td_transitions, fmt, save_bench_json, Table, BATCH_TD_SIZES,
+    batch_td_transitions, fmt, save_bench_json, train_bench_fleets, Table, BATCH_TD_SIZES,
 };
 use mramrl_nn::backend::GemmBackend;
 use mramrl_nn::pool::ThreadPool;
 use mramrl_nn::quant::QWorkspace;
 use mramrl_nn::Workspace;
-use mramrl_rl::{Transition, TransitionBatch};
+use mramrl_rl::{
+    ActingPrecision, QAgent, Topology, Trainer, TrainerConfig, Transition, TransitionBatch,
+};
 
 /// Times `reps` runs of `work` (after one warm-up), returning mean
 /// nanoseconds per run.
@@ -72,6 +85,18 @@ struct Cell {
     batch: usize,
     threads: usize,
     ns_per_transition: f64,
+}
+
+/// Phase accounting of one train-throughput cell: which side of the
+/// actor/learner split the run spent its time on.
+struct TrainRegime {
+    topology: &'static str,
+    backend: &'static str,
+    mode: &'static str,
+    threads: usize,
+    fleets: usize,
+    learner_frac: f64,
+    learner_bound: bool,
 }
 
 fn main() {
@@ -99,6 +124,7 @@ fn main() {
     let thread_counts: Vec<usize> = if multi > 1 { vec![1, multi] } else { vec![1] };
 
     let mut cells: Vec<Cell> = Vec::new();
+    let mut regimes: Vec<TrainRegime> = Vec::new();
     for &threads in &thread_counts {
         let pool = ThreadPool::new(threads);
         let _installed = pool.install();
@@ -175,7 +201,7 @@ fn main() {
                 });
             }
             let singles: Vec<mramrl_nn::Tensor> =
-                (0..ts.len()).map(|i| ts[i].state.clone()).collect();
+                (0..ts.len()).map(|i| (*ts[i].state).clone()).collect();
             let ns = time_ns(reps, || {
                 for s in &singles {
                     let _ = qnet.forward(s);
@@ -217,6 +243,63 @@ fn main() {
                 threads,
                 ns_per_transition: ns,
             });
+        }
+
+        // Train-throughput cell family: the actor/learner driver end to
+        // end — environments, acting, sharded replay and learning — per
+        // (topology × backend × fleet count × pool). `train-vec` is the
+        // one-fleet baseline (`run_vec`'s engine); the parallel cells
+        // widen the fleet pool in float and Q8.8 acting. `batch` holds
+        // the total lane count. One timed run per cell (the iteration
+        // count amortises warm-up); the phase split from
+        // `ParallelStats` records whether each topology runs
+        // learner-bound or actor-bound at that width.
+        let (train_iters, train_k, par_fleets, q88_fleets) = if tiny {
+            (48u64, 2usize, vec![2usize], 2usize)
+        } else {
+            (1_500, 4, vec![2, 4, 8], 4)
+        };
+        let hw = spec.input_shape[1];
+        for &be in &backends {
+            for (topo, topo_name) in [(Topology::E2E, "E2E"), (Topology::L3, "L3")] {
+                let mut run_cell = |mode: &'static str, n_fleets: usize, q88: bool| {
+                    let mut cfg = TrainerConfig::online(train_iters, 42);
+                    cfg.backend = be;
+                    cfg.num_envs = train_k;
+                    if q88 {
+                        cfg.actor_precision = ActingPrecision::FixedQ8_8;
+                    }
+                    let trainer = Trainer::new(cfg);
+                    let mut agent = QAgent::new(&spec, 42);
+                    topo.apply(agent.net_mut());
+                    let mut fl = train_bench_fleets(hw, n_fleets, train_k);
+                    let t0 = Instant::now();
+                    let (_, stats) = trainer.run_parallel_timed(&mut agent, &mut fl, &mut ());
+                    let ns = t0.elapsed().as_nanos() as f64 / stats.transitions as f64;
+                    cells.push(Cell {
+                        backend: be.name(),
+                        mode,
+                        batch: n_fleets * train_k,
+                        threads,
+                        ns_per_transition: ns,
+                    });
+                    let phase = (stats.learner_ns + stats.actor_ns + stats.env_ns).max(1) as f64;
+                    regimes.push(TrainRegime {
+                        topology: topo_name,
+                        backend: be.name(),
+                        mode,
+                        threads,
+                        fleets: n_fleets,
+                        learner_frac: stats.learner_ns as f64 / phase,
+                        learner_bound: stats.learner_ns > stats.actor_ns + stats.env_ns,
+                    });
+                };
+                run_cell("train-vec", 1, false);
+                for &n in &par_fleets {
+                    run_cell("train-parallel-f32", n, false);
+                }
+                run_cell("train-parallel-q8.8", q88_fleets, true);
+            }
         }
     }
 
@@ -349,6 +432,46 @@ fn main() {
         }
     }
 
+    // The actor/learner acceptance bar: the best train-parallel cell
+    // (any width, precision, backend, pool) against the best
+    // single-fleet train-vec cell, in transitions/sec. Alongside it,
+    // the per-topology regime table — the learner-bound vs actor-bound
+    // crossover as the fleet pool widens.
+    let best_train = |pred: &dyn Fn(&Cell) -> bool| {
+        cells
+            .iter()
+            .filter(|c| pred(c))
+            .map(|c| c.ns_per_transition)
+            .fold(None::<f64>, |acc, ns| Some(acc.map_or(ns, |a| a.min(ns))))
+    };
+    let train_speedup = match (
+        best_train(&|c| c.mode == "train-vec"),
+        best_train(&|c| c.mode.starts_with("train-parallel")),
+    ) {
+        (Some(vec_ns), Some(par_ns)) => {
+            let s = vec_ns / par_ns;
+            println!("speedup train-parallel vs best run_vec: {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
+    for r in &regimes {
+        println!(
+            "train regime {}/{} {} fleets={} threads={}: learner_frac={:.2} -> {}",
+            r.topology,
+            r.backend,
+            r.mode,
+            r.fleets,
+            r.threads,
+            r.learner_frac,
+            if r.learner_bound {
+                "learner-bound"
+            } else {
+                "actor-bound"
+            }
+        );
+    }
+
     let mut json = String::from("{\n  \"bench\": \"batch_td\",\n");
     json.push_str(&format!(
         "  \"net\": \"{net_name}\",\n  \"reps\": {reps},\n  \"pool_threads\": {thread_counts:?},\n",
@@ -404,6 +527,30 @@ fn main() {
         "  \"speedup_qgemm_simd_vs_blocked\": {},\n",
         qgemm_speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
     ));
+    json.push_str(&format!(
+        "  \"speedup_train_parallel_vs_run_vec\": {},\n",
+        train_speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
+    ));
+    json.push_str("  \"train_regimes\": [\n");
+    for (i, r) in regimes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \
+             \"threads\": {}, \"fleets\": {}, \"learner_frac\": {:.3}, \"regime\": \"{}\"}}{}\n",
+            r.topology,
+            r.backend,
+            r.mode,
+            r.threads,
+            r.fleets,
+            r.learner_frac,
+            if r.learner_bound {
+                "learner-bound"
+            } else {
+                "actor-bound"
+            },
+            if i + 1 == regimes.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"speedup_threaded_batched32_vs_blocked_batched32\": {");
     for (i, (t, s)) in multicore.iter().enumerate() {
         json.push_str(&format!(

@@ -120,7 +120,7 @@ fn main() {
     // bench fixtures so the serving cells measure the same frames.
     let obs: Vec<Tensor> = batch_td_transitions(32, spec.input_shape[1])
         .into_iter()
-        .map(|t| t.state)
+        .map(|t| Arc::try_unwrap(t.state).unwrap_or_else(|a| (*a).clone()))
         .collect();
     let net = Arc::new(batch_td_qnet(&spec, backend));
 

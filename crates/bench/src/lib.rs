@@ -290,13 +290,36 @@ pub fn batch_td_transitions(n: usize, hw: usize) -> Vec<mramrl_rl::Transition> {
     };
     (0..n)
         .map(|i| mramrl_rl::Transition {
-            state: mramrl_nn::Tensor::from_vec(&[1, hw, hw], fill(hw * hw, i as u32)),
+            state: std::sync::Arc::new(mramrl_nn::Tensor::from_vec(
+                &[1, hw, hw],
+                fill(hw * hw, i as u32),
+            )),
             action: i % 5,
             reward: 0.1 * (i % 7) as f32 - 0.2,
-            next_state: mramrl_nn::Tensor::from_vec(&[1, hw, hw], fill(hw * hw, (i + 1000) as u32)),
+            next_state: std::sync::Arc::new(mramrl_nn::Tensor::from_vec(
+                &[1, hw, hw],
+                fill(hw * hw, (i + 1000) as u32),
+            )),
             terminal: i % 11 == 0,
         })
         .collect()
+}
+
+/// Rollout fleets for the train-throughput cells: `n` fleets × `k`
+/// lanes of deterministic `hw`×`hw`-camera indoor worlds, flat-seeded
+/// like `Trainer::build_fleets` so every topology-under-test steps the
+/// identical lane set.
+pub fn train_bench_fleets(hw: usize, n: usize, k: usize) -> Vec<mramrl_env::VecEnv> {
+    let envs: Vec<mramrl_env::DroneEnv> = (0..n * k)
+        .map(|i| {
+            mramrl_env::DroneEnv::new(
+                mramrl_env::EnvKind::IndoorApartment,
+                42u64.wrapping_add(i as u64),
+            )
+            .with_camera(mramrl_env::DepthCamera::new(hw, hw, 1.5, 20.0, 0.01))
+        })
+        .collect();
+    mramrl_env::VecEnv::from_envs(envs).split(n)
 }
 
 /// A [`mramrl_rl::QAgent`] on `spec` with `backend` applied — the

@@ -155,12 +155,24 @@ fn bench_batch_json_runs_tiny() {
         "\"qgemm_conv1_shape\": [32, 363, 256]",
         "\"simd_available\"",
         "\"speedup_qgemm_simd_vs_blocked\"",
+        // The actor/learner train-throughput family: the single-fleet
+        // baseline, the parallel cells, and the regime accounting.
+        "\"mode\": \"train-vec\"",
+        "\"mode\": \"train-parallel-f32\"",
+        "\"mode\": \"train-parallel-q8.8\"",
+        "\"speedup_train_parallel_vs_run_vec\"",
+        "\"train_regimes\"",
+        "\"learner_frac\"",
     ] {
         assert!(json.contains(needle), "JSON missing {needle}:\n{json}");
     }
     assert!(
         stdout.contains("speedup qgemm simd vs blocked"),
         "no qgemm speedup line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("speedup train-parallel vs best run_vec"),
+        "no train speedup line:\n{stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

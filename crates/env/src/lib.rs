@@ -48,7 +48,7 @@ pub use geom::{Aabb, Circle, Vec2};
 pub use render::ascii_map;
 pub use reward::RewardConfig;
 pub use scenario::{DegradationSpec, ScenarioSpec, WorldSpec, WORLD_AXIS};
-pub use vecenv::VecEnv;
+pub use vecenv::{step_fleets, VecEnv};
 pub use world::{Mover, Obstacle, World, DEFAULT_OBSTACLE_HEIGHT_M};
 pub use worlds::EnvKind;
 

@@ -160,24 +160,85 @@ impl VecEnv {
     pub fn total_episodes(&self) -> u64 {
         self.envs.iter().map(DroneEnv::episodes).sum()
     }
+
+    /// Splits the lanes into `n` equal fleets, preserving lane order
+    /// (fleet `f` gets lanes `f·(k/n) .. (f+1)·(k/n)`). This is the
+    /// canonical fleet constructor for the actor/learner trainer: build
+    /// one flat-seeded `VecEnv` of `n·k` lanes with [`VecEnv::new`] or
+    /// [`VecEnv::from_spec`] (so the global lane → seed rule stays the
+    /// single `wrapping_add` contract), then split it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or does not divide the lane count.
+    pub fn split(mut self, n: usize) -> Vec<VecEnv> {
+        assert!(
+            n > 0 && self.envs.len() % n == 0,
+            "cannot split {} lanes into {n} equal fleets",
+            self.envs.len()
+        );
+        let per = self.envs.len() / n;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rest = self.envs.split_off(per);
+            out.push(VecEnv {
+                envs: core::mem::replace(&mut self.envs, rest),
+            });
+        }
+        out
+    }
 }
 
-/// The one pooled fan-out behind [`VecEnv::step`] and
-/// [`VecEnv::reset_all`]: applies `f(lane_index, env)` to every lane,
+/// Steps every lane of every fleet in one pooled fan-out: `actions` is
+/// flat fleet-major (fleet 0's lanes, then fleet 1's, ...), and the
+/// results come back in the same order — result `f·k + j` is exactly
+/// `fleets[f].env(j).step(actions[f·k + j])`.
+///
+/// This is the actor half of `mramrl_rl::Trainer::run_parallel`: one
+/// scatter over **all** `N·K` lanes beats `N` separate
+/// [`VecEnv::step`] calls because the pool chunks the whole fleet set
+/// instead of re-synchronising at each fleet boundary. Lanes still
+/// share nothing, so the trajectories are bit-identical to stepping
+/// each fleet (or each lane) serially, at any pool size.
+///
+/// # Panics
+///
+/// Panics if `actions.len()` differs from the total lane count.
+pub fn step_fleets(fleets: &mut [VecEnv], actions: &[Action]) -> Vec<StepResult> {
+    let total: usize = fleets.iter().map(VecEnv::len).sum();
+    assert_eq!(actions.len(), total, "one action per lane across fleets");
+    let mut lanes: Vec<&mut DroneEnv> = fleets
+        .iter_mut()
+        .flat_map(|fl| fl.envs.iter_mut())
+        .collect();
+    fan_out_lanes(&mut lanes, &|i, env| env.step(actions[i]))
+}
+
+/// The one pooled fan-out behind [`VecEnv::step`], [`VecEnv::reset_all`]
+/// and [`step_fleets`]: applies `f(lane_index, env)` to every lane,
 /// scattering contiguous lane chunks over the current
 /// [`mramrl_nn::pool`] when it has more than one executor (serial sweep
 /// otherwise, and for a single lane). Lanes share nothing — each owns
 /// its world, RNG and result slot — so the output is bit-identical to
 /// the serial loop at any pool size.
-fn fan_out_lanes<T, F>(envs: &mut [DroneEnv], f: &F) -> Vec<T>
+///
+/// Generic over the lane handle (`DroneEnv` owned by a `VecEnv`, or
+/// `&mut DroneEnv` borrowed across several) so the cross-fleet scatter
+/// reuses the exact same chunking as the single-fleet one.
+fn fan_out_lanes<E, T, F>(envs: &mut [E], f: &F) -> Vec<T>
 where
+    E: core::borrow::BorrowMut<DroneEnv> + Send,
     T: Send,
     F: Fn(usize, &mut DroneEnv) -> T + Sync,
 {
     let k = envs.len();
     let threads = mramrl_nn::pool::current_threads();
     if threads <= 1 || k < 2 {
-        return envs.iter_mut().enumerate().map(|(i, e)| f(i, e)).collect();
+        return envs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| f(i, e.borrow_mut()))
+            .collect();
     }
     let mut out: Vec<Option<T>> = (0..k).map(|_| None).collect();
     let chunk = k.div_ceil(threads);
@@ -189,7 +250,7 @@ where
     {
         tasks.push(Box::new(move || {
             for (j, (env, slot)) in envs_c.iter_mut().zip(out_c).enumerate() {
-                *slot = Some(f(c * chunk + j, env));
+                *slot = Some(f(c * chunk + j, env.borrow_mut()));
             }
         }));
     }
@@ -238,6 +299,52 @@ mod tests {
         let mut venv = VecEnv::new(EnvKind::IndoorApartment, 0, 2);
         venv.reset_all();
         let _ = venv.step(&[Action::Forward]);
+    }
+
+    #[test]
+    fn split_preserves_lane_order_and_seeds() {
+        let fleets = VecEnv::new(EnvKind::OutdoorForest, 20, 6).split(3);
+        assert_eq!(fleets.len(), 3);
+        assert!(fleets.iter().all(|f| f.len() == 2));
+        // Fleet f, lane j must be the flat lane f*2 + j (seed 20 + that).
+        let mut flat = VecEnv::new(EnvKind::OutdoorForest, 20, 6);
+        let flat_obs = flat.reset_all();
+        for (f, fleet) in fleets.into_iter().enumerate() {
+            let mut fleet = fleet;
+            let obs = fleet.reset_all();
+            for (j, o) in obs.iter().enumerate() {
+                assert_eq!(o, &flat_obs[f * 2 + j], "fleet {f} lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal fleets")]
+    fn split_rejects_uneven_fleets() {
+        let _ = VecEnv::new(EnvKind::IndoorApartment, 0, 5).split(2);
+    }
+
+    #[test]
+    fn step_fleets_matches_per_fleet_stepping() {
+        let mut fleets = VecEnv::new(EnvKind::IndoorApartment, 9, 4).split(2);
+        let mut reference = VecEnv::new(EnvKind::IndoorApartment, 9, 4).split(2);
+        for fl in fleets.iter_mut().chain(reference.iter_mut()) {
+            fl.reset_all();
+        }
+        for step in 0..15 {
+            let actions: Vec<Action> = (0..4).map(|i| Action::from_index((i + step) % 5)).collect();
+            let fused = step_fleets(&mut fleets, &actions);
+            let mut serial = Vec::new();
+            serial.extend(reference[0].step(&actions[..2]));
+            serial.extend(reference[1].step(&actions[2..]));
+            assert_eq!(fused, serial, "step {step}");
+            for (lane, r) in fused.iter().enumerate() {
+                if r.crashed {
+                    let (f, j) = (lane / 2, lane % 2);
+                    assert_eq!(fleets[f].reset(j), reference[f].reset(j));
+                }
+            }
+        }
     }
 
     #[test]

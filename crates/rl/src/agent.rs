@@ -269,6 +269,29 @@ impl QAgent {
         }
     }
 
+    /// [`QAgent::q_values_batch`] into a caller-owned output tensor —
+    /// the rollout hot path's form: `out`'s allocation is reused
+    /// whenever its volume already matches (see [`Tensor::copy_from`]),
+    /// so steady-state acting allocates nothing.
+    pub fn q_values_batch_into(&mut self, obs: &Tensor, out: &mut Tensor) {
+        match self.acting {
+            ActingPrecision::Float32 => {
+                let Self { net, ws, .. } = self;
+                out.copy_from(net.forward_batch(obs, ws));
+            }
+            ActingPrecision::FixedQ8_8 => {
+                self.quantized_snapshot();
+                let Self { qsnap, qws, .. } = self;
+                out.copy_from(
+                    qsnap
+                        .as_ref()
+                        .expect("ensured above")
+                        .q_values_batch(obs, qws),
+                );
+            }
+        }
+    }
+
     /// Greedy action per sample for a batch of observations, on the
     /// selected acting datapath (the deployment-mode batched act: a
     /// `VecEnv` fleet choosing actions through the quantised net).
@@ -415,14 +438,20 @@ impl QAgent {
     }
 
     /// Applies the accumulated gradients (one training-iteration weight
-    /// update) and advances the target-sync counter.
-    pub fn apply_update(&mut self, sgd: &Sgd, batch_size: usize, target_sync: u64) {
+    /// update) and advances the target-sync counter. Returns `true` when
+    /// this update crossed the sync period and copied the online weights
+    /// into the target network — the learner's natural publish point
+    /// (see `LearnerHook::on_target_sync` in the trainer).
+    pub fn apply_update(&mut self, sgd: &Sgd, batch_size: usize, target_sync: u64) -> bool {
         self.net.apply_sgd(sgd, batch_size);
         // Online weights changed: a Q8.8 acting snapshot is stale now.
         self.invalidate_quantized();
         self.steps_since_sync += 1;
         if self.steps_since_sync >= target_sync {
             self.sync_target();
+            true
+        } else {
+            false
         }
     }
 
@@ -464,10 +493,10 @@ mod tests {
 
     fn transition(r: f32, terminal: bool) -> Transition {
         Transition {
-            state: Tensor::filled(&[1, 8, 8], 0.4),
+            state: std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.4)),
             action: 2,
             reward: r,
-            next_state: Tensor::filled(&[1, 8, 8], 0.6),
+            next_state: std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.6)),
             terminal,
         }
     }
@@ -556,8 +585,9 @@ mod tests {
             let ts: Vec<Transition> = (0..4)
                 .map(|i| {
                     let mut t = transition(0.1 * i as f32, i == 3);
-                    t.state = Tensor::filled(&[1, 8, 8], 0.1 + 0.2 * i as f32);
-                    t.next_state = Tensor::filled(&[1, 8, 8], 0.9 - 0.2 * i as f32);
+                    t.state = std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.1 + 0.2 * i as f32));
+                    t.next_state =
+                        std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.9 - 0.2 * i as f32));
                     t.action = i % 5;
                     t
                 })

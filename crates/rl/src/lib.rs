@@ -18,7 +18,12 @@
 //! * deployment-mode acting ([`ActingPrecision::FixedQ8_8`]): action
 //!   selection through a batched Q8.8 snapshot of the online network —
 //!   the 16-bit datapath the silicon flies with (`docs/fixed_point.md`)
-//!   — while TD training stays float.
+//!   — while TD training stays float;
+//! * the actor/learner training architecture ([`Trainer::run_parallel`]):
+//!   N rollout fleets feeding a [`ShardedReplay`] (one shard per fleet)
+//!   and one batched learner on a pinned deterministic schedule —
+//!   bit-identical to the serial interleaving at any pool size
+//!   (`docs/training.md`).
 //!
 //! # Examples
 //!
@@ -47,8 +52,11 @@ pub use experiment::{EnvRun, Fig10Experiment, TransferCache};
 pub use metrics::{MovingAverage, SafeFlightTracker};
 pub use mramrl_nn::Topology;
 pub use policy::EpsilonSchedule;
-pub use replay::{ReplayBuffer, Transition, TransitionBatch};
-pub use trainer::{evaluate, evaluate_vec, EvalResult, TrainLog, Trainer, TrainerConfig};
+pub use replay::{ReplayBuffer, ShardedReplay, Transition, TransitionBatch};
+pub use trainer::{
+    evaluate, evaluate_vec, EvalResult, LearnerHook, ParallelStats, TrainLog, Trainer,
+    TrainerConfig,
+};
 
 #[cfg(test)]
 mod tests {

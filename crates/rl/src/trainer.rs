@@ -1,35 +1,58 @@
 //! The online training loop (TL phase and deployment phase share it).
 //!
-//! Two drivers share the configuration: [`Trainer::run`] steps one
+//! Three drivers share the configuration: [`Trainer::run`] steps one
 //! [`DroneEnv`] serially (the paper's §V "one image at a time" platform
-//! model), while [`Trainer::run_vec`] steps a [`VecEnv`] of `K` lanes and
-//! feeds the networks whole observation batches — same Q-learning, every
-//! hot pass batched ([`QAgent::q_values_batch`],
-//! [`QAgent::accumulate_td_batch`]).
+//! model), [`Trainer::run_vec`] steps a [`VecEnv`] of `K` lanes with
+//! every hot pass batched, and [`Trainer::run_parallel`] is the
+//! actor/learner architecture: `N` rollout fleets (each a `VecEnv`,
+//! optionally acting in [`ActingPrecision::FixedQ8_8`] deployment
+//! precision from a periodically refreshed snapshot) feed a
+//! [`ShardedReplay`] — one shard per fleet, no cross-fleet coordination
+//! on the push path — and one batched learner drains the shards on a
+//! **deterministic schedule**: a fixed-order transition merge and a
+//! pinned sampling/update interleaving, the same bit-identity
+//! discipline as the pool combinators. `run_vec` *is* the one-fleet
+//! case of that schedule, so the whole family reduces to one engine.
+//!
+//! The pinned schedule (see `docs/training.md` for the proof sketch):
+//! per round, the learner first drains the previous round's replay
+//! state (sample indices are pre-drawn from the single RNG), then the
+//! actors run one fused `N·K`-wide forward, choose ε-greedy actions
+//! fleet-major, step all lanes in one pooled scatter and push
+//! fleet-major into their shards. This is a *rotation* of the classic
+//! act-then-learn round, so `run_parallel(1 fleet)` is bit-identical to
+//! `run_vec`, which is bit-identical (at `K = 1`) to `run` — and the
+//! merged shard order equals the serial interleaving's single buffer.
 //!
 //! With `TrainerConfig::backend = GemmBackend::Threaded` and more than
 //! one executor on the persistent `mramrl_nn::pool`, the whole vec-step
-//! runs multi-core: lane rendering fans out inside [`VecEnv::step`],
-//! the TD batch's per-sample conv passes and GEMM row bands fan out
-//! inside the layers, and the agent overlaps its independent
-//! target/online forwards — all bit-identical to the serial schedule at
-//! any `NN_POOL_THREADS` (see `docs/threading.md`).
+//! runs multi-core: lane rendering fans out inside [`VecEnv::step`] /
+//! [`mramrl_env::step_fleets`], the TD batch's per-sample conv passes
+//! and GEMM row bands fan out inside the layers, and the agent overlaps
+//! its independent target/online forwards. In deployment-precision
+//! acting the trainer additionally overlaps the learner's float update
+//! with the actors' Q8.8 forward (disjoint nets — the snapshot is
+//! frozen), all bit-identical to the serial schedule at any
+//! `NN_POOL_THREADS` (see `docs/threading.md`).
 
-use mramrl_env::{Action, DroneEnv, EnvKind, Image, VecEnv};
-use mramrl_nn::{GemmBackend, Sgd, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mramrl_env::{step_fleets, Action, DroneEnv, EnvKind, Image, ScenarioSpec, VecEnv};
+use mramrl_nn::{GemmBackend, QWorkspace, QuantizedNet, Sgd, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::agent::QAgent;
+use crate::agent::{ActingPrecision, QAgent};
 use crate::metrics::{MovingAverage, SafeFlightTracker};
 use crate::policy::EpsilonSchedule;
-use crate::replay::{ReplayBuffer, Transition};
+use crate::replay::{ReplayBuffer, ShardedReplay, Transition, TransitionBatch};
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainerConfig {
     /// Total environment steps (= training images, the paper's
-    /// "iterations").
+    /// "iterations"), summed across all lanes of all fleets.
     pub iters: u64,
     /// Images per weight update (the paper's batch size N, Fig. 3(b)).
     pub batch_size: usize,
@@ -41,7 +64,9 @@ pub struct TrainerConfig {
     pub gamma: f32,
     /// Exploration schedule.
     pub epsilon: EpsilonSchedule,
-    /// Replay capacity (transitions).
+    /// Replay capacity (transitions, total across shards; the sharded
+    /// drivers round each shard down to whole rounds — see
+    /// [`ShardedReplay::for_fleets`]).
     pub replay_capacity: usize,
     /// Target-network sync period, in weight updates.
     pub target_sync: u64,
@@ -55,11 +80,26 @@ pub struct TrainerConfig {
     /// and target nets). Defaults to [`mramrl_nn::backend::default_backend`],
     /// i.e. the `NN_GEMM_BACKEND` env knob.
     pub backend: GemmBackend,
-    /// Environment lanes for the vectorized driver:
-    /// [`Trainer::build_vec_env`] sizes its fleet from this, and
-    /// [`Trainer::run_vec`] builds its TD batches one transition per
-    /// lane per step. The serial [`Trainer::run`] ignores it. Default 1.
+    /// Environment lanes **per fleet** for the vectorized drivers:
+    /// [`Trainer::build_vec_env`] and [`Trainer::build_fleets`] size
+    /// their fleets from this, and the learner's TD batches are one
+    /// transition per lane per round. The serial [`Trainer::run`]
+    /// ignores it. Default 1.
     pub num_envs: usize,
+    /// Datapath the rollout actors of [`Trainer::run_parallel`] select
+    /// actions on. [`ActingPrecision::Float32`] acts on the live online
+    /// network; [`ActingPrecision::FixedQ8_8`] acts through a frozen
+    /// Q8.8 snapshot refreshed every [`TrainerConfig::snapshot_refresh`]
+    /// weight updates — the software mirror of a drone fleet running the
+    /// 16-bit silicon datapath while a basestation learner trains in
+    /// float. TD math is always float. Default `Float32` (which keeps
+    /// `run_vec`'s historical trajectories bit-for-bit).
+    pub actor_precision: ActingPrecision,
+    /// Deployment-precision actors re-snapshot the online network every
+    /// this many weight updates (ignored under `Float32` acting). The
+    /// refresh happens at the learner's phase boundary, so it is part of
+    /// the pinned schedule — determinism stays seed-only. Default 16.
+    pub snapshot_refresh: u64,
 }
 
 impl TrainerConfig {
@@ -82,6 +122,8 @@ impl TrainerConfig {
             seed,
             backend: mramrl_nn::backend::default_backend(),
             num_envs: 1,
+            actor_precision: ActingPrecision::Float32,
+            snapshot_refresh: 16,
         }
     }
 
@@ -122,6 +164,176 @@ pub struct TrainLog {
     pub final_reward: f32,
 }
 
+/// Wall-clock and allocation accounting for one
+/// [`Trainer::run_parallel_timed`] run — the instrument behind the
+/// learner-bound vs actor-bound regime cells in `BENCH_batch.json`.
+///
+/// Under the overlapped deployment-precision schedule the phase times
+/// are measured per role (inside each closure), so `learner_ns` vs
+/// `actor_ns + env_ns` compares how much work each side did — the
+/// bound-ness signal — rather than partitioning wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Nanoseconds in the actors' action-selection (batched Q forward +
+    /// ε-greedy choice).
+    pub actor_ns: u64,
+    /// Nanoseconds stepping environments (pooled lane scatter).
+    pub env_ns: u64,
+    /// Nanoseconds in the learner (batch fill, TD accumulation, weight
+    /// updates, target syncs, hooks excluded).
+    pub learner_ns: u64,
+    /// Environment transitions generated (= iterations run, rounded up
+    /// to whole rounds).
+    pub transitions: u64,
+    /// Weight updates applied.
+    pub updates: u64,
+    /// Times the deployment-precision actor snapshot was refreshed.
+    pub snapshot_refreshes: u64,
+    /// Fresh frame-buffer allocations in the rollout path. Bounded by
+    /// the replay high-water mark: once the frame pool warms up, evicted
+    /// transitions recycle their buffers and this stops growing — the
+    /// rollout analogue of `Workspace::footprint()` stability, pinned by
+    /// the footprint test.
+    pub frame_allocs: u64,
+}
+
+/// Observer of the learner's target-sync boundaries in
+/// [`Trainer::run_parallel_hooked`].
+///
+/// The hook fires immediately after a weight update crossed
+/// `target_sync` and copied the online weights into the target network
+/// — the natural publish point for serving layers
+/// (`mramrl_serve::LearnerPublisher` pushes
+/// [`QAgent::quantized_snapshot_shared`] into a `SnapshotStore` here).
+/// It runs at the pinned phase boundary, outside any overlap, and must
+/// not mutate weights if bit-identity with the unhooked run is to hold
+/// (reading, or building the agent's cached Q8.8 snapshot, is fine).
+pub trait LearnerHook {
+    /// Called after update number `updates` synced the target network.
+    fn on_target_sync(&mut self, agent: &mut QAgent, updates: u64);
+}
+
+/// The no-op hook: plain training.
+impl LearnerHook for () {
+    fn on_target_sync(&mut self, _agent: &mut QAgent, _updates: u64) {}
+}
+
+/// Caller-owned rollout workspace: the actor side's persistent buffers.
+///
+/// Kills the per-vec-step allocations the old `run_vec` made
+/// (`stack_observations` rebuilt the `[K,C,H,W]` batch and `to_tensor`
+/// heap-allocated one frame per lane per step): observations are written
+/// in place into one batched tensor, Q-values land in a reused output,
+/// and frame buffers cycle through a free pool fed by replay evictions
+/// (`Arc::try_unwrap` on the evicted transition's frames).
+struct RolloutWs {
+    /// Batched observations `[lanes, 1, H, W]`, overwritten in place.
+    obs: Tensor,
+    /// Batched Q-values `[lanes, actions]`, overwritten in place.
+    q: Tensor,
+    /// Per-lane handle to the frame currently in `obs` (becomes the next
+    /// transition's `state`).
+    prev: Vec<Arc<Tensor>>,
+    /// Recycled frame buffers.
+    free: Vec<Tensor>,
+    frame_shape: [usize; 3],
+    frame_allocs: u64,
+}
+
+impl RolloutWs {
+    /// Resets every fleet and builds the workspace from the first
+    /// observations (all lanes must share one camera geometry).
+    fn init(fleets: &mut [VecEnv]) -> Self {
+        let mut first: Vec<Image> = Vec::new();
+        for fl in fleets.iter_mut() {
+            first.extend(fl.reset_all());
+        }
+        let lanes = first.len();
+        let (h, w) = (first[0].height(), first[0].width());
+        let mut ws = Self {
+            obs: Tensor::zeros(&[lanes, 1, h, w]),
+            q: Tensor::zeros(&[1]),
+            prev: Vec::with_capacity(lanes),
+            free: Vec::new(),
+            frame_shape: [1, h, w],
+            frame_allocs: 0,
+        };
+        for (lane, img) in first.iter().enumerate() {
+            ws.obs.sample_mut(lane).copy_from_slice(img.data());
+            let frame = ws.frame(img.data());
+            ws.prev.push(frame);
+        }
+        ws
+    }
+
+    /// A shared frame holding `data`: reuses a pooled buffer when one is
+    /// free, allocates (and counts) otherwise.
+    fn frame(&mut self, data: &[f32]) -> Arc<Tensor> {
+        let mut t = match self.free.pop() {
+            Some(t) => t,
+            None => {
+                self.frame_allocs += 1;
+                Tensor::zeros(&self.frame_shape)
+            }
+        };
+        t.data_mut().copy_from_slice(data);
+        Arc::new(t)
+    }
+
+    /// Returns an evicted transition's frames to the pool (each frame
+    /// comes back once its last sharing transition is evicted).
+    fn recycle(&mut self, t: Transition) {
+        for arc in [t.state, t.next_state] {
+            if let Ok(tensor) = Arc::try_unwrap(arc) {
+                self.free.push(tensor);
+            }
+        }
+    }
+}
+
+/// The learner phase of the pinned schedule: fill the TD batch from the
+/// merged shard view at the pre-drawn `idx`, accumulate, and apply a
+/// weight update when `batch_size` gradients have built up. Returns
+/// `true` when that update also synced the target network. Consumes no
+/// RNG (the indices are drawn by the caller, keeping the single stream
+/// valid under overlap) and is a no-op while the replay is empty
+/// (`idx` empty).
+#[allow(clippy::too_many_arguments)]
+fn learner_phase(
+    agent: &mut QAgent,
+    sgd: &Sgd,
+    cfg: &TrainerConfig,
+    replay: &ShardedReplay,
+    idx: &[usize],
+    batch: &mut Option<TransitionBatch>,
+    accumulated: &mut usize,
+    updates: &mut u64,
+) -> bool {
+    if idx.is_empty() {
+        return false;
+    }
+    let b = batch.get_or_insert_with(|| {
+        let shape = replay
+            .merged_get(0)
+            .expect("non-empty replay")
+            .state
+            .shape()
+            .to_vec();
+        TransitionBatch::zeros(idx.len(), &shape)
+    });
+    replay.fill_batch(idx, b);
+    agent.accumulate_td_batch(b);
+    *accumulated += idx.len();
+    if *accumulated >= cfg.batch_size {
+        let synced = agent.apply_update(sgd, *accumulated, cfg.target_sync);
+        *accumulated = 0;
+        *updates += 1;
+        synced
+    } else {
+        false
+    }
+}
+
 /// Runs the Q-learning loop of §II on a [`DroneEnv`].
 #[derive(Debug, Clone, Copy)]
 pub struct Trainer {
@@ -133,9 +345,10 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if `iters` or `batch_size` is zero.
+    /// Panics if `iters`, `batch_size` or `snapshot_refresh` is zero.
     pub fn new(cfg: TrainerConfig) -> Self {
         assert!(cfg.iters > 0 && cfg.batch_size > 0, "empty training run");
+        assert!(cfg.snapshot_refresh > 0, "snapshot refresh period is zero");
         Self { cfg }
     }
 
@@ -154,6 +367,34 @@ impl Trainer {
     /// Panics if `num_envs` is zero.
     pub fn build_vec_env(&self, kind: EnvKind) -> VecEnv {
         VecEnv::new(kind, self.cfg.seed, self.cfg.num_envs)
+    }
+
+    /// Builds `n` rollout fleets of [`TrainerConfig::num_envs`] lanes
+    /// each for [`Trainer::run_parallel`]: one flat-seeded `VecEnv` of
+    /// `n·num_envs` lanes (global lane `i` seeded
+    /// `cfg.seed.wrapping_add(i)`, the same rule as
+    /// [`Trainer::build_vec_env`]) split fleet-major, so fleet `f` owns
+    /// global lanes `f·num_envs ..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `num_envs` is zero.
+    pub fn build_fleets(&self, kind: EnvKind, n: usize) -> Vec<VecEnv> {
+        assert!(n > 0, "need at least one fleet");
+        VecEnv::new(kind, self.cfg.seed, self.cfg.num_envs * n).split(n)
+    }
+
+    /// [`Trainer::build_fleets`] over a [`ScenarioSpec`]: global lane
+    /// `i` is seeded `spec.lane_seed(i)` (the scenario's own rule —
+    /// `cfg.seed` is not consulted), so the fleet set covers the
+    /// scenario's lane axis exactly as one wide `VecEnv` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `num_envs` is zero.
+    pub fn build_fleets_from_spec(&self, spec: &ScenarioSpec, n: usize) -> Vec<VecEnv> {
+        assert!(n > 0, "need at least one fleet");
+        VecEnv::from_spec(spec, self.cfg.num_envs * n).split(n)
     }
 
     /// Runs the loop: act ε-greedily, record the transition, accumulate
@@ -176,22 +417,24 @@ impl Trainer {
         let mut accumulated = 0usize;
         let mut next_log = 0u64;
 
-        let mut obs = to_tensor(&env.reset());
+        let mut obs = Arc::new(to_tensor(&env.reset()));
         for iter in 0..cfg.iters {
             let q = agent.q_values(&obs);
             let a = cfg.epsilon.choose(&q, iter, &mut rng);
             let step = env.step(Action::from_index(a));
-            let next = to_tensor(&step.observation);
+            let next = Arc::new(to_tensor(&step.observation));
 
             cum_reward.push(step.reward);
             episode_reward_sum += step.reward;
             episode_actions += 1;
 
+            // Frames are shared, not copied: this transition's
+            // `next_state` and the next one's `state` are the same Arc.
             replay.push(Transition {
-                state: obs,
+                state: core::mem::replace(&mut obs, Arc::clone(&next)),
                 action: a,
                 reward: step.reward,
-                next_state: next.clone(),
+                next_state: next,
                 terminal: step.crashed,
             });
 
@@ -211,9 +454,7 @@ impl Trainer {
                 sfd.record_episode(env.episode_distance());
                 episode_reward_sum = 0.0;
                 episode_actions = 0;
-                obs = to_tensor(&env.reset());
-            } else {
-                obs = next;
+                obs = Arc::new(to_tensor(&env.reset()));
             }
 
             // Exactly one curve point per `log_every` window: log the
@@ -261,73 +502,264 @@ impl Trainer {
     /// backend) every batched network pass parallelise on the
     /// persistent `mramrl_nn::pool` without changing a single bit of
     /// the trajectory — determinism stays seed-only.
+    ///
+    /// This *is* [`Trainer::run_parallel`] with one fleet (the engines
+    /// are literally the same function), so its trajectories are pinned
+    /// both downward (`K = 1` ≡ [`Trainer::run`]) and upward (the
+    /// one-fleet case of the actor/learner schedule).
     pub fn run_vec(&self, agent: &mut QAgent, venv: &mut VecEnv) -> TrainLog {
+        self.run_parallel_core(agent, core::slice::from_mut(venv), &mut ())
+            .0
+    }
+
+    /// The actor/learner driver: `fleets.len()` rollout fleets feed a
+    /// [`ShardedReplay`] (shard `f` is fleet `f`'s private push target)
+    /// and one batched learner drains the merged view on the pinned
+    /// schedule. Build the fleets with [`Trainer::build_fleets`].
+    ///
+    /// **Determinism contract**: the result (TrainLog curve bits and
+    /// final weights) is identical to the *pinned serial interleaving*
+    /// of the same fleets — one round-robin loop, single replay buffer,
+    /// single RNG — documented in `docs/training.md` and executed by the
+    /// reference driver in the `actor_learner` test suite, on every
+    /// bitwise backend at any `NN_POOL_THREADS`. One fleet reduces to
+    /// [`Trainer::run_vec`] exactly.
+    ///
+    /// `iters` counts environment steps across **all** lanes of all
+    /// fleets, so doubling the fleet count halves the rounds, not the
+    /// work. With [`TrainerConfig::actor_precision`] =
+    /// [`ActingPrecision::FixedQ8_8`] the actors run the integer
+    /// datapath from a frozen snapshot (refreshed every
+    /// [`TrainerConfig::snapshot_refresh`] updates at the phase
+    /// boundary) and the learner's float update overlaps the actors'
+    /// forward on the pool — a pure scheduling choice, same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleets` is empty or the fleets have unequal widths.
+    pub fn run_parallel(&self, agent: &mut QAgent, fleets: &mut [VecEnv]) -> TrainLog {
+        self.run_parallel_core(agent, fleets, &mut ()).0
+    }
+
+    /// [`Trainer::run_parallel`] with a [`LearnerHook`] observing every
+    /// target sync — the learner → serving handoff
+    /// (`mramrl_serve::LearnerPublisher` publishes the quantized
+    /// snapshot to a `SnapshotStore` here, so served decisions track the
+    /// newest generation mid-training).
+    pub fn run_parallel_hooked(
+        &self,
+        agent: &mut QAgent,
+        fleets: &mut [VecEnv],
+        hook: &mut dyn LearnerHook,
+    ) -> TrainLog {
+        self.run_parallel_core(agent, fleets, hook).0
+    }
+
+    /// [`Trainer::run_parallel_hooked`] returning phase accounting —
+    /// the bench harness's entry point for the learner-bound vs
+    /// actor-bound regime cells.
+    pub fn run_parallel_timed(
+        &self,
+        agent: &mut QAgent,
+        fleets: &mut [VecEnv],
+        hook: &mut dyn LearnerHook,
+    ) -> (TrainLog, ParallelStats) {
+        self.run_parallel_core(agent, fleets, hook)
+    }
+
+    /// The one engine behind `run_vec` / `run_parallel*`: the rotated
+    /// act/learn schedule (learner drains the previous round, then the
+    /// actors extend the replay), which makes the learner phase
+    /// overlappable with the actors' forward in deployment precision
+    /// while staying bit-identical to the classic act-then-learn round
+    /// — the first learner phase of a run is empty, and one trailing
+    /// learner phase after the loop completes the rotation.
+    fn run_parallel_core(
+        &self,
+        agent: &mut QAgent,
+        fleets: &mut [VecEnv],
+        hook: &mut dyn LearnerHook,
+    ) -> (TrainLog, ParallelStats) {
         let cfg = &self.cfg;
+        let n = fleets.len();
+        assert!(n > 0, "need at least one fleet");
+        let k = fleets[0].len();
+        assert!(
+            fleets.iter().all(|f| f.len() == k),
+            "fleets must have equal lane counts"
+        );
+        let lanes = n * k;
+
         agent.set_gemm_backend(cfg.backend);
-        let k = venv.len();
+        // The trainer owns the acting datapath: TD math runs float on
+        // the live net; `cfg.actor_precision` selects the actors'
+        // forward (a frozen trainer-held snapshot in Q8.8 mode — the
+        // agent's own lazily-invalidated snapshot machinery would
+        // re-quantize after every update).
+        agent.set_acting_precision(ActingPrecision::Float32);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
         let sgd = Sgd::new(cfg.lr).with_grad_clip(cfg.grad_clip);
-        let mut replay = ReplayBuffer::new(cfg.replay_capacity);
+        let mut replay = ShardedReplay::for_fleets(cfg.replay_capacity, n, k);
 
         let mut cum_reward = MovingAverage::new(cfg.metrics_window);
         let mut return_ma = MovingAverage::new((cfg.metrics_window / 64).max(4));
         let mut sfd = SafeFlightTracker::new();
         let mut curve = Vec::new();
 
-        let mut ep_reward = vec![0.0f32; k];
-        let mut ep_actions = vec![0u64; k];
+        let mut ep_reward = vec![0.0f32; lanes];
+        let mut ep_actions = vec![0u64; lanes];
         let mut accumulated = 0usize;
+        let mut updates = 0u64;
+        let mut last_refresh = 0u64;
         let mut next_log = 0u64;
+        let mut stats = ParallelStats::default();
 
-        let mut obs: Vec<Tensor> = venv.reset_all().iter().map(to_tensor).collect();
+        let mut ws = RolloutWs::init(fleets);
+        let mut actor_snap: Option<Arc<QuantizedNet>> = match cfg.actor_precision {
+            ActingPrecision::Float32 => None,
+            ActingPrecision::FixedQ8_8 => Some(agent.quantized_snapshot_shared()),
+        };
+        let mut qws = QWorkspace::new();
+
+        let mut batch: Option<TransitionBatch> = None;
+        let mut idx: Vec<usize> = Vec::with_capacity(lanes);
+        let mut actions: Vec<usize> = vec![0; lanes];
+        let mut act: Vec<Action> = Vec::with_capacity(lanes);
+
         let mut iter = 0u64;
         while iter < cfg.iters {
-            let q = agent.q_values_batch(&stack_observations(&obs));
-            let actions: Vec<usize> = (0..k)
-                .map(|i| cfg.epsilon.choose_slice(q.sample(i), iter, &mut rng))
-                .collect();
-            let act: Vec<Action> = actions.iter().map(|&a| Action::from_index(a)).collect();
-            let steps = venv.step(&act);
+            // 1. Pre-draw this learner phase's sample indices — they
+            //    depend only on the merged length, so drawing them before
+            //    the (possibly overlapped) phase keeps the single RNG
+            //    stream identical to the serial interleaving's.
+            replay.sample_indices(&mut rng, lanes, &mut idx);
 
-            for (i, step) in steps.iter().enumerate() {
-                let next = to_tensor(&step.observation);
+            // 2. Learner phase (drains the previous rounds' replay) and
+            //    the actors' fused [lanes]-wide Q forward. In Q8.8
+            //    acting the two touch disjoint nets, so they overlap on
+            //    the pool — except on the Threaded backend, where each
+            //    pass already fans out across its batch axis and the
+            //    2-way overlap would pin each side to one worker (the
+            //    same heuristic as `QAgent::accumulate_td_batch`).
+            //    Either schedule produces identical bits.
+            let synced = match &actor_snap {
+                Some(snap) => {
+                    let sequential = cfg.backend == GemmBackend::Threaded
+                        || mramrl_nn::pool::current_threads() <= 1;
+                    let mut learner = || {
+                        let t0 = Instant::now();
+                        let s = learner_phase(
+                            agent,
+                            &sgd,
+                            cfg,
+                            &replay,
+                            &idx,
+                            &mut batch,
+                            &mut accumulated,
+                            &mut updates,
+                        );
+                        (s, t0.elapsed().as_nanos() as u64)
+                    };
+                    let snap = Arc::clone(snap);
+                    let (ws, qws) = (&mut ws, &mut qws);
+                    let mut actor = move || {
+                        let t0 = Instant::now();
+                        ws.q.copy_from(snap.q_values_batch(&ws.obs, qws));
+                        t0.elapsed().as_nanos() as u64
+                    };
+                    let ((synced, learner_ns), actor_ns) = if sequential {
+                        (learner(), actor())
+                    } else {
+                        mramrl_nn::pool::join2(learner, actor)
+                    };
+                    stats.learner_ns += learner_ns;
+                    stats.actor_ns += actor_ns;
+                    synced
+                }
+                None => {
+                    let t0 = Instant::now();
+                    let synced = learner_phase(
+                        agent,
+                        &sgd,
+                        cfg,
+                        &replay,
+                        &idx,
+                        &mut batch,
+                        &mut accumulated,
+                        &mut updates,
+                    );
+                    stats.learner_ns += t0.elapsed().as_nanos() as u64;
+                    let t0 = Instant::now();
+                    agent.q_values_batch_into(&ws.obs, &mut ws.q);
+                    stats.actor_ns += t0.elapsed().as_nanos() as u64;
+                    synced
+                }
+            };
+            if synced {
+                hook.on_target_sync(agent, updates);
+            }
+            // Snapshot refresh on its update cadence, at the phase
+            // boundary (the refreshed snapshot is first used next
+            // round) — part of the pinned schedule.
+            if actor_snap.is_some() && updates.saturating_sub(last_refresh) >= cfg.snapshot_refresh
+            {
+                actor_snap = Some(agent.quantized_snapshot_shared());
+                last_refresh = updates;
+                stats.snapshot_refreshes += 1;
+            }
+
+            // 3. ε-greedy selection, fleet-major (one RNG draw per lane,
+            //    plus one more per exploring lane — the serial order).
+            let t0 = Instant::now();
+            for (lane, a) in actions.iter_mut().enumerate().take(lanes) {
+                *a = cfg.epsilon.choose_slice(ws.q.sample(lane), iter, &mut rng);
+            }
+            act.clear();
+            act.extend(actions.iter().map(|&a| Action::from_index(a)));
+            stats.actor_ns += t0.elapsed().as_nanos() as u64;
+
+            // 4. Step every lane of every fleet in one pooled scatter.
+            let t0 = Instant::now();
+            let steps = step_fleets(fleets, &act);
+            stats.env_ns += t0.elapsed().as_nanos() as u64;
+
+            // 5. Metrics and shard pushes, fleet-major — fleet `f`
+            //    touches only shard `f`.
+            for (lane, step) in steps.iter().enumerate() {
+                let (f, j) = (lane / k, lane % k);
                 cum_reward.push(step.reward);
-                ep_reward[i] += step.reward;
-                ep_actions[i] += 1;
-                replay.push(Transition {
-                    state: core::mem::replace(&mut obs[i], next.clone()),
-                    action: actions[i],
+                ep_reward[lane] += step.reward;
+                ep_actions[lane] += 1;
+                let next = ws.frame(step.observation.data());
+                let transition = Transition {
+                    state: core::mem::replace(&mut ws.prev[lane], Arc::clone(&next)),
+                    action: actions[lane],
                     reward: step.reward,
                     next_state: next,
                     terminal: step.crashed,
-                });
+                };
+                if let Some(evicted) = replay.push(f, transition) {
+                    ws.recycle(evicted);
+                }
                 if step.crashed {
-                    return_ma.push(ep_reward[i] / ep_actions[i].max(1) as f32);
-                    sfd.record_episode(venv.episode_distance(i));
-                    ep_reward[i] = 0.0;
-                    ep_actions[i] = 0;
-                    obs[i] = to_tensor(&venv.reset(i));
+                    return_ma.push(ep_reward[lane] / ep_actions[lane].max(1) as f32);
+                    sfd.record_episode(fleets[f].episode_distance(j));
+                    ep_reward[lane] = 0.0;
+                    ep_actions[lane] = 0;
+                    let img = fleets[f].reset(j);
+                    ws.prev[lane] = ws.frame(img.data());
+                    ws.obs.sample_mut(lane).copy_from_slice(img.data());
+                } else {
+                    ws.obs
+                        .sample_mut(lane)
+                        .copy_from_slice(step.observation.data());
                 }
             }
-
-            // One TD gradient per image: a K-sized replayed batch.
-            if let Some(batch) = replay.sample_as_batch(&mut rng, k) {
-                agent.accumulate_td_batch(&batch);
-                accumulated += k;
-            }
-            if accumulated >= cfg.batch_size {
-                agent.apply_update(&sgd, accumulated, cfg.target_sync);
-                accumulated = 0;
-            }
+            stats.transitions += lanes as u64;
 
             // Same cadence as `run`: exactly one curve point per
-            // `log_every` window — the first vec-step at or past each
-            // window start. (The old `iter % log_every < k` gate
-            // double-logged a window whenever `k ∤ log_every` put two
-            // vec-steps inside its first `k` iterations, and the
-            // unconditional final-step clause duplicated the last
-            // window's point; end-of-run state lives in
-            // `TrainLog::final_reward`.)
+            // `log_every` window — the first round at or past each
+            // window start.
             if iter >= next_log {
                 curve.push(CurvePoint {
                     iter,
@@ -336,24 +768,51 @@ impl Trainer {
                 });
                 next_log = (iter / cfg.log_every + 1) * cfg.log_every;
             }
-            iter += k as u64;
+            iter += lanes as u64;
         }
+        // Trailing learner phase: the rotation owes one drain of the
+        // final round's pushes (the classic schedule learns *after*
+        // acting each round).
+        replay.sample_indices(&mut rng, lanes, &mut idx);
+        let t0 = Instant::now();
+        let synced = learner_phase(
+            agent,
+            &sgd,
+            cfg,
+            &replay,
+            &idx,
+            &mut batch,
+            &mut accumulated,
+            &mut updates,
+        );
+        stats.learner_ns += t0.elapsed().as_nanos() as u64;
+        if synced {
+            hook.on_target_sync(agent, updates);
+        }
+
         // Censored final episodes still inform SFD, lane by lane.
-        for i in 0..k {
-            if venv.episode_distance(i) > 0.0 {
-                sfd.record_episode(venv.episode_distance(i));
+        for fleet in fleets.iter() {
+            for j in 0..k {
+                if fleet.episode_distance(j) > 0.0 {
+                    sfd.record_episode(fleet.episode_distance(j));
+                }
             }
         }
 
+        stats.updates = updates;
+        stats.frame_allocs = ws.frame_allocs;
         let episodes = sfd.episodes() as u64;
         let tail = (sfd.episodes() / 3).max(3);
-        TrainLog {
-            episodes,
-            sfd: sfd.tail_mean(tail),
-            sfd_overall: sfd.mean(),
-            final_reward: cum_reward.value(),
-            curve,
-        }
+        (
+            TrainLog {
+                episodes,
+                sfd: sfd.tail_mean(tail),
+                sfd_overall: sfd.mean(),
+                final_reward: cum_reward.value(),
+                curve,
+            },
+            stats,
+        )
     }
 }
 
@@ -620,7 +1079,9 @@ mod tests {
     #[test]
     fn run_vec_k1_matches_run_cadence() {
         // A 1-lane vectorized run must reproduce the serial driver's
-        // curve exactly — same iterations logged, same trajectory.
+        // curve exactly — same iterations logged, same trajectory. With
+        // run_vec now routed through the actor/learner engine, this test
+        // pins the whole rotated schedule against the serial loop.
         let mut cfg = TrainerConfig::online(50, 9);
         cfg.log_every = 7;
         let serial = {
@@ -656,5 +1117,35 @@ mod tests {
         assert!(long.log_every > short.log_every);
         let tl = TrainerConfig::transfer_learning(100, 0);
         assert!(tl.epsilon.value(0) > short.epsilon.value(0));
+    }
+
+    #[test]
+    fn run_parallel_reports_stats() {
+        let mut cfg = TrainerConfig::online(96, 3);
+        cfg.num_envs = 2;
+        let trainer = Trainer::new(cfg);
+        let mut agent = QAgent::new(&NetworkSpec::micro(16, 1, 5), 3);
+        let mut fleets =
+            mramrl_env::VecEnv::from_envs(vec![tiny_env(), tiny_env(), tiny_env(), tiny_env()])
+                .split(2);
+        let (log, stats) = trainer.run_parallel_timed(&mut agent, &mut fleets, &mut ());
+        assert!(!log.curve.is_empty());
+        assert_eq!(stats.transitions, 96);
+        assert!(stats.updates > 0);
+        assert!(stats.actor_ns > 0 && stats.env_ns > 0 && stats.learner_ns > 0);
+        assert!(stats.frame_allocs > 0);
+    }
+
+    #[test]
+    fn build_fleets_covers_flat_lane_seeds() {
+        let mut cfg = TrainerConfig::online(10, 21);
+        cfg.num_envs = 3;
+        let fleets = Trainer::new(cfg).build_fleets(EnvKind::OutdoorForest, 2);
+        assert_eq!(fleets.len(), 2);
+        assert!(fleets.iter().all(|f| f.len() == 3));
+        // Fleet 1, lane 0 must equal flat lane 3 (seed 21 + 3).
+        let mut a = fleets[1].clone();
+        let mut b = VecEnv::new(EnvKind::OutdoorForest, 21u64.wrapping_add(3), 1);
+        assert_eq!(a.reset(0), b.reset(0));
     }
 }

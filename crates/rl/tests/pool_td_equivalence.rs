@@ -30,10 +30,16 @@ fn bits(v: &[f32]) -> Vec<u32> {
 fn transitions(n: usize, hw: usize, seed: u64) -> Vec<Transition> {
     (0..n)
         .map(|i| Transition {
-            state: Tensor::from_vec(&[1, hw, hw], fill(hw * hw, seed ^ (2 * i) as u64)),
+            state: std::sync::Arc::new(Tensor::from_vec(
+                &[1, hw, hw],
+                fill(hw * hw, seed ^ (2 * i) as u64),
+            )),
             action: i % 5,
             reward: 0.1 * (i % 7) as f32 - 0.2,
-            next_state: Tensor::from_vec(&[1, hw, hw], fill(hw * hw, seed ^ (2 * i + 1) as u64)),
+            next_state: std::sync::Arc::new(Tensor::from_vec(
+                &[1, hw, hw],
+                fill(hw * hw, seed ^ (2 * i + 1) as u64),
+            )),
             terminal: i % 3 == 0,
         })
         .collect()

@@ -30,10 +30,10 @@ proptest! {
         let mut buf = ReplayBuffer::new(cap);
         for i in 0..pushes {
             buf.push(Transition {
-                state: Tensor::filled(&[1], i as f32),
+                state: std::sync::Arc::new(Tensor::filled(&[1], i as f32)),
                 action: i % 5,
                 reward: i as f32,
-                next_state: Tensor::zeros(&[1]),
+                next_state: std::sync::Arc::new(Tensor::zeros(&[1])),
                 terminal: false,
             });
             prop_assert!(buf.len() <= cap);
@@ -49,10 +49,10 @@ proptest! {
         let mut buf = ReplayBuffer::new(cap);
         for i in 0..pushes {
             buf.push(Transition {
-                state: Tensor::zeros(&[1]),
+                state: std::sync::Arc::new(Tensor::zeros(&[1])),
                 action: 0,
                 reward: i as f32,
-                next_state: Tensor::zeros(&[1]),
+                next_state: std::sync::Arc::new(Tensor::zeros(&[1])),
                 terminal: false,
             });
         }
@@ -109,10 +109,10 @@ proptest! {
         let spec = NetworkSpec::micro(8, 1, 5);
         let mut agent = QAgent::new(&spec, seed);
         let t = Transition {
-            state: Tensor::filled(&[1, 8, 8], 0.5),
+            state: std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.5)),
             action: 1,
             reward: r,
-            next_state: Tensor::filled(&[1, 8, 8], 0.9),
+            next_state: std::sync::Arc::new(Tensor::filled(&[1, 8, 8], 0.9)),
             terminal: true,
         };
         let q = agent.q_values(&t.state).data()[1];

@@ -112,10 +112,10 @@ fn snapshot_refreshes_after_weight_update() {
     // Push the output layer hard enough that Q8.8 values must move.
     let sgd = mramrl_nn::Sgd::new(0.5);
     let t = mramrl_rl::Transition {
-        state: Tensor::filled(&[1, 16, 16], 0.4),
+        state: std::sync::Arc::new(Tensor::filled(&[1, 16, 16], 0.4)),
         action: 2,
         reward: 5.0,
-        next_state: Tensor::filled(&[1, 16, 16], 0.6),
+        next_state: std::sync::Arc::new(Tensor::filled(&[1, 16, 16], 0.6)),
         terminal: true,
     };
     for _ in 0..10 {

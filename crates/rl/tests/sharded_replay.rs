@@ -1,0 +1,117 @@
+//! Property: a [`ShardedReplay`] pushed fleet-major is indistinguishable
+//! from the pinned serial interleaving's **single** buffer — same
+//! contents in the same merged order, same eviction, and the same
+//! sampled sequence from the same RNG — across lane widths {1, 2, 7}
+//! and shard counts {1, 2, 4}.
+
+use std::sync::Arc;
+
+use mramrl_nn::Tensor;
+use mramrl_rl::{ReplayBuffer, ShardedReplay, Transition};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A transition tagged with a unique id in `reward` (and a distinct
+/// frame, so content equality is not vacuous).
+fn tagged(id: usize) -> Transition {
+    Transition {
+        state: Arc::new(Tensor::filled(&[1, 2, 2], id as f32)),
+        action: id % 5,
+        reward: id as f32,
+        next_state: Arc::new(Tensor::filled(&[1, 2, 2], id as f32 + 0.5)),
+        terminal: id % 3 == 0,
+    }
+}
+
+proptest! {
+    /// Push `rounds` rounds fleet-major into S shards and into one
+    /// single buffer of the summed capacity; at every round boundary the
+    /// merged view equals the single buffer element-for-element, and a
+    /// shared RNG draws the identical sample sequence from both.
+    #[test]
+    fn merged_view_equals_single_buffer(
+        ki in 0usize..3,
+        si in 0usize..3,
+        per_rounds in 1usize..4,
+        rounds in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let k = [1usize, 2, 7][ki];
+        let s = [1usize, 2, 4][si];
+        let per_shard = per_rounds * k;
+        let sharded_capacity = s * per_shard;
+        let mut sharded = ShardedReplay::new(s, per_shard, k);
+        let mut single = ReplayBuffer::new(sharded_capacity);
+
+        let mut id = 0usize;
+        for _round in 0..rounds {
+            // The pinned serial interleaving: fleet-major, lane-major.
+            for f in 0..s {
+                for _lane in 0..k {
+                    let t = tagged(id);
+                    id += 1;
+                    single.push(t.clone());
+                    sharded.push(f, t);
+                }
+            }
+
+            // Contents AND order, at the round boundary.
+            prop_assert_eq!(sharded.len(), single.len());
+            for j in 0..single.len() {
+                let a = sharded.merged_get(j).expect("in range");
+                let b = single.get(j).expect("in range");
+                prop_assert_eq!(a.reward, b.reward, "merged order diverged at {}", j);
+                prop_assert_eq!(a.state.data(), b.state.data());
+                prop_assert_eq!(a.next_state.data(), b.next_state.data());
+                prop_assert_eq!(a.action, b.action);
+                prop_assert_eq!(a.terminal, b.terminal);
+            }
+
+            // Same RNG, same sampled sequence.
+            let lanes = s * k;
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let mut idx = Vec::new();
+            sharded.sample_indices(&mut rng_a, lanes, &mut idx);
+            prop_assert_eq!(idx.len(), lanes);
+            for &i in &idx {
+                let want = single.get(rng_b.gen_range(0..single.len())).expect("in range");
+                let got = sharded.merged_get(i).expect("in range");
+                prop_assert_eq!(got.reward, want.reward, "sample stream diverged");
+            }
+        }
+    }
+
+    /// Evictions stay per-shard FIFO: after any number of whole rounds,
+    /// the merged view holds exactly the newest `capacity` transitions
+    /// in push order.
+    #[test]
+    fn eviction_keeps_newest_whole_rounds(
+        ki in 0usize..3,
+        si in 0usize..3,
+        per_rounds in 1usize..3,
+        rounds in 1usize..12,
+    ) {
+        let k = [1usize, 2, 7][ki];
+        let s = [1usize, 2, 4][si];
+        let per_shard = per_rounds * k;
+        let mut sharded = ShardedReplay::new(s, per_shard, k);
+        let mut id = 0usize;
+        for _ in 0..rounds {
+            for f in 0..s {
+                for _ in 0..k {
+                    sharded.push(f, tagged(id));
+                    id += 1;
+                }
+            }
+        }
+        let total = rounds * s * k;
+        let kept = total.min(s * per_shard);
+        prop_assert_eq!(sharded.len(), kept);
+        for j in 0..kept {
+            let t = sharded.merged_get(j).expect("in range");
+            prop_assert_eq!(t.reward as usize, total - kept + j, "not the newest window in order");
+        }
+    }
+}

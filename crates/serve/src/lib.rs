@@ -12,7 +12,10 @@
 //!   a new snapshot ([`SnapshotStore::publish_agent`] via
 //!   [`QAgent::quantized_snapshot_shared`](mramrl_rl::QAgent::quantized_snapshot_shared));
 //!   in-flight batches keep the frozen generation alive through their
-//!   own `Arc` — a swap can never tear a batch.
+//!   own `Arc` — a swap can never tear a batch. [`LearnerPublisher`]
+//!   wires the actor/learner trainer's target syncs straight into the
+//!   store (`Trainer::run_parallel_hooked`), so served decisions track
+//!   the newest generation mid-training.
 //! * [`Service`] / [`ServiceClient`] — a long-lived worker thread that
 //!   coalesces concurrent per-drone requests into engine batches under
 //!   the dynamic-batching policy of [`ServeConfig`]: flush when
@@ -42,4 +45,4 @@ mod snapshot;
 pub use batch::{decide_batch, Decision, ObsRequest};
 pub use replay::{replay_trace, ActionLog, ActionRecord, RequestTrace, TraceEvent};
 pub use service::{ServeConfig, ServeStats, Service, ServiceClient};
-pub use snapshot::SnapshotStore;
+pub use snapshot::{LearnerPublisher, SnapshotStore};

@@ -3,7 +3,7 @@
 use std::sync::{Arc, Mutex};
 
 use mramrl_nn::QuantizedNet;
-use mramrl_rl::QAgent;
+use mramrl_rl::{LearnerHook, QAgent};
 
 /// A double-buffered, generation-counted holder for the currently
 /// served Q8.8 snapshot.
@@ -92,5 +92,38 @@ impl SnapshotStore {
             .net
             .spec()
             .input_shape
+    }
+}
+
+/// The learner → serving handoff: a [`LearnerHook`] that publishes the
+/// agent's Q8.8 snapshot to a [`SnapshotStore`] on **every target
+/// sync** of `Trainer::run_parallel_hooked`.
+///
+/// Wire it in and the serving fleet tracks the newest learner
+/// generation mid-training — a [`crate::Service`] worker over the same
+/// store starts answering with the fresh weights at its next flush,
+/// while the learner keeps mutating the float net underneath. The hook
+/// only *reads* the agent (snapshot + publish), so the training
+/// trajectory stays bit-identical to the unhooked run.
+#[derive(Debug, Clone)]
+pub struct LearnerPublisher {
+    store: Arc<SnapshotStore>,
+}
+
+impl LearnerPublisher {
+    /// A publisher pushing into `store`.
+    pub fn new(store: Arc<SnapshotStore>) -> Self {
+        Self { store }
+    }
+
+    /// The store this publisher feeds.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+}
+
+impl LearnerHook for LearnerPublisher {
+    fn on_target_sync(&mut self, agent: &mut QAgent, _updates: u64) {
+        self.store.publish_agent(agent);
     }
 }

@@ -1,0 +1,148 @@
+//! The learner → serving handoff: `Trainer::run_parallel_hooked` with a
+//! [`LearnerPublisher`] keeps a live [`Service`] on the newest snapshot
+//! generation **mid-training** — every target sync publishes, and a
+//! decision requested right after a publish is stamped with (and
+//! computed by) that generation, not a stale one.
+
+use std::sync::Arc;
+
+use mramrl_env::{DepthCamera, DroneEnv, EnvKind, VecEnv};
+use mramrl_nn::{NetworkSpec, Tensor};
+use mramrl_rl::{LearnerHook, QAgent, Trainer, TrainerConfig};
+use mramrl_serve::{LearnerPublisher, ServeConfig, Service, ServiceClient, SnapshotStore};
+
+fn tiny_env(seed: u64) -> DroneEnv {
+    DroneEnv::new(EnvKind::IndoorApartment, seed)
+        .with_camera(DepthCamera::new(16, 16, 1.5, 20.0, 0.01))
+}
+
+fn fleets(n: usize, k: usize) -> Vec<VecEnv> {
+    let envs: Vec<DroneEnv> = (0..n * k).map(|i| tiny_env(5 + i as u64)).collect();
+    VecEnv::from_envs(envs).split(n)
+}
+
+/// Publishes via [`LearnerPublisher`], then immediately requests a
+/// decision from the live service and records the generation it was
+/// served with.
+struct TrackingHook {
+    publisher: LearnerPublisher,
+    client: ServiceClient,
+    obs: Tensor,
+    served_generations: Vec<u64>,
+}
+
+impl LearnerHook for TrackingHook {
+    fn on_target_sync(&mut self, agent: &mut QAgent, updates: u64) {
+        self.publisher.on_target_sync(agent, updates);
+        let expected = self.publisher.store().generation();
+        let d = self.client.decide(updates, self.obs.clone());
+        assert_eq!(
+            d.generation, expected,
+            "a decision requested after a publish must be served by the \
+             just-published generation"
+        );
+        self.served_generations.push(d.generation);
+    }
+}
+
+#[test]
+fn served_decisions_track_newest_generation_mid_training() {
+    let spec = NetworkSpec::micro(16, 1, 5);
+    let mut agent = QAgent::new(&spec, 7);
+
+    // Serve the untrained snapshot as generation 0.
+    let store = Arc::new(SnapshotStore::new(agent.quantized_snapshot_shared()));
+    let service = Service::spawn(
+        Arc::clone(&store),
+        ServeConfig {
+            max_batch: 1,
+            max_delay_us: 0,
+            pool: None,
+        },
+    );
+
+    let obs = Tensor::filled(&[1, 16, 16], 0.5);
+    let pre = service.client().decide(0, obs.clone());
+    assert_eq!(pre.generation, 0, "pre-training decisions serve gen 0");
+
+    let mut cfg = TrainerConfig::online(192, 7);
+    cfg.num_envs = 2;
+    cfg.batch_size = 4;
+    cfg.target_sync = 2;
+    let trainer = Trainer::new(cfg);
+    let mut hook = TrackingHook {
+        publisher: LearnerPublisher::new(Arc::clone(&store)),
+        client: service.client(),
+        obs,
+        served_generations: Vec::new(),
+    };
+    let mut fl = fleets(2, 2);
+    let log = trainer.run_parallel_hooked(&mut agent, &mut fl, &mut hook);
+    assert!(!log.curve.is_empty());
+
+    // The learner synced several times, each sync published a new
+    // generation, and the served generation advanced monotonically —
+    // the fleet never fell behind the newest snapshot.
+    assert!(
+        hook.served_generations.len() >= 3,
+        "expected several target syncs, got {:?}",
+        hook.served_generations
+    );
+    assert!(
+        hook.served_generations.windows(2).all(|w| w[0] < w[1]),
+        "served generations must strictly advance: {:?}",
+        hook.served_generations
+    );
+    assert_eq!(
+        *hook.served_generations.last().expect("non-empty"),
+        store.generation(),
+        "training ended with the newest generation live"
+    );
+
+    drop(hook);
+    let stats = service.shutdown();
+    // 1 pre-training decision plus one per target sync.
+    assert!(stats.requests as usize >= 4);
+}
+
+/// The hook only reads the agent, so a hooked run's training trajectory
+/// is bit-identical to the unhooked run — publishing can never perturb
+/// learning.
+#[test]
+fn publishing_does_not_perturb_training() {
+    let spec = NetworkSpec::micro(16, 1, 5);
+    let mut cfg = TrainerConfig::online(96, 11);
+    cfg.num_envs = 2;
+    cfg.batch_size = 4;
+    cfg.target_sync = 4;
+    let trainer = Trainer::new(cfg);
+
+    let mut plain_agent = QAgent::new(&spec, 11);
+    let plain = trainer.run_parallel(&mut plain_agent, &mut fleets(2, 2));
+
+    let mut hooked_agent = QAgent::new(&spec, 11);
+    let store = Arc::new(SnapshotStore::new(hooked_agent.quantized_snapshot_shared()));
+    let mut publisher = LearnerPublisher::new(Arc::clone(&store));
+    let hooked = trainer.run_parallel_hooked(&mut hooked_agent, &mut fleets(2, 2), &mut publisher);
+
+    assert!(store.generation() > 0, "publishes happened");
+    assert_eq!(plain.final_reward.to_bits(), hooked.final_reward.to_bits());
+    let curve = |l: &mramrl_rl::TrainLog| {
+        l.curve
+            .iter()
+            .map(|p| {
+                (
+                    p.iter,
+                    p.cumulative_reward.to_bits(),
+                    p.avg_return.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(curve(&plain), curve(&hooked));
+    assert_eq!(
+        plain_agent.net().save_weights(),
+        hooked_agent.net().save_weights(),
+        "hooked and unhooked runs must end with identical weights"
+    );
+}
