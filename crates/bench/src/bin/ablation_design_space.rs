@@ -2,10 +2,12 @@
 //! architectures can train which topologies with a read-only NVM, and
 //! what they cost.
 
-use mramrl_bench::{fmt, Table};
+use mramrl_bench::{fmt, knob_meta, Table};
 use mramrl_core::DesignSweep;
 
 fn main() {
+    mramrl_bench::init_gemm_backend();
+    let (_pool, _guard) = mramrl_bench::init_pool_threads();
     let sweep = DesignSweep::date19();
     let mut t = Table::new(
         "Design-space sweep — SRAM capacity × topology",
@@ -43,7 +45,9 @@ fn main() {
         ]);
     }
     t.print();
-    t.save("ablation_design_space");
+    // Analytic sweep: no frames/seed axis, but the knob snapshot still
+    // documents the run environment.
+    t.save_with_meta("ablation_design_space", &knob_meta());
 
     println!("Write-free frontier (min SRAM per topology):");
     for topo in mramrl_core::Topology::ALL {

@@ -3,13 +3,14 @@
 //! model with and without town-like structures and compare the
 //! outdoor-town SFD degradation.
 
-use mramrl_bench::{arg_u64, fmt, full_mode, Table};
+use mramrl_bench::{arg_u64, fmt, full_mode, knob_meta, Table};
 use mramrl_env::EnvKind;
 use mramrl_rl::experiment::normalized_sfd;
 use mramrl_rl::{Fig10Experiment, Topology, TransferCache};
 
 fn main() {
     mramrl_bench::init_gemm_backend();
+    let (_pool, _guard) = mramrl_bench::init_pool_threads();
     let seed = arg_u64("seed", 42);
     let mut exp = if full_mode() {
         Fig10Experiment::full(seed)
@@ -45,7 +46,11 @@ fn main() {
         ]);
     }
     t.print();
-    t.save("ablation_meta_richness");
+    let mut meta = knob_meta();
+    meta.push(("seed".into(), seed.to_string()));
+    meta.push(("online_iters".into(), exp.online_iters.to_string()));
+    meta.push(("tl_iters".into(), exp.tl_iters.to_string()));
+    t.save_with_meta("ablation_meta_richness", &meta);
     println!(
         "Expected: the rich meta (with buildings/cars) narrows the town degradation —\n\
          the fix the paper proposes for its own worst case (8.1%)."

@@ -4,11 +4,13 @@
 //! energy; hence the algorithm-hardware co-design ... is applicable to
 //! similar other platforms").
 
-use mramrl_bench::{fmt, Table};
+use mramrl_bench::{fmt, knob_meta, Table};
 use mramrl_mem::tech::TechParams;
 use mramrl_mem::WearTracker;
 
 fn main() {
+    mramrl_bench::init_gemm_backend();
+    let (_pool, _guard) = mramrl_bench::init_pool_threads();
     let fc1_grad_bytes = 37_752_832u64 * 2; // FC1 gradient accumulator
     let model_bytes = 112_380_682u64; // full 56.19 M weights at 16 bit
 
@@ -47,7 +49,7 @@ fn main() {
         ]);
     }
     t.print();
-    t.save("ablation_nvm_tech");
+    t.save_with_meta("ablation_nvm_tech", &knob_meta());
 
     println!(
         "Reading: every NVM makes per-image gradient write-back prohibitive (tens of ms\n\

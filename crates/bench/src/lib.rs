@@ -111,13 +111,25 @@ impl Table {
     /// path (best-effort: IO errors are reported to stderr, not fatal —
     /// reproduction output still reaches stdout).
     pub fn save(&self, name: &str) -> Option<PathBuf> {
+        self.save_with_meta(name, &[])
+    }
+
+    /// Like [`Table::save`], but prefixes the CSV with `# key=value`
+    /// comment lines recording the active run configuration (knobs,
+    /// seeds, frame counts) — so a saved table says how it was made.
+    pub fn save_with_meta(&self, name: &str, meta: &[(String, String)]) -> Option<PathBuf> {
         let dir = results_dir();
         if let Err(e) = fs::create_dir_all(&dir) {
             eprintln!("warning: cannot create {}: {e}", dir.display());
             return None;
         }
         let path = dir.join(format!("{name}.csv"));
-        match fs::write(&path, self.to_csv()) {
+        let mut body = String::new();
+        for (k, v) in meta {
+            body.push_str(&format!("# {k}={v}\n"));
+        }
+        body.push_str(&self.to_csv());
+        match fs::write(&path, body) {
             Ok(()) => Some(path),
             Err(e) => {
                 eprintln!("warning: cannot write {}: {e}", path.display());
@@ -125,6 +137,27 @@ impl Table {
             }
         }
     }
+}
+
+/// The standard knob snapshot every figure binary records in its saved
+/// table ([`Table::save_with_meta`]): the resolved GEMM backend, the
+/// installed pool width and whether the SIMD kernel tier is active.
+/// Call it *after* [`init_gemm_backend`] / [`init_pool_threads`] so the
+/// values reflect what the run actually used.
+pub fn knob_meta() -> Vec<(String, String)> {
+    let backend = std::env::var("NN_GEMM_BACKEND")
+        .unwrap_or_else(|_| mramrl_nn::backend::default_backend().name().to_string());
+    vec![
+        ("gemm_backend".to_string(), backend),
+        (
+            "pool_threads".to_string(),
+            mramrl_nn::pool::current_threads().to_string(),
+        ),
+        (
+            "simd".to_string(),
+            mramrl_nn::simd::simd_active().to_string(),
+        ),
+    ]
 }
 
 /// The results directory (`MRAMRL_RESULTS` or `./results`).
@@ -413,5 +446,29 @@ mod tests {
     #[test]
     fn arg_default_when_absent() {
         assert_eq!(arg_u64("definitely-not-passed", 7), 7);
+    }
+
+    #[test]
+    fn knob_meta_covers_the_standard_knobs() {
+        let meta = knob_meta();
+        for key in ["gemm_backend", "pool_threads", "simd"] {
+            assert!(meta.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn save_with_meta_prefixes_comment_lines() {
+        let dir = std::env::temp_dir().join("mramrl_meta_test");
+        std::env::set_var("MRAMRL_RESULTS", &dir);
+        let mut t = Table::new("T", &["a"]);
+        t.row(&["1"]);
+        let path = t
+            .save_with_meta("meta_demo", &[("seed".into(), "42".into())])
+            .unwrap();
+        std::env::remove_var("MRAMRL_RESULTS");
+        let body = fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("# seed=42\n"));
+        assert!(body.ends_with("a\n1\n"));
+        let _ = fs::remove_dir_all(dir);
     }
 }

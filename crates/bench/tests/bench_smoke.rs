@@ -83,7 +83,42 @@ fn ablation_endurance_runs_tiny() {
         &dir,
     );
     assert!(stdout.contains('|'), "no table:\n{stdout}");
-    assert!(csv_count(&dir) > 0, "no CSV in {dir:?}");
+    // The active-policy table: scheduler off vs on from the hooked run.
+    assert!(
+        stdout.contains("EnduranceScheduler"),
+        "no scheduler table:\n{stdout}"
+    );
+    assert!(stdout.contains("write-free"), "L-topologies not marked");
+    assert!(csv_count(&dir) >= 2, "expected passive + scheduler CSVs");
+    // Saved tables record the active knob configuration.
+    let sched_csv = std::fs::read_to_string(dir.join("ablation_endurance_scheduler.csv"))
+        .expect("scheduler CSV saved");
+    assert!(sched_csv.contains("# gemm_backend="), "{sched_csv}");
+    assert!(sched_csv.contains("# frames=5"), "{sched_csv}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_dse_json_runs_tiny() {
+    let dir = results_dir("dse");
+    let stdout = run(
+        env!("CARGO_BIN_EXE_bench_dse_json"),
+        &["--tiny", "--reps", "1"],
+        &dir,
+    );
+    assert!(stdout.contains("Pareto frontier"), "no table:\n{stdout}");
+    let json = std::fs::read_to_string(dir.join("BENCH_dse_tiny.json")).expect("JSON artifact");
+    for needle in [
+        "\"bench\": \"dse_pareto\"",
+        "\"frontier_size\"",
+        "\"lifetime_years\"",
+        "\"speedup\"",
+        "\"determinism\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+    let csv = std::fs::read_to_string(dir.join("dse_pareto_tiny.csv")).expect("CSV artifact");
+    assert!(csv.lines().count() > 16, "CSV misses points:\n{csv}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

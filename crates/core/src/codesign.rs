@@ -7,6 +7,19 @@ use mramrl_nn::Topology;
 use crate::error::CoreError;
 use crate::platform::Platform;
 
+/// The paper's canonical design points as `(topology, sram_mb, mram_mb)`:
+/// the three §II-D embedded architectures (SRAM sized for the L2/L3/L4
+/// tails on the 128 MB stack) plus the E2E baseline, which only places on
+/// an oversized 256 MB stack. One table, shared by the co-design sweep,
+/// the ablation binaries and the `mramrl_dse` subsystem — previously each
+/// hard-coded its own copy.
+pub const PAPER_DESIGN_POINTS: [(Topology, f64, f64); 4] = [
+    (Topology::L2, 12.7, 128.0),
+    (Topology::L3, 30.0, 128.0),
+    (Topology::L4, 63.0, 128.0),
+    (Topology::E2E, 30.0, 256.0),
+];
+
 /// One evaluated design point.
 #[derive(Debug, Clone)]
 pub struct DesignPoint {
@@ -60,9 +73,19 @@ impl DesignSweep {
         }
     }
 
-    /// The paper's three architectures (§II-D) plus margin points.
+    /// The paper's three architectures (§II-D) plus margin points: the
+    /// SRAM sizes come from [`PAPER_DESIGN_POINTS`] (deduplicated — L3
+    /// and E2E share 30 MB) bracketed by an under- and a mid-margin
+    /// capacity.
     pub fn date19() -> Self {
-        Self::new(vec![8.0, 12.7, 30.0, 45.0, 63.0], 128.0)
+        let mut sizes = vec![8.0, 45.0];
+        for (_, sram, _) in PAPER_DESIGN_POINTS {
+            if !sizes.contains(&sram) {
+                sizes.push(sram);
+            }
+        }
+        sizes.sort_by(f64::total_cmp);
+        Self::new(sizes, 128.0)
     }
 
     /// Evaluates every (size × topology) point.
@@ -113,6 +136,33 @@ impl DesignSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn paper_design_points_all_place() {
+        // The shared table must stay placeable — it feeds the sweep, the
+        // ablation binaries and the DSE subsystem alike.
+        for (topo, sram, mram) in PAPER_DESIGN_POINTS {
+            let p = Platform::new(topo, sram, mram)
+                .unwrap_or_else(|e| panic!("{topo} @ {sram}/{mram} MB: {e}"));
+            // The three L-architectures are write-free by construction;
+            // the E2E baseline never is.
+            assert_eq!(p.is_nvm_write_free(topo), topo != Topology::E2E);
+        }
+    }
+
+    #[test]
+    fn date19_sweep_covers_paper_srams() {
+        let sweep = DesignSweep::date19();
+        let points = sweep.run();
+        for (_, sram, _) in PAPER_DESIGN_POINTS {
+            assert!(
+                points.iter().any(|p| p.sram_mb == sram),
+                "sweep misses paper SRAM {sram}"
+            );
+        }
+        // Deduplicated: 30 MB appears once per topology, not twice.
+        assert_eq!(points.len(), 5 * 4);
+    }
 
     #[test]
     fn paper_architecture_thresholds() {

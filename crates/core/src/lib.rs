@@ -38,7 +38,7 @@ pub mod mission;
 mod platform;
 mod summary;
 
-pub use codesign::{DesignPoint, DesignSweep};
+pub use codesign::{DesignPoint, DesignSweep, PAPER_DESIGN_POINTS};
 pub use deployment::{DeploymentReport, DeploymentSim};
 pub use error::CoreError;
 pub use mission::{EnvClass, Mission, ENV_CLASSES};

@@ -59,13 +59,30 @@ impl Platform {
         mram_mb: f64,
         calib: Calibration,
     ) -> Result<Self, CoreError> {
+        Self::with_system(topology, sram_mb, mram_mb, SystemParams::date19(), calib)
+    }
+
+    /// The fully general constructor: explicit [`SystemParams`] (so the
+    /// stack technology, I/O width and clock can deviate from the paper's
+    /// STT-MRAM system — the `mramrl_dse` technology axis goes through
+    /// here) plus an explicit calibration profile.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Platform::new`].
+    pub fn with_system(
+        topology: Topology,
+        sram_mb: f64,
+        mram_mb: f64,
+        params: SystemParams,
+        calib: Calibration,
+    ) -> Result<Self, CoreError> {
         if sram_mb <= 0.0 || mram_mb <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 reason: format!("capacities must be positive (sram {sram_mb}, mram {mram_mb})"),
             });
         }
         let spec = NetworkSpec::date19_alexnet();
-        let params = SystemParams::date19();
         let n = spec.param_layer_names().len();
         let layers: Vec<(String, u64, bool)> = spec
             .layer_weight_bytes()
@@ -209,6 +226,44 @@ mod tests {
         let p = Platform::proposed().unwrap();
         assert_eq!(p.max_fps(4), p.model().max_fps(Topology::L3, 4));
         assert!(p.energy_per_frame_mj(4) > 0.0);
+    }
+
+    #[test]
+    fn with_system_date19_matches_default_constructor() {
+        let a = Platform::proposed().unwrap();
+        let b = Platform::with_system(
+            Topology::L3,
+            30.0,
+            128.0,
+            SystemParams::date19(),
+            Calibration::date19(),
+        )
+        .unwrap();
+        assert_eq!(a.max_fps(4).to_bits(), b.max_fps(4).to_bits());
+        assert_eq!(
+            a.energy_per_frame_mj(4).to_bits(),
+            b.energy_per_frame_mj(4).to_bits()
+        );
+    }
+
+    #[test]
+    fn with_system_tech_axis_changes_update_cost() {
+        use mramrl_mem::tech::TechParams;
+        let mut pcm = SystemParams::date19();
+        pcm.mram = TechParams::pcm();
+        let date = Platform::new(Topology::E2E, 30.0, 256.0).unwrap();
+        let slow =
+            Platform::with_system(Topology::E2E, 30.0, 256.0, pcm, Calibration::date19()).unwrap();
+        // PCM writes (150 ns) are slower than STT-MRAM (30 ns): the E2E
+        // weight write-back must get more expensive, nothing else about
+        // the placement changes.
+        let (ms_date, _) = date.model().update_cost(Topology::E2E);
+        let (ms_pcm, _) = slow.model().update_cost(Topology::E2E);
+        assert!(ms_pcm > ms_date, "{ms_pcm} vs {ms_date}");
+        assert_eq!(
+            date.placement().mram_weight_bytes(),
+            slow.placement().mram_weight_bytes()
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The swept axes and their pinned enumeration order.
+
+use mramrl_core::{Topology, PAPER_DESIGN_POINTS};
+use mramrl_mem::tech::TechParams;
+use mramrl_mem::TechKind;
+
+/// How much of the flight is spent learning online: scales the modeled
+/// NVM write-back stream (a drone that trains on a quarter of its
+/// frames wears its stack four times slower). Inference load is
+/// unaffected — the camera never stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioMix {
+    name: &'static str,
+    online_duty: f64,
+}
+
+impl ScenarioMix {
+    /// Continuous online learning: every frame trains (the paper's
+    /// deployment story, and the worst case for endurance).
+    pub fn continuous() -> Self {
+        Self {
+            name: "continuous",
+            online_duty: 1.0,
+        }
+    }
+
+    /// Patrol duty: the drone adapts on a quarter of its flight time
+    /// (familiar route, occasional novelty).
+    pub fn patrol() -> Self {
+        Self {
+            name: "patrol",
+            online_duty: 0.25,
+        }
+    }
+
+    /// Label used in reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Fraction of frames that drive online training, in `(0, 1]`.
+    pub fn online_duty(&self) -> f64 {
+        self.online_duty
+    }
+}
+
+/// Resolves a stack technology to its [`TechParams`] preset.
+pub fn tech_params(kind: TechKind) -> TechParams {
+    match kind {
+        TechKind::Sram => TechParams::sram(),
+        TechKind::Dram => TechParams::dram(),
+        TechKind::SttMram => TechParams::stt_mram(),
+        TechKind::Rram => TechParams::rram(),
+        TechKind::Pcm => TechParams::pcm(),
+    }
+}
+
+/// One configuration drawn from a [`DesignSpace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// Position in the space's pinned enumeration order.
+    pub index: usize,
+    /// Training topology.
+    pub topology: Topology,
+    /// SRAM (global buffer) capacity, decimal MB.
+    pub sram_mb: f64,
+    /// Stacked-NVM capacity, decimal MB.
+    pub mram_mb: f64,
+    /// Stack memory technology.
+    pub tech: TechKind,
+    /// Training batch size.
+    pub batch: usize,
+    /// Scenario mix (online-training duty).
+    pub mix: ScenarioMix,
+}
+
+/// The cross-product of swept axes.
+///
+/// [`DesignSpace::enumerate`] fixes the order once — SRAM-major, then
+/// MRAM, technology, topology, batch, mix — and everything downstream
+/// (the parallel sweep, the CSV, the JSON) inherits it, which is what
+/// makes byte-identical reports possible in the first place.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// SRAM capacities, decimal MB.
+    pub sram_mb: Vec<f64>,
+    /// Stack capacities, decimal MB.
+    pub mram_mb: Vec<f64>,
+    /// Stack technologies.
+    pub techs: Vec<TechKind>,
+    /// Training topologies.
+    pub topologies: Vec<Topology>,
+    /// Batch sizes.
+    pub batches: Vec<usize>,
+    /// Scenario mixes.
+    pub mixes: Vec<ScenarioMix>,
+}
+
+impl DesignSpace {
+    /// The fleet-scale sweep: the paper's SRAM break-points (from
+    /// [`PAPER_DESIGN_POINTS`]) plus margin capacities, four stack
+    /// sizes, the three NVM candidates of §III-C, all four topologies,
+    /// three batch sizes and two duty mixes — 2016 points.
+    pub fn date19_fleet() -> Self {
+        let mut sram = vec![8.0, 16.0, 45.0, 96.0];
+        for (_, s, _) in PAPER_DESIGN_POINTS {
+            if !sram.contains(&s) {
+                sram.push(s);
+            }
+        }
+        sram.sort_by(f64::total_cmp);
+        Self {
+            sram_mb: sram,
+            mram_mb: vec![64.0, 128.0, 192.0, 256.0],
+            techs: vec![TechKind::SttMram, TechKind::Rram, TechKind::Pcm],
+            topologies: Topology::ALL.to_vec(),
+            batches: vec![1, 4, 8],
+            mixes: vec![ScenarioMix::continuous(), ScenarioMix::patrol()],
+        }
+    }
+
+    /// A 16-point space for smoke tests and doctests.
+    pub fn tiny() -> Self {
+        Self {
+            sram_mb: vec![12.7, 30.0],
+            mram_mb: vec![128.0, 256.0],
+            techs: vec![TechKind::SttMram],
+            topologies: Topology::ALL.to_vec(),
+            batches: vec![4],
+            mixes: vec![ScenarioMix::continuous()],
+        }
+    }
+
+    /// Number of points in the cross-product.
+    pub fn len(&self) -> usize {
+        self.sram_mb.len()
+            * self.mram_mb.len()
+            * self.techs.len()
+            * self.topologies.len()
+            * self.batches.len()
+            * self.mixes.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises every configuration in the pinned order.
+    pub fn enumerate(&self) -> Vec<DseConfig> {
+        let mut out = Vec::with_capacity(self.len());
+        for &sram_mb in &self.sram_mb {
+            for &mram_mb in &self.mram_mb {
+                for &tech in &self.techs {
+                    for &topology in &self.topologies {
+                        for &batch in &self.batches {
+                            for &mix in &self.mixes {
+                                out.push(DseConfig {
+                                    index: out.len(),
+                                    topology,
+                                    sram_mb,
+                                    mram_mb,
+                                    tech,
+                                    batch,
+                                    mix,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_space_clears_the_thousand_point_bar() {
+        let space = DesignSpace::date19_fleet();
+        assert!(space.len() >= 1000, "{}", space.len());
+        assert_eq!(space.len(), space.enumerate().len());
+    }
+
+    #[test]
+    fn enumeration_indices_are_positional() {
+        let cfgs = DesignSpace::tiny().enumerate();
+        for (i, c) in cfgs.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn fleet_space_contains_every_paper_point() {
+        let space = DesignSpace::date19_fleet();
+        for (topo, sram, mram) in PAPER_DESIGN_POINTS {
+            assert!(space.topologies.contains(&topo));
+            assert!(space.sram_mb.contains(&sram));
+            assert!(space.mram_mb.contains(&mram));
+        }
+    }
+
+    #[test]
+    fn tech_params_round_trip_kind() {
+        for kind in [
+            TechKind::Sram,
+            TechKind::Dram,
+            TechKind::SttMram,
+            TechKind::Rram,
+            TechKind::Pcm,
+        ] {
+            assert_eq!(tech_params(kind).kind, kind);
+        }
+    }
+}

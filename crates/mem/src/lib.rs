@@ -43,7 +43,7 @@ pub mod tech;
 
 pub use array::MemoryArray;
 pub use buffer::{BufferPlan, GlobalBuffer};
-pub use endurance::WearTracker;
+pub use endurance::{EnduranceScheduler, SchedulerPolicy, WearReport, WearTracker};
 pub use error::MemError;
 pub use link::{DdrLink, IoBus};
 pub use placement::{LayerPlacement, PlacementPlan, PlacementRequest, StorageClass};

@@ -46,6 +46,7 @@ pub mod metrics;
 mod policy;
 mod replay;
 mod trainer;
+pub mod wear;
 
 pub use agent::{ActingPrecision, QAgent};
 pub use experiment::{EnvRun, Fig10Experiment, TransferCache};

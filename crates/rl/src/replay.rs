@@ -248,7 +248,7 @@ impl ReplayBuffer {
 ///
 /// Fleet `f` pushes only into shard `f`, so the push path has no
 /// cross-fleet coordination at all. The learner samples through
-/// [`ShardedReplay::merged_index`], which presents the shards as a
+/// [`ShardedReplay::merged_get`], which presents the shards as a
 /// single buffer ordered exactly as the **pinned serial interleaving**
 /// would have pushed it — per round, fleet 0's `lanes` transitions, then
 /// fleet 1's, and so on:

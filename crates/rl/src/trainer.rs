@@ -211,6 +211,16 @@ pub struct ParallelStats {
 pub trait LearnerHook {
     /// Called after update number `updates` synced the target network.
     fn on_target_sync(&mut self, agent: &mut QAgent, updates: u64);
+
+    /// Called at the end of every learner phase with the cumulative
+    /// weight-update count — including rounds that applied no update.
+    /// This is the metering boundary for write-stream observers
+    /// (`EnduranceScheduler` models one NVM write-back burst per update
+    /// here); like [`LearnerHook::on_target_sync`], it runs outside any
+    /// overlap and must not mutate the agent. The default does nothing.
+    fn on_round(&mut self, updates: u64) {
+        let _ = updates;
+    }
 }
 
 /// The no-op hook: plain training.
@@ -698,6 +708,7 @@ impl Trainer {
             if synced {
                 hook.on_target_sync(agent, updates);
             }
+            hook.on_round(updates);
             // Snapshot refresh on its update cadence, at the phase
             // boundary (the refreshed snapshot is first used next
             // round) — part of the pinned schedule.
@@ -789,6 +800,7 @@ impl Trainer {
         if synced {
             hook.on_target_sync(agent, updates);
         }
+        hook.on_round(updates);
 
         // Censored final episodes still inform SFD, lane by lane.
         for fleet in fleets.iter() {

@@ -1,0 +1,60 @@
+//! Endurance metering for live training: [`EnduranceScheduler`] as a
+//! [`LearnerHook`].
+//!
+//! The scheduler observes the learner's update counter at every round
+//! boundary and advances its *modeled* NVM write stream — one write-back
+//! burst per applied weight update — through its coalescing/steering
+//! policy. It never touches the agent, so a hooked
+//! [`Trainer::run_parallel_hooked`] run is bit-identical to the unhooked
+//! one (pinned by `tests/endurance_hook.rs`), while the run's
+//! [`WearReport`](mramrl_mem::WearReport) quantifies the wear the
+//! paper's E2E write-back traffic would have cost — and how much of it
+//! the online scheduler removes.
+//!
+//! [`Trainer::run_parallel_hooked`]: crate::Trainer::run_parallel_hooked
+
+use mramrl_mem::EnduranceScheduler;
+
+use crate::agent::QAgent;
+use crate::trainer::LearnerHook;
+
+impl LearnerHook for EnduranceScheduler {
+    /// Target syncs carry no extra write traffic in the model — the
+    /// target network lives in SRAM on every topology — so this is a
+    /// no-op; metering happens in [`LearnerHook::on_round`].
+    fn on_target_sync(&mut self, _agent: &mut QAgent, _updates: u64) {}
+
+    /// Advances the modeled write stream to `updates` total weight
+    /// updates: each newly observed update charges one write-back burst
+    /// of `bytes_per_update` to the baseline stream and one coalesced,
+    /// region-steered burst to the scheduled stream.
+    fn on_round(&mut self, updates: u64) {
+        self.advance_to(updates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mramrl_mem::tech::TechParams;
+    use mramrl_mem::{EnduranceScheduler, SchedulerPolicy};
+
+    use crate::trainer::LearnerHook;
+
+    #[test]
+    fn on_round_is_idempotent_per_update_count() {
+        let mut s = EnduranceScheduler::new(
+            TechParams::stt_mram(),
+            128_000_000,
+            1_000,
+            SchedulerPolicy::date19(),
+        );
+        // Rounds without new updates (the common case while the replay
+        // warms up) must not inflate the stream.
+        s.on_round(0);
+        s.on_round(0);
+        s.on_round(3);
+        s.on_round(3);
+        assert_eq!(s.updates(), 3);
+        assert_eq!(s.report().baseline_bytes, 3_000);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`accel`] — the latency/energy/power model (Fig. 12/13).
 //! * [`core`] — the co-design API: [`Platform`], [`Mission`],
 //!   [`DeploymentSim`], design-space sweeps, [`headline`].
+//! * [`dse`] — fleet-scale design-space exploration: the parallel
+//!   SRAM × MRAM × technology × topology × batch × scenario sweep and
+//!   its 4-axis Pareto frontier report.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 
 pub use mramrl_accel as accel;
 pub use mramrl_core as core;
+pub use mramrl_dse as dse;
 pub use mramrl_env as env;
 pub use mramrl_fixed as fixed;
 pub use mramrl_mem as mem;
